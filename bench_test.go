@@ -1,0 +1,581 @@
+package reconvirt
+
+import (
+	"container/heap"
+	"fmt"
+	"testing"
+
+	"repro/internal/bio"
+	"repro/internal/capability"
+	"repro/internal/casestudy"
+	"repro/internal/grid"
+	"repro/internal/profiler"
+	"repro/internal/quipu"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/vliw"
+)
+
+// --- T1: Table I — capability schema and requirement matching ---
+
+// BenchmarkTableI_CapabilityMatch measures ExecReq predicate evaluation
+// against a Table I capability set: the inner operation of the matchmaker.
+func BenchmarkTableI_CapabilityMatch(b *testing.B) {
+	dev, err := LookupDevice("XC5VLX220T")
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := dev.FPGACaps.Set()
+	reqs := task.FPGAFamily("Virtex-5", casestudy.PairalignSlices)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ok, err := reqs.SatisfiedBy(set)
+		if err != nil || !ok {
+			b.Fatal("match failed")
+		}
+	}
+}
+
+// --- T2: Table II — case-study matchmaking ---
+
+// BenchmarkTableII_Matchmaking regenerates the full Table II mapping
+// analysis (3 nodes, 4 tasks, all scenarios) per iteration.
+func BenchmarkTableII_Matchmaking(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := TableII()
+		if err != nil || len(rows) != 4 {
+			b.Fatalf("TableII: %v (%d rows)", err, len(rows))
+		}
+	}
+}
+
+// --- F7: application task graph ---
+
+// BenchmarkFig7_TaskGraph builds the Fig. 7 DAG, validates it, and computes
+// topological order and the t_estimated critical path.
+func BenchmarkFig7_TaskGraph(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := task.Fig7Graph()
+		if _, err := g.TopoOrder(); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := g.CriticalPath(func(t *task.Task) float64 { return t.EstimatedSeconds }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- F8: Seq/Par program execution ---
+
+// BenchmarkFig8_SeqPar parses the paper's Eq. 4 expression and simulates
+// its Fig. 8 schedule on a small GPP grid.
+func BenchmarkFig8_SeqPar(b *testing.B) {
+	spec := grid.GridSpec{
+		GPPNodes: 1, GPPsPerNode: 4,
+		GPPCaps: capability.GPPCaps{CPUType: "x", MIPS: 10000, OS: "linux", RAMMB: 4096, Cores: 4},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog, err := ParseApp(task.Eq4Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg, err := BuildGrid(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mm, err := NewMatchmaker(reg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := NewEngine(DefaultSimConfig(), reg, mm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := NewGraph()
+		for _, id := range prog.TaskIDs() {
+			if err := g.Add(softwareTask(id)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eng.Submit(0, "bench", g, prog, QoS{})
+		m, err := eng.Run()
+		if err != nil || m.Completed != 6 {
+			b.Fatalf("run: %v (%d done)", err, m.Completed)
+		}
+	}
+}
+
+// --- F10: ClustalW profile ---
+
+// BenchmarkFig10_ClustalWProfile runs the profiled ClustalW pipeline on a
+// reduced protein family per iteration (the full Fig. 10 workload runs in
+// cmd/casestudy).
+func BenchmarkFig10_ClustalWProfile(b *testing.B) {
+	opts := bio.FamilyOptions{Count: 10, Length: 80, SubstitutionRate: 0.15, IndelRate: 0.02}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Fixed seed: every iteration does identical work. The profile
+		// SHAPE is asserted in deterministic tests and cmd/casestudy, not
+		// here — wall-clock attribution under benchmark load is noisy at
+		// this reduced scale.
+		res, err := casestudy.RunFig10(1, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Columns <= 0 {
+			b.Fatal("no alignment produced")
+		}
+	}
+}
+
+// --- X1: strategy vs arrival rate ---
+
+// BenchmarkDReAMSim_ArrivalSweep sweeps the Poisson arrival rate for the
+// first-fit and reconfiguration-aware strategies in the reconfiguration-
+// sensitive regime (short hardware tasks, slow configuration port —
+// matches cmd/experiments X1).
+func BenchmarkDReAMSim_ArrivalSweep(b *testing.B) {
+	mkWorkload := func(rate float64) WorkloadSpec {
+		ws := grid.DefaultWorkload(200, rate)
+		ws.WorkMI = sim.LogNormal{Mu: 10, Sigma: 0.7}
+		ws.ShareUserHW = 0.7
+		ws.ShareSoftcore = 0
+		return ws
+	}
+	gs := grid.DefaultGridSpec()
+	gs.ReconfigMBpsOverride = 4
+	for _, strategy := range []sched.Strategy{sched.FirstFit{}, sched.ReconfigAware{}} {
+		for _, rate := range []float64{0.5, 2, 5} {
+			name := fmt.Sprintf("%s/lambda=%.1f", strategy.Name(), rate)
+			b.Run(name, func(b *testing.B) {
+				cfg := DefaultSimConfig()
+				cfg.Strategy = strategy
+				tc, err := grid.DefaultToolchain()
+				if err != nil {
+					b.Fatal(err)
+				}
+				var last *Metrics
+				for i := 0; i < b.N; i++ {
+					m, err := RunScenario(42, cfg, gs, mkWorkload(rate), tc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = m
+				}
+				if last != nil {
+					b.ReportMetric(last.MeanTurnaround(), "turnaround-s")
+					b.ReportMetric(float64(last.Reconfigs), "reconfigs")
+					b.ReportMetric(float64(last.Reuses), "reuses")
+				}
+			})
+		}
+	}
+}
+
+// --- X2: hybrid vs GPP-only grid ---
+
+// BenchmarkDReAMSim_HybridVsGPP runs the same accelerator-friendly workload
+// on a hybrid grid and, software-only, on a GPP-only grid.
+func BenchmarkDReAMSim_HybridVsGPP(b *testing.B) {
+	ws := grid.DefaultWorkload(100, 0.4)
+	ws.ShareUserHW = 0.6
+	ws.ShareSoftcore = 0
+
+	b.Run("hybrid", func(b *testing.B) {
+		tc, _ := grid.DefaultToolchain()
+		var last *Metrics
+		for i := 0; i < b.N; i++ {
+			m, err := RunScenario(11, DefaultSimConfig(), grid.DefaultGridSpec(), ws, tc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = m
+		}
+		if last != nil {
+			b.ReportMetric(last.MeanTurnaround(), "turnaround-s")
+		}
+	})
+	b.Run("gpp-only", func(b *testing.B) {
+		gs := grid.DefaultGridSpec()
+		gs.HybridNodes = 0
+		gs.GPPNodes = 4
+		var last *Metrics
+		for i := 0; i < b.N; i++ {
+			gen, err := grid.Generate(sim.NewRNG(11), ws)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reg, err := BuildGrid(gs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mm, err := NewMatchmaker(reg, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := NewEngine(DefaultSimConfig(), reg, mm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.SubmitWorkload(grid.ToSoftwareOnly(gen), "bench"); err != nil {
+				b.Fatal(err)
+			}
+			m, err := eng.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = m
+		}
+		if last != nil {
+			b.ReportMetric(last.MeanTurnaround(), "turnaround-s")
+		}
+	})
+}
+
+// --- X3: reconfiguration-bandwidth sensitivity ---
+
+// BenchmarkDReAMSim_ReconfigSweep sweeps the configuration-port bandwidth.
+func BenchmarkDReAMSim_ReconfigSweep(b *testing.B) {
+	for _, mbps := range []float64{10, 50, 400, 3200} {
+		b.Run(fmt.Sprintf("cfgport=%.0fMBps", mbps), func(b *testing.B) {
+			gs := grid.DefaultGridSpec()
+			gs.ReconfigMBpsOverride = mbps
+			ws := grid.DefaultWorkload(100, 0.6)
+			ws.ShareUserHW = 0.5
+			tc, _ := grid.DefaultToolchain()
+			var last *Metrics
+			for i := 0; i < b.N; i++ {
+				m, err := RunScenario(17, DefaultSimConfig(), gs, ws, tc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = m
+			}
+			if last != nil {
+				b.ReportMetric(last.MeanTurnaround(), "turnaround-s")
+				b.ReportMetric(last.ReconfigSeconds, "reconfig-s-total")
+			}
+		})
+	}
+}
+
+// --- X4: partial vs full reconfiguration ---
+
+// BenchmarkDReAMSim_PartialReconfig compares region-level partial
+// reconfiguration against full-device configuration loads.
+func BenchmarkDReAMSim_PartialReconfig(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "partial"
+		if disable {
+			name = "full-only"
+		}
+		b.Run(name, func(b *testing.B) {
+			gs := grid.DefaultGridSpec()
+			gs.DisablePartialReconfig = disable
+			ws := grid.DefaultWorkload(100, 0.6)
+			ws.ShareUserHW = 0.5
+			tc, _ := grid.DefaultToolchain()
+			var last *Metrics
+			for i := 0; i < b.N; i++ {
+				m, err := RunScenario(23, DefaultSimConfig(), gs, ws, tc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = m
+			}
+			if last != nil {
+				b.ReportMetric(last.MeanTurnaround(), "turnaround-s")
+				b.ReportMetric(last.ReconfigSeconds, "reconfig-s-total")
+				b.ReportMetric(float64(last.Reuses), "reuses")
+			}
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblate_MatchOrdering compares first-fit against best-fit-area
+// candidate selection.
+func BenchmarkAblate_MatchOrdering(b *testing.B) {
+	for _, strategy := range []sched.Strategy{sched.FirstFit{}, sched.BestFitArea{}} {
+		b.Run(strategy.Name(), func(b *testing.B) {
+			cfg := DefaultSimConfig()
+			cfg.Strategy = strategy
+			tc, _ := grid.DefaultToolchain()
+			var last *Metrics
+			for i := 0; i < b.N; i++ {
+				m, err := RunScenario(31, cfg, grid.DefaultGridSpec(), grid.DefaultWorkload(100, 0.6), tc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = m
+			}
+			if last != nil {
+				b.ReportMetric(last.MeanTurnaround(), "turnaround-s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblate_ConfigReuse compares reuse-first against residency-blind
+// first-fit on a design-rotating workload with a slow configuration port,
+// where configuration reuse is the dominant lever.
+func BenchmarkAblate_ConfigReuse(b *testing.B) {
+	ws := grid.DefaultWorkload(200, 2)
+	ws.WorkMI = sim.LogNormal{Mu: 10, Sigma: 0.7}
+	ws.ShareUserHW = 0.7
+	ws.ShareSoftcore = 0
+	gs := grid.DefaultGridSpec()
+	gs.ReconfigMBpsOverride = 4
+	for _, strategy := range []sched.Strategy{sched.ReuseFirst{}, sched.FirstFit{}} {
+		b.Run(strategy.Name(), func(b *testing.B) {
+			cfg := DefaultSimConfig()
+			cfg.Strategy = strategy
+			tc, _ := grid.DefaultToolchain()
+			var last *Metrics
+			for i := 0; i < b.N; i++ {
+				m, err := RunScenario(37, cfg, gs, ws, tc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = m
+			}
+			if last != nil {
+				b.ReportMetric(float64(last.Reuses), "reuses")
+				b.ReportMetric(float64(last.Reconfigs), "reconfigs")
+				b.ReportMetric(last.MeanTurnaround(), "turnaround-s")
+			}
+		})
+	}
+}
+
+// sortedListQueue is the naive event-queue alternative for the ablation: a
+// slice kept sorted by insertion.
+type sortedListQueue struct {
+	times []sim.Time
+}
+
+func (q *sortedListQueue) push(t sim.Time) {
+	i := 0
+	for i < len(q.times) && q.times[i] <= t {
+		i++
+	}
+	q.times = append(q.times, 0)
+	copy(q.times[i+1:], q.times[i:])
+	q.times[i] = t
+}
+
+func (q *sortedListQueue) pop() sim.Time {
+	t := q.times[0]
+	q.times = q.times[1:]
+	return t
+}
+
+// timeHeap is the heap-based counterpart over bare times.
+type timeHeap []sim.Time
+
+func (h timeHeap) Len() int           { return len(h) }
+func (h timeHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h timeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *timeHeap) Push(x any)        { *h = append(*h, x.(sim.Time)) }
+func (h *timeHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// BenchmarkAblate_EventQueue compares the binary-heap pending-event set
+// against a sorted list at simulator-realistic sizes.
+func BenchmarkAblate_EventQueue(b *testing.B) {
+	const events = 2048
+	rng := sim.NewRNG(5)
+	times := make([]sim.Time, events)
+	for i := range times {
+		times[i] = sim.Time(rng.Float64() * 1000)
+	}
+	b.Run("heap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h := make(timeHeap, 0, events)
+			for _, t := range times {
+				heap.Push(&h, t)
+			}
+			for h.Len() > 0 {
+				heap.Pop(&h)
+			}
+		}
+	})
+	b.Run("sorted-list", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var q sortedListQueue
+			q.times = make([]sim.Time, 0, events)
+			for _, t := range times {
+				q.push(t)
+			}
+			for len(q.times) > 0 {
+				q.pop()
+			}
+		}
+	})
+}
+
+// BenchmarkAblate_GuideTree compares neighbour-joining against UPGMA for
+// guide-tree construction and the resulting alignment quality.
+func BenchmarkAblate_GuideTree(b *testing.B) {
+	seqs, err := bio.GenerateFamily(sim.NewRNG(3), bio.FamilyOptions{
+		Count: 12, Length: 100, SubstitutionRate: 0.15, IndelRate: 0.02,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, method := range []bio.GuideTreeMethod{bio.GuideNJ, bio.GuideUPGMA} {
+		b.Run(string(method), func(b *testing.B) {
+			var sp int
+			for i := 0; i < b.N; i++ {
+				res, err := bio.Align(seqs, nil, bio.Options{GuideTree: method})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sp, err = bio.SumOfPairsScore(res.Aligned)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(sp), "sum-of-pairs")
+		})
+	}
+}
+
+// --- Quipu prediction throughput ---
+
+// BenchmarkQuipu_Predict measures the area predictor, which the matchmaker
+// calls on every user-defined-hardware candidate evaluation.
+func BenchmarkQuipu_Predict(b *testing.B) {
+	model := quipu.Default()
+	m := quipu.PairalignMetrics()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Predict(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Profiler overhead ---
+
+// BenchmarkProfiler_EnterLeave measures instrumentation overhead per
+// kernel activation.
+func BenchmarkProfiler_EnterLeave(b *testing.B) {
+	p := profiler.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Enter("kernel")()
+	}
+}
+
+// --- VLIW instruction-set simulator throughput ---
+
+// BenchmarkVLIW_DotProduct measures the soft-core ISS executing the
+// 4-issue dot-product kernel over 1024 elements.
+func BenchmarkVLIW_DotProduct(b *testing.B) {
+	core, err := RVEX(4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cons := vliw.ConstraintsFor(core.Config().Caps)
+	prog, err := vliw.Assemble(`
+init:
+  ldi r1, #0 ; ldi r10, #0
+loop:
+  ld r5, r1, #0 ; add r6, r1, r2
+  ld r7, r6, #0
+  mul r8, r5, r7
+  add r10, r10, r8 ; add r1, r1, #1
+  slt r9, r1, r2
+  brnz r9, loop
+  halt
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 1024
+	cpu, err := vliw.NewCPU(cons, 2*n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		cpu.Mem[i] = int64(i + 1)
+		cpu.Mem[n+i] = 3
+	}
+	b.ReportAllocs()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		cpu.Regs[2] = n
+		st, err := cpu.Run(prog, 10_000_000)
+		if err != nil || !st.Halted {
+			b.Fatal("kernel failed")
+		}
+		cycles = st.Cycles
+	}
+	b.ReportMetric(float64(cycles), "cycles")
+}
+
+// BenchmarkAblate_Compaction compares allocation with fabric
+// defragmentation against eviction-only, on a fragmentation-heavy stream
+// of mixed-size designs over small devices.
+func BenchmarkAblate_Compaction(b *testing.B) {
+	ws := grid.DefaultWorkload(200, 2)
+	ws.WorkMI = sim.LogNormal{Mu: 10, Sigma: 0.7}
+	ws.ShareUserHW = 0.8
+	ws.ShareSoftcore = 0
+	gs := grid.GridSpec{
+		GPPNodes: 1, GPPsPerNode: 2,
+		GPPCaps:     grid.DefaultGridSpec().GPPCaps,
+		HybridNodes: 2,
+		RPEDevices:  []string{"XC5VLX85"}, // small: fragmentation bites
+	}
+	for _, disable := range []bool{false, true} {
+		name := "compaction"
+		if disable {
+			name = "eviction-only"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last *Metrics
+			for i := 0; i < b.N; i++ {
+				reg, err := BuildGrid(gs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tc, _ := grid.DefaultToolchain()
+				mm, err := NewMatchmaker(reg, tc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mm.DisableCompaction = disable
+				eng, err := NewEngine(DefaultSimConfig(), reg, mm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gen, err := grid.Generate(sim.NewRNG(61), ws)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.SubmitWorkload(gen, "bench"); err != nil {
+					b.Fatal(err)
+				}
+				m, err := eng.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = m
+			}
+			if last != nil {
+				b.ReportMetric(last.MeanTurnaround(), "turnaround-s")
+				b.ReportMetric(float64(last.Reconfigs), "reconfigs")
+				b.ReportMetric(float64(last.Compactions), "compaction-moves")
+				b.ReportMetric(float64(last.Reuses), "reuses")
+			}
+		})
+	}
+}

@@ -1,0 +1,91 @@
+// Command casestudy regenerates Section V of the paper end-to-end: the
+// Fig. 5 node specifications, the Fig. 6 task execution requirements, the
+// Table II mapping analysis, and the Fig. 10 ClustalW profiling study with
+// Quipu area predictions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bio"
+	"repro/internal/casestudy"
+	"repro/internal/report"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2012, "random seed for the synthetic protein family")
+	count := flag.Int("sequences", 40, "protein family size for the Fig. 10 run")
+	length := flag.Int("length", 200, "protein length for the Fig. 10 run")
+	flag.Parse()
+	if err := run(*seed, *count, *length); err != nil {
+		fmt.Fprintln(os.Stderr, "casestudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed uint64, count, length int) error {
+	fmt.Println("Case study: Section V of 'On Virtualization of Reconfigurable")
+	fmt.Println("Hardware in Distributed Systems' (ICPP 2012)")
+	fmt.Println()
+
+	// --- Fig. 5: node specifications ---
+	reg, err := casestudy.BuildNodes()
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- Fig. 5: grid nodes --")
+	for _, snap := range reg.Status() {
+		fmt.Print(snap)
+	}
+	fmt.Println()
+
+	// --- Fig. 6: task execution requirements ---
+	tasks, err := casestudy.Tasks()
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("Fig. 6: task execution requirements", "Task", "Scenario", "Requirements")
+	for _, t := range tasks {
+		tb.AddRow(t.ID, t.ExecReq.Scenario, t.ExecReq.Requirements.String())
+	}
+	fmt.Print(tb)
+	fmt.Println()
+
+	// --- Table II: possible mappings ---
+	rows, err := casestudy.TableII()
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- Table II: possible node mappings --")
+	fmt.Print(casestudy.FormatTableII(rows))
+	fmt.Println()
+
+	// --- Fig. 10: ClustalW profile + Quipu predictions ---
+	opts := bio.FamilyOptions{Count: count, Length: length, SubstitutionRate: 0.15, IndelRate: 0.02}
+	fmt.Printf("-- Fig. 10: ClustalW kernel profile (%d sequences × ~%d residues, seed %d) --\n",
+		count, length, seed)
+	res, err := casestudy.RunFig10(seed, opts)
+	if err != nil {
+		return err
+	}
+	prof := report.NewTable("", "% time", "calls", "kernel", "")
+	var maxPct float64
+	for _, l := range res.Top {
+		if l.SelfPercent > maxPct {
+			maxPct = l.SelfPercent
+		}
+	}
+	for _, l := range res.Top {
+		prof.AddRow(fmt.Sprintf("%6.2f%%", l.SelfPercent), l.Calls, l.Name, report.Bar(l.SelfPercent, maxPct, 40))
+	}
+	fmt.Print(prof)
+	fmt.Println()
+	fmt.Println(report.PaperVsMeasured("Fig.10", "pairalign cumulative %", 89.76, fmt.Sprintf("%.2f", res.PairalignPercent), ""))
+	fmt.Println(report.PaperVsMeasured("Fig.10", "malign cumulative %", 7.79, fmt.Sprintf("%.2f", res.MalignPercent), ""))
+	fmt.Println(report.PaperVsMeasured("Sec.V", "pairalign slices (Quipu)", 30790, res.PairalignArea.Slices, ""))
+	fmt.Println(report.PaperVsMeasured("Sec.V", "malign slices (Quipu)", 18707, res.MalignArea.Slices, ""))
+	fmt.Printf("\nAlignment produced %d columns.\n", res.Columns)
+	return nil
+}

@@ -1,0 +1,6 @@
+package main
+
+import "repro/internal/capability"
+
+func kindGPP() capability.Kind  { return capability.KindGPP }
+func kindFPGA() capability.Kind { return capability.KindFPGA }

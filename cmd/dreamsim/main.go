@@ -1,0 +1,202 @@
+// Command dreamsim runs configurable DReAMSim-style grid simulations: a
+// synthetic many-task workload over a grid of GPP and reconfigurable nodes
+// under a chosen scheduling strategy, reporting waiting times, turnaround,
+// utilization, and reconfiguration behaviour.
+//
+// Example:
+//
+//	dreamsim -strategy reconfig-aware -tasks 500 -rate 1.5 -seeds 5
+//	dreamsim -compare -tasks 300 -rate 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/grid"
+	"repro/internal/report"
+	"repro/internal/rms"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		strategyName = flag.String("strategy", "reconfig-aware", "scheduling strategy: "+names())
+		queue        = flag.String("queue", "fcfs", "queue policy: fcfs or sjf")
+		tasks        = flag.Int("tasks", 300, "workload size")
+		rate         = flag.Float64("rate", 0.8, "Poisson arrival rate (tasks/s)")
+		seeds        = flag.Int("seeds", 3, "independent replications")
+		seed0        = flag.Uint64("seed", 1, "first seed")
+		shareHW      = flag.Float64("share-hw", 0.3, "user-defined-hardware task share")
+		shareSC      = flag.Float64("share-softcore", 0.2, "soft-core task share")
+		gppNodes     = flag.Int("gpp-nodes", 2, "GPP-only node count")
+		hybridNodes  = flag.Int("hybrid-nodes", 2, "hybrid (GPP+RPE) node count")
+		devices      = flag.String("devices", "XC5VLX155T,XC5VLX330T", "comma-separated RPE devices per hybrid node")
+		cfgPort      = flag.Float64("cfg-mbps", 0, "override configuration-port bandwidth (MB/s, 0 = device default)")
+		noPR         = flag.Bool("no-partial", false, "disable partial reconfiguration")
+		compare      = flag.Bool("compare", false, "run every strategy and print a comparison table")
+		workloadIn   = flag.String("workload", "", "replay a JSON workload trace instead of generating one")
+		workloadOut  = flag.String("save-workload", "", "write the generated workload trace to this file and exit")
+	)
+	flag.Parse()
+	if *workloadOut != "" {
+		if err := saveTrace(*workloadOut, *tasks, *rate, *seed0, *shareHW, *shareSC); err != nil {
+			fmt.Fprintln(os.Stderr, "dreamsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*strategyName, *queue, *tasks, *rate, *seeds, *seed0, *shareHW, *shareSC,
+		*gppNodes, *hybridNodes, *devices, *cfgPort, *noPR, *compare, *workloadIn); err != nil {
+		fmt.Fprintln(os.Stderr, "dreamsim:", err)
+		os.Exit(1)
+	}
+}
+
+// saveTrace generates a workload and writes it as a JSON trace.
+func saveTrace(path string, tasks int, rate float64, seed uint64, shareHW, shareSC float64) error {
+	ws := grid.DefaultWorkload(tasks, rate)
+	ws.ShareUserHW = shareHW
+	ws.ShareSoftcore = shareSC
+	gen, err := grid.Generate(sim.NewRNG(seed), ws)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := grid.SaveWorkload(f, gen); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d tasks to %s\n", len(gen), path)
+	return nil
+}
+
+func names() string {
+	var out []string
+	for _, s := range sched.All() {
+		out = append(out, s.Name())
+	}
+	return strings.Join(out, ", ")
+}
+
+func run(strategyName, queueName string, tasks int, rate float64, seeds int, seed0 uint64,
+	shareHW, shareSC float64, gppNodes, hybridNodes int, devices string, cfgPort float64,
+	noPR, compare bool, workloadIn string) error {
+
+	gs := grid.DefaultGridSpec()
+	gs.GPPNodes = gppNodes
+	gs.HybridNodes = hybridNodes
+	gs.RPEDevices = strings.Split(devices, ",")
+	gs.ReconfigMBpsOverride = cfgPort
+	gs.DisablePartialReconfig = noPR
+
+	// Either replay a trace or generate per-seed workloads.
+	var trace []grid.Generated
+	if workloadIn != "" {
+		f, err := os.Open(workloadIn)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		trace, err = grid.LoadWorkload(f)
+		if err != nil {
+			return err
+		}
+		seeds = 1 // a trace is one fixed workload
+	}
+	mkWorkload := func() grid.WorkloadSpec {
+		ws := grid.DefaultWorkload(tasks, rate)
+		ws.ShareUserHW = shareHW
+		ws.ShareSoftcore = shareSC
+		return ws
+	}
+
+	var queue sched.QueuePolicy
+	switch strings.ToLower(queueName) {
+	case "fcfs":
+		queue = sched.FCFS
+	case "sjf":
+		queue = sched.SJF
+	default:
+		return fmt.Errorf("unknown queue policy %q", queueName)
+	}
+
+	strategies := sched.All()
+	if !compare {
+		s, err := sched.ByName(strategyName)
+		if err != nil {
+			return err
+		}
+		strategies = []sched.Strategy{s}
+	}
+
+	tb := report.NewTable(
+		fmt.Sprintf("DReAMSim: %d tasks, λ=%.2g/s, %d seed(s), %d+%d nodes, queue=%s",
+			tasks, rate, seeds, gppNodes, hybridNodes, queue),
+		"Strategy", "done", "unfinished", "mean wait", "p95 wait", "turnaround",
+		"reconfigs", "reuses", "fallbacks", "gpp util", "fpga util")
+	for _, s := range strategies {
+		var wait, p95, turn sim.Series
+		var done, unfinished, reconfigs, reuses, fallbacks int
+		var gppU, fpgaU float64
+		for r := 0; r < seeds; r++ {
+			cfg := grid.DefaultConfig()
+			cfg.Strategy = s
+			cfg.Queue = queue
+			tc, err := grid.DefaultToolchain()
+			if err != nil {
+				return err
+			}
+			var m *grid.Metrics
+			if trace != nil {
+				reg, err := grid.BuildGrid(gs)
+				if err != nil {
+					return err
+				}
+				mm, err := rms.NewMatchmaker(reg, tc)
+				if err != nil {
+					return err
+				}
+				eng, err := grid.NewEngine(cfg, reg, mm)
+				if err != nil {
+					return err
+				}
+				if err := eng.SubmitWorkload(trace, "trace"); err != nil {
+					return err
+				}
+				m, err = eng.Run()
+				if err != nil {
+					return err
+				}
+			} else {
+				m, err = grid.RunScenario(seed0+uint64(r), cfg, gs, mkWorkload(), tc)
+				if err != nil {
+					return err
+				}
+			}
+			wait.Observe(m.MeanWait())
+			p95.Observe(m.P95Wait())
+			turn.Observe(m.MeanTurnaround())
+			done += m.Completed
+			unfinished += m.Unfinished
+			reconfigs += m.Reconfigs
+			reuses += m.Reuses
+			fallbacks += m.Fallbacks
+			gppU += m.Utilization(kindGPP())
+			fpgaU += m.Utilization(kindFPGA())
+		}
+		n := float64(seeds)
+		tb.AddRow(s.Name(), done, unfinished,
+			wait.Mean(), p95.Mean(), turn.Mean(),
+			reconfigs, reuses, fallbacks,
+			fmt.Sprintf("%.1f%%", 100*gppU/n), fmt.Sprintf("%.1f%%", 100*fpgaU/n))
+	}
+	fmt.Print(tb)
+	return nil
+}

@@ -1,0 +1,277 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/capability"
+	"repro/internal/grid"
+	"repro/internal/network"
+	"repro/internal/node"
+	"repro/internal/report"
+	"repro/internal/rms"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func kindFPGA() capability.Kind { return capability.KindFPGA }
+func kindGPP() capability.Kind  { return capability.KindGPP }
+
+// x1Workload is a reconfiguration-sensitive stream: short hardware tasks
+// on a slow configuration port, so placement decisions (reuse a resident
+// configuration vs reconfigure the nearest device) dominate outcomes.
+func x1Workload(rate float64) grid.WorkloadSpec {
+	ws := grid.DefaultWorkload(200, rate)
+	ws.WorkMI = sim.LogNormal{Mu: 10, Sigma: 0.7} // ≈22k MI median: sub-second on hardware
+	ws.ShareUserHW = 0.7
+	ws.ShareSoftcore = 0
+	return ws
+}
+
+// runX1 sweeps the arrival rate for each strategy — the core DReAMSim
+// comparison of scheduling strategies under load.
+func runX1() error {
+	tb := report.NewTable("X1: mean wait / turnaround (s) by strategy and arrival rate λ",
+		"Strategy", "λ", "mean wait", "p95 wait", "turnaround", "reconfigs", "reuses")
+	strategies := []sched.Strategy{sched.FirstFit{}, sched.BestFitArea{}, sched.ReconfigAware{}, sched.ReuseFirst{}}
+	gs := grid.DefaultGridSpec()
+	gs.ReconfigMBpsOverride = 4 // slow configuration port amplifies the trade-off
+	var ffHigh, raHigh float64
+	for _, s := range strategies {
+		for _, rate := range []float64{0.5, 2, 5} {
+			cfg := grid.DefaultConfig()
+			cfg.Strategy = s
+			tc, err := grid.DefaultToolchain()
+			if err != nil {
+				return err
+			}
+			m, err := grid.RunScenario(42, cfg, gs, x1Workload(rate), tc)
+			if err != nil {
+				return err
+			}
+			tb.AddRow(s.Name(), rate, m.MeanWait(), m.P95Wait(), m.MeanTurnaround(), m.Reconfigs, m.Reuses)
+			if rate == 5 {
+				switch s.Name() {
+				case "first-fit":
+					ffHigh = m.MeanTurnaround()
+				case "reconfig-aware":
+					raHigh = m.MeanTurnaround()
+				}
+			}
+		}
+	}
+	fmt.Print(tb)
+	fmt.Println(report.PaperVsMeasured("X1", "reconfig-aware ≤ first-fit @λ=5",
+		"expected", raHigh <= ffHigh, fmt.Sprintf("(%.1fs vs %.1fs)", raHigh, ffHigh)))
+	return nil
+}
+
+// runX2 compares a hybrid grid against a GPP-only grid on the same
+// accelerator-friendly workload.
+func runX2() error {
+	ws := grid.DefaultWorkload(100, 0.4)
+	ws.ShareUserHW = 0.6
+	ws.ShareSoftcore = 0
+	gen, err := grid.Generate(sim.NewRNG(11), ws)
+	if err != nil {
+		return err
+	}
+	tc, err := grid.DefaultToolchain()
+	if err != nil {
+		return err
+	}
+
+	hybridReg, err := grid.BuildGrid(grid.DefaultGridSpec())
+	if err != nil {
+		return err
+	}
+	mmH, err := rms.NewMatchmaker(hybridReg, tc)
+	if err != nil {
+		return err
+	}
+	engH, err := grid.NewEngine(grid.DefaultConfig(), hybridReg, mmH)
+	if err != nil {
+		return err
+	}
+	if err := engH.SubmitWorkload(gen, "x2"); err != nil {
+		return err
+	}
+	mh, err := engH.Run()
+	if err != nil {
+		return err
+	}
+
+	gs := grid.DefaultGridSpec()
+	gs.HybridNodes = 0
+	gs.GPPNodes = 4
+	gppReg, err := grid.BuildGrid(gs)
+	if err != nil {
+		return err
+	}
+	mmG, err := rms.NewMatchmaker(gppReg, nil)
+	if err != nil {
+		return err
+	}
+	engG, err := grid.NewEngine(grid.DefaultConfig(), gppReg, mmG)
+	if err != nil {
+		return err
+	}
+	if err := engG.SubmitWorkload(grid.ToSoftwareOnly(gen), "x2"); err != nil {
+		return err
+	}
+	mg, err := engG.Run()
+	if err != nil {
+		return err
+	}
+
+	tb := report.NewTable("X2: hybrid vs GPP-only (same work, same node count)",
+		"Grid", "turnaround", "mean wait", "FPGA util", "GPP util", "J/task")
+	tb.AddRow("hybrid (GPP+RPE)", mh.MeanTurnaround(), mh.MeanWait(), mh.Utilization(kindFPGA()), mh.Utilization(kindGPP()), mh.JoulesPerTask())
+	tb.AddRow("GPP-only", mg.MeanTurnaround(), mg.MeanWait(), 0.0, mg.Utilization(kindGPP()), mg.JoulesPerTask())
+	fmt.Print(tb)
+	speedup := mg.MeanTurnaround() / mh.MeanTurnaround()
+	fmt.Println(report.PaperVsMeasured("X2", "hybrid wins for parallel workloads",
+		"expected", mh.MeanTurnaround() < mg.MeanTurnaround(), fmt.Sprintf("(%.2fx turnaround gain)", speedup)))
+	fmt.Println(report.PaperVsMeasured("X2", "hybrid uses less energy per task",
+		"expected", mh.JoulesPerTask() < mg.JoulesPerTask(),
+		fmt.Sprintf("(%.0f J vs %.0f J — 'more performance at lower power')", mh.JoulesPerTask(), mg.JoulesPerTask())))
+	return nil
+}
+
+// runX3 sweeps the configuration-port bandwidth.
+func runX3() error {
+	tb := report.NewTable("X3: reconfiguration-bandwidth sensitivity",
+		"cfg port MB/s", "total reconfig s", "mean wait", "turnaround")
+	prev := -1.0
+	monotone := true
+	for _, mbps := range []float64{1, 10, 50, 400, 3200} {
+		gs := grid.DefaultGridSpec()
+		gs.ReconfigMBpsOverride = mbps
+		ws := grid.DefaultWorkload(100, 0.6)
+		ws.ShareUserHW = 0.5
+		tc, err := grid.DefaultToolchain()
+		if err != nil {
+			return err
+		}
+		m, err := grid.RunScenario(17, grid.DefaultConfig(), gs, ws, tc)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(mbps, m.ReconfigSeconds, m.MeanWait(), m.MeanTurnaround())
+		if prev >= 0 && m.ReconfigSeconds > prev {
+			monotone = false
+		}
+		prev = m.ReconfigSeconds
+	}
+	fmt.Print(tb)
+	fmt.Println(report.PaperVsMeasured("X3", "reconfig time falls with bandwidth", "monotone", monotone, "saturates once delay ≪ service time"))
+	return nil
+}
+
+// runX5 places the same workload on a grid where one of two identical
+// hybrid nodes sits behind a slow WAN link: strategies that fold transfer
+// time into the objective (reconfig-aware) avoid it; first-fit does not.
+func runX5() error {
+	caps := capability.GPPCaps{CPUType: "Xeon", MIPS: 42000, OS: "Linux", RAMMB: 8192, Cores: 4}
+	build := func() (*rms.Registry, error) {
+		reg := rms.NewRegistry()
+		for _, id := range []string{"FarNode", "NearNode"} {
+			n, err := node.New(id)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := n.AddGPP(caps); err != nil {
+				return nil, err
+			}
+			if _, err := n.AddRPE("XC5VLX330T"); err != nil {
+				return nil, err
+			}
+			if err := reg.AddNode(n); err != nil {
+				return nil, err
+			}
+		}
+		return reg, nil
+	}
+	tb := report.NewTable("X5: two identical hybrid nodes, FarNode on a 2 MB/s WAN link",
+		"Strategy", "turnaround", "mean wait", "reconfigs")
+	results := map[string]float64{}
+	for _, s := range []sched.Strategy{sched.FirstFit{}, sched.ReconfigAware{}} {
+		reg, err := build()
+		if err != nil {
+			return err
+		}
+		topo, err := network.Uniform(125, 0.002)
+		if err != nil {
+			return err
+		}
+		if err := topo.SetLink("FarNode", network.Link{BandwidthMBps: 2, LatencySeconds: 0.2}); err != nil {
+			return err
+		}
+		cfg := grid.DefaultConfig()
+		cfg.Strategy = s
+		cfg.Topology = topo
+		tc, err := grid.DefaultToolchain()
+		if err != nil {
+			return err
+		}
+		mm, err := rms.NewMatchmaker(reg, tc)
+		if err != nil {
+			return err
+		}
+		eng, err := grid.NewEngine(cfg, reg, mm)
+		if err != nil {
+			return err
+		}
+		ws := x1Workload(1)
+		ws.Tasks = 100
+		gen, err := grid.Generate(sim.NewRNG(4), ws)
+		if err != nil {
+			return err
+		}
+		if err := eng.SubmitWorkload(gen, "x5"); err != nil {
+			return err
+		}
+		m, err := eng.Run()
+		if err != nil {
+			return err
+		}
+		tb.AddRow(s.Name(), m.MeanTurnaround(), m.MeanWait(), m.Reconfigs)
+		results[s.Name()] = m.MeanTurnaround()
+	}
+	fmt.Print(tb)
+	fmt.Println(report.PaperVsMeasured("X5", "transfer-aware placement avoids slow links",
+		"expected", results["reconfig-aware"] < results["first-fit"],
+		fmt.Sprintf("(%.2fs vs %.2fs)", results["reconfig-aware"], results["first-fit"])))
+	return nil
+}
+
+// runX4 compares partial against full-only reconfiguration.
+func runX4() error {
+	tb := report.NewTable("X4: partial vs full reconfiguration",
+		"Mode", "turnaround", "mean wait", "reconfigs", "reuses", "unfinished")
+	results := map[bool]*grid.Metrics{}
+	for _, disable := range []bool{false, true} {
+		gs := grid.DefaultGridSpec()
+		gs.DisablePartialReconfig = disable
+		ws := grid.DefaultWorkload(100, 0.6)
+		ws.ShareUserHW = 0.5
+		tc, err := grid.DefaultToolchain()
+		if err != nil {
+			return err
+		}
+		m, err := grid.RunScenario(23, grid.DefaultConfig(), gs, ws, tc)
+		if err != nil {
+			return err
+		}
+		results[disable] = m
+		mode := "partial"
+		if disable {
+			mode = "full-only"
+		}
+		tb.AddRow(mode, m.MeanTurnaround(), m.MeanWait(), m.Reconfigs, m.Reuses, m.Unfinished)
+	}
+	fmt.Print(tb)
+	partialWins := results[false].MeanTurnaround() < results[true].MeanTurnaround()
+	fmt.Println(report.PaperVsMeasured("X4", "partial reconfiguration wins", "expected", partialWins,
+		fmt.Sprintf("(%.1fs vs %.1fs)", results[false].MeanTurnaround(), results[true].MeanTurnaround())))
+	return nil
+}

@@ -1,0 +1,100 @@
+// Command experiments runs the full reproduction harness: one experiment
+// per paper artifact (Table I, Table II, Figs. 1-10) plus the DReAMSim
+// extension experiments (X1-X4), printing paper-vs-measured lines in the
+// format EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -run F10   # run one experiment
+//	experiments -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// experiment is one runnable paper artifact reproduction.
+type experiment struct {
+	id    string
+	title string
+	run   func() error
+}
+
+var experiments = []experiment{
+	{"T1", "Table I — processing-element parameter schema", runT1},
+	{"T2", "Table II — case-study task↔node mappings", runT2},
+	{"F1", "Fig. 1 — taxonomy of enhanced processing elements", runF1},
+	{"F2", "Fig. 2 — virtualization/abstraction levels", runF2},
+	{"F3", "Fig. 3 — grid node model", runF3},
+	{"F4", "Fig. 4 — application task model", runF4},
+	{"F5", "Fig. 5 — case-study node specifications", runF5},
+	{"F6", "Fig. 6 — case-study execution requirements", runF6},
+	{"F7", "Fig. 7 — application task graph", runF7},
+	{"F8", "Fig. 8 — Seq/Par execution of Eq. 4", runF8},
+	{"F9", "Fig. 9 — user services (JSS, QoS, monitoring)", runF9},
+	{"F10", "Fig. 10 — ClustalW profile + Quipu estimates", runF10},
+	{"X1", "DReAMSim — strategy vs arrival rate", runX1},
+	{"X2", "DReAMSim — hybrid grid vs GPP-only grid", runX2},
+	{"X3", "DReAMSim — reconfiguration-bandwidth sensitivity", runX3},
+	{"X4", "DReAMSim — partial vs full reconfiguration", runX4},
+	{"X5", "DReAMSim — heterogeneous links and placement locality", runX5},
+}
+
+func main() {
+	runID := flag.String("run", "", "run only the experiment with this ID (e.g. F10)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	out := flag.String("out", "", "write experiment output to this file instead of stdout")
+	flag.Parse()
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		os.Stdout = f
+	}
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+	selected := experiments
+	if *runID != "" {
+		selected = nil
+		for _, e := range experiments {
+			if strings.EqualFold(e.id, *runID) {
+				selected = []experiment{e}
+			}
+		}
+		if selected == nil {
+			ids := make([]string, len(experiments))
+			for i, e := range experiments {
+				ids[i] = e.id
+			}
+			sort.Strings(ids)
+			fmt.Fprintf(os.Stderr, "experiments: unknown ID %q (have %s)\n", *runID, strings.Join(ids, ", "))
+			os.Exit(2)
+		}
+	}
+	failed := 0
+	for _, e := range selected {
+		fmt.Printf("==== %s: %s ====\n", e.id, e.title)
+		if err := e.run(); err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "experiment %s FAILED: %v\n", e.id, err)
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

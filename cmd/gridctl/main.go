@@ -1,0 +1,113 @@
+// Command gridctl inspects the framework's built-in catalogs: FPGA
+// devices, IP-core designs, GPP presets, soft-core configurations, the
+// Table I parameter schema, and the scenario taxonomy.
+//
+// Usage:
+//
+//	gridctl devices    # FPGA device catalog
+//	gridctl ips        # OpenCores-style IP library
+//	gridctl gpps       # GPP presets
+//	gridctl softcores  # ρ-VEX soft-core presets with area/MIPS
+//	gridctl params     # Table I parameter schema
+//	gridctl scenarios  # use-case scenarios and abstraction levels
+//	gridctl strategies # scheduling strategies
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/capability"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/gpp"
+	"repro/internal/hdl"
+	"repro/internal/pe"
+	"repro/internal/quipu"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/softcore"
+)
+
+func main() {
+	topic := "help"
+	if len(os.Args) > 1 {
+		topic = os.Args[1]
+	}
+	if err := run(topic); err != nil {
+		fmt.Fprintln(os.Stderr, "gridctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topic string) error {
+	switch topic {
+	case "devices":
+		tb := report.NewTable("FPGA device catalog", "Device", "Family", "Slices", "LUTs", "BRAM Kb", "DSP", "cfg MB/s", "PR", "bitstream B")
+		for _, d := range fabric.Devices() {
+			tb.AddRow(d.FPGACaps.Device, d.Family, d.Slices, d.LUTs, d.BRAMKb, d.DSPSlices, d.ReconfigMBps, d.PartialRecon, d.BitstreamBytes)
+		}
+		fmt.Print(tb)
+	case "ips":
+		tb := report.NewTable("IP-core library", "Design", "Lang", "Accel ×", "Ref MHz", "Quipu slices", "BRAM Kb", "DSP")
+		model := quipu.Default()
+		for _, d := range hdl.Library() {
+			area, err := model.Predict(d.Metrics)
+			if err != nil {
+				return err
+			}
+			tb.AddRow(d.Name, string(d.Language), d.AccelFactor, d.ReferenceClockMHz, area.Slices, area.BRAMKb, area.DSPSlices)
+		}
+		fmt.Print(tb)
+	case "gpps":
+		tb := report.NewTable("GPP presets", "Preset", "CPU", "MIPS", "Cores", "RAM MB")
+		names := gpp.Presets()
+		sort.Strings(names)
+		for _, name := range names {
+			p, err := gpp.Preset(name)
+			if err != nil {
+				return err
+			}
+			tb.AddRow(name, p.Caps.CPUType, p.Caps.MIPS, p.Caps.Cores, p.Caps.RAMMB)
+		}
+		fmt.Print(tb)
+	case "softcores":
+		tb := report.NewTable("ρ-VEX soft-core presets", "Issue", "Clusters", "Slices", "Effective MIPS")
+		for _, iw := range []int{2, 4, 8} {
+			for _, cl := range []int{1, 2} {
+				c, err := softcore.RVEX(iw, cl)
+				if err != nil {
+					return err
+				}
+				cfg := c.Config()
+				tb.AddRow(iw, cl, cfg.Slices(), fmt.Sprintf("%.0f", cfg.EffectiveMIPS()))
+			}
+		}
+		fmt.Print(tb)
+	case "params":
+		tb := report.NewTable("Table I parameter schema", "Kind", "Parameter", "Description")
+		for _, d := range capability.TableI() {
+			tb.AddRow(d.Kind, d.Param, d.Description)
+		}
+		fmt.Print(tb)
+	case "scenarios":
+		tb := report.NewTable("Use-case scenarios and abstraction levels", "Scenario", "Level", "User sees", "CAD tools")
+		for _, p := range pe.Profiles() {
+			l := core.LevelOf(p.Scenario)
+			tb.AddRow(p.Scenario, int(l), l, p.ProviderCADTools)
+		}
+		fmt.Print(tb)
+	case "strategies":
+		tb := report.NewTable("Scheduling strategies", "Name")
+		for _, s := range sched.All() {
+			tb.AddRow(s.Name())
+		}
+		fmt.Print(tb)
+	case "help", "-h", "--help":
+		fmt.Println("usage: gridctl {devices|ips|gpps|softcores|params|scenarios|strategies}")
+	default:
+		return fmt.Errorf("unknown topic %q (try: gridctl help)", topic)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+// Bioinformatics: the paper's case study through the public API. Generates
+// a protein family, runs the ClustalW-style aligner under the profiler,
+// predicts hardware area for the hot kernels with the Quipu model, and
+// asks the case-study grid where each resulting task can run (Table II).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	reconvirt "repro"
+	"repro/internal/quipu"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Profile the application (the paper's gprof step, Fig. 10).
+	rng := reconvirt.NewRNG(2012)
+	opts := reconvirt.DefaultFamily()
+	opts.Count = 24
+	opts.Length = 160
+	seqs, err := reconvirt.GenerateProteinFamily(rng, opts)
+	if err != nil {
+		return err
+	}
+	prof := reconvirt.NewProfiler()
+	res, err := reconvirt.AlignProteins(seqs, prof)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("aligned %d sequences into %d columns (mean identity %.0f%%)\n",
+		len(res.Aligned), res.Columns(), 100*res.MeanIdentity)
+	fmt.Println("\nkernel profile (top 5 by self time):")
+	for _, l := range prof.Top(5) {
+		fmt.Printf("  %6.2f%%  %-14s (%d calls)\n", l.SelfPercent, l.Name, l.Calls)
+	}
+
+	// 2. Predict hardware area for the hot kernels (the Quipu step).
+	for _, m := range []quipu.Metrics{reconvirt.PairalignMetrics(), reconvirt.MalignMetrics()} {
+		pred, err := reconvirt.PredictArea(m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nQuipu(%s): %s\n", m.Name, pred)
+	}
+
+	// 3. Ask the case-study grid where each task can run (Table II).
+	rows, err := reconvirt.TableII()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\npossible mappings (Table II):")
+	for _, r := range rows {
+		fmt.Printf("  %-6s -> %v\n", r.Task, r.Mappings)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package bio
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func tracedFamily(t *testing.T, seed uint64, opt FamilyOptions) []TracedSequence {
+	t.Helper()
+	traced, err := GenerateFamilyTraced(sim.NewRNG(seed), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traced
+}
+
+func TestTracedFamilyCoordinatesConsistent(t *testing.T) {
+	traced := tracedFamily(t, 31, FamilyOptions{Count: 10, Length: 120, SubstitutionRate: 0.15, IndelRate: 0.03})
+	for _, tr := range traced {
+		if len(tr.AncestorPos) != tr.Seq.Len() {
+			t.Fatalf("%s: %d positions for %d residues", tr.Seq.ID, len(tr.AncestorPos), tr.Seq.Len())
+		}
+		// Ancestor positions are strictly increasing over non-insertions.
+		last := -1
+		for _, p := range tr.AncestorPos {
+			if p == -1 {
+				continue
+			}
+			if p <= last {
+				t.Fatalf("%s: ancestor positions not increasing", tr.Seq.ID)
+			}
+			last = p
+		}
+		if err := tr.Seq.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs := Sequences(traced)
+	if len(seqs) != len(traced) || seqs[0].ID != traced[0].Seq.ID {
+		t.Error("Sequences helper broken")
+	}
+}
+
+func TestAlignerRecoversReferenceAlignment(t *testing.T) {
+	// Moderate divergence: the progressive aligner must recover the large
+	// majority of ground-truth residue pairs.
+	opt := FamilyOptions{Count: 12, Length: 150, SubstitutionRate: 0.15, IndelRate: 0.02}
+	traced := tracedFamily(t, 33, opt)
+	res, err := Align(Sequences(traced), nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := AlignmentAccuracy(res.Aligned, traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("alignment accuracy = %.3f, want ≥0.9 at moderate divergence", acc)
+	}
+	if acc > 1.0+1e-9 {
+		t.Errorf("accuracy %.3f exceeds 1", acc)
+	}
+}
+
+func TestAccuracyDegradesWithDivergence(t *testing.T) {
+	opt := FamilyOptions{Count: 8, Length: 120, SubstitutionRate: 0.1, IndelRate: 0.01}
+	easy := tracedFamily(t, 35, opt)
+	opt.SubstitutionRate = 0.55
+	opt.IndelRate = 0.08
+	hard := tracedFamily(t, 35, opt)
+
+	run := func(traced []TracedSequence) float64 {
+		res, err := Align(Sequences(traced), nil, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, err := AlignmentAccuracy(res.Aligned, traced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return acc
+	}
+	accEasy, accHard := run(easy), run(hard)
+	if accEasy <= accHard {
+		t.Errorf("accuracy should degrade with divergence: easy %.3f vs hard %.3f", accEasy, accHard)
+	}
+}
+
+func TestAlignmentAccuracyValidation(t *testing.T) {
+	traced := tracedFamily(t, 36, FamilyOptions{Count: 3, Length: 60, SubstitutionRate: 0.1, IndelRate: 0.01})
+	res, err := Align(Sequences(traced), nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AlignmentAccuracy(res.Aligned[:2], traced); err == nil {
+		t.Error("row-count mismatch accepted")
+	}
+	renamed := append([]Sequence(nil), res.Aligned...)
+	renamed[0].ID = "ghost"
+	if _, err := AlignmentAccuracy(renamed, traced); err == nil {
+		t.Error("unknown row accepted")
+	}
+	corrupted := append([]Sequence(nil), res.Aligned...)
+	corrupted[0].Residues = corrupted[1].Residues
+	if _, err := AlignmentAccuracy(corrupted, traced); err == nil {
+		t.Error("corrupted row accepted")
+	}
+}
+
+func TestGenerateFamilyTracedValidation(t *testing.T) {
+	rng := sim.NewRNG(1)
+	if _, err := GenerateFamilyTraced(rng, FamilyOptions{Count: 1, Length: 100}); err == nil {
+		t.Error("single-sequence family accepted")
+	}
+	if _, err := GenerateFamilyTraced(rng, FamilyOptions{Count: 3, Length: 2}); err == nil {
+		t.Error("tiny length accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package bio
+
+// BLOSUM62 substitution matrix in Alphabet order (ARNDCQEGHILKMFPSTWYV),
+// the standard protein scoring matrix ClustalW defaults to.
+var blosum62 = [AlphabetSize][AlphabetSize]int{
+	// A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+	{4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0},      // A
+	{-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3},      // R
+	{-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3},          // N
+	{-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3},     // D
+	{0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1},  // C
+	{-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2},         // Q
+	{-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2},        // E
+	{0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3},    // G
+	{-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3},      // H
+	{-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3},     // I
+	{-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1},     // L
+	{-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2},      // K
+	{-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1},      // M
+	{-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1},      // F
+	{-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2}, // P
+	{1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2},         // S
+	{0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0},     // T
+	{-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3},  // W
+	{-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1},    // Y
+	{0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4},      // V
+}
+
+// Score returns the BLOSUM62 substitution score for two residue letters.
+// Unknown letters score as a mild mismatch.
+func Score(a, b byte) int {
+	ia, ib := ResidueIndex(a), ResidueIndex(b)
+	if ia < 0 || ib < 0 {
+		return -1
+	}
+	return blosum62[ia][ib]
+}
+
+// ScoreIdx returns the substitution score for two alphabet indices.
+func ScoreIdx(ia, ib int) int { return blosum62[ia][ib] }
+
+// Default ClustalW-style gap penalties (positive magnitudes).
+const (
+	// GapOpen is charged when a gap starts.
+	GapOpen = 10
+	// GapExtend is charged per additional gap column.
+	GapExtend = 1
+)

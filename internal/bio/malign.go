@@ -1,0 +1,293 @@
+package bio
+
+import (
+	"fmt"
+
+	"repro/internal/profiler"
+)
+
+// group is a set of mutually aligned sequences (all rows equal length),
+// each carrying its tree-derived weight.
+type group struct {
+	rows    []Sequence
+	weights []float32
+}
+
+func (g *group) cols() int {
+	if len(g.rows) == 0 {
+		return 0
+	}
+	return len(g.rows[0].Residues)
+}
+
+// colWeight is one residue's weight within a profile column.
+type colWeight struct {
+	residue int8
+	weight  float32
+}
+
+// profileTable is a group's position-specific scoring profile: for every
+// column, the expected BLOSUM score against each residue, plus the sparse
+// residue frequencies and the gap fraction.
+type profileTable struct {
+	score   [][AlphabetSize]float32
+	freq    [][]colWeight
+	gapFrac []float32
+}
+
+// prfscore builds the profile table for a group — ClustalW's prfscore
+// kernel, run once per progressive-alignment merge.
+func prfscore(g *group, prof *profiler.Profiler) *profileTable {
+	defer prof.Enter("prfscore")()
+	cols := g.cols()
+	// Row weights default to 1 when no tree weighting is attached.
+	rowWeight := func(r int) float32 {
+		if r < len(g.weights) {
+			return g.weights[r]
+		}
+		return 1
+	}
+	var totalWeight float32
+	for r := range g.rows {
+		totalWeight += rowWeight(r)
+	}
+	t := &profileTable{
+		score:   make([][AlphabetSize]float32, cols),
+		freq:    make([][]colWeight, cols),
+		gapFrac: make([]float32, cols),
+	}
+	var counts [AlphabetSize]float32
+	for i := 0; i < cols; i++ {
+		for r := range counts {
+			counts[r] = 0
+		}
+		gaps := float32(0)
+		for ri, row := range g.rows {
+			rw := rowWeight(ri)
+			c := row.Residues[i]
+			if c == '-' {
+				gaps += rw
+				continue
+			}
+			if idx := ResidueIndex(c); idx >= 0 {
+				counts[idx] += rw
+			}
+		}
+		t.gapFrac[i] = gaps / totalWeight
+		for r := 0; r < AlphabetSize; r++ {
+			if counts[r] == 0 {
+				continue
+			}
+			w := counts[r] / totalWeight
+			t.freq[i] = append(t.freq[i], colWeight{residue: int8(r), weight: w})
+			for q := 0; q < AlphabetSize; q++ {
+				t.score[i][q] += w * float32(ScoreIdx(r, q))
+			}
+		}
+	}
+	return t
+}
+
+// pdiff globally aligns two profiles with affine gap penalties and returns
+// the merge trace — ClustalW's pdiff kernel (the heart of malign). Trace
+// ops: 'M' consume a column from both, 'A' consume from A only (gap in B),
+// 'B' consume from B only.
+func pdiff(ta, tb *profileTable, prof *profiler.Profiler) []byte {
+	defer prof.Enter("pdiff")()
+	la, lb := len(ta.score), len(tb.score)
+	cols := lb + 1
+	size := (la + 1) * cols
+	m := make([]float32, size)
+	ix := make([]float32, size)
+	iy := make([]float32, size)
+	tbm := make([]byte, size)
+	tbx := make([]byte, size)
+	tby := make([]byte, size)
+	const big = float32(-1e18)
+	const open = float32(GapOpen + GapExtend)
+	const ext = float32(GapExtend)
+
+	m[0], ix[0], iy[0] = 0, big, big
+	for i := 1; i <= la; i++ {
+		idx := i * cols
+		m[idx], iy[idx] = big, big
+		ix[idx] = -open - float32(i-1)*ext
+		tbx[idx] = tbIx
+	}
+	tbx[cols] = tbM
+	for j := 1; j <= lb; j++ {
+		m[j], ix[j] = big, big
+		iy[j] = -open - float32(j-1)*ext
+		tby[j] = tbIy
+	}
+	tby[1] = tbM
+
+	for i := 1; i <= la; i++ {
+		row := i * cols
+		prev := row - cols
+		// Gap penalties soften where the profile already has gaps, so
+		// existing gap columns attract new gaps (ClustalW's position-
+		// specific gap penalties).
+		openA := open * (1 - 0.5*ta.gapFrac[i-1])
+		for j := 1; j <= lb; j++ {
+			// Expected substitution score between the two columns.
+			var match float32
+			for _, cw := range tb.freq[j-1] {
+				match += cw.weight * ta.score[i-1][cw.residue]
+			}
+			dm, dx, dy := m[prev+j-1], ix[prev+j-1], iy[prev+j-1]
+			best, op := dm, tbM
+			if dx > best {
+				best, op = dx, tbIx
+			}
+			if dy > best {
+				best, op = dy, tbIy
+			}
+			m[row+j] = best + match
+			tbm[row+j] = op
+
+			openB := open * (1 - 0.5*tb.gapFrac[j-1])
+			if o, e := m[prev+j]-openB, ix[prev+j]-ext; o >= e {
+				ix[row+j] = o
+				tbx[row+j] = tbM
+			} else {
+				ix[row+j] = e
+				tbx[row+j] = tbIx
+			}
+			if o, e := m[row+j-1]-openA, iy[row+j-1]-ext; o >= e {
+				iy[row+j] = o
+				tby[row+j] = tbM
+			} else {
+				iy[row+j] = e
+				tby[row+j] = tbIy
+			}
+		}
+	}
+
+	// Traceback.
+	end := la*cols + lb
+	state := tbM
+	bestScore := m[end]
+	if ix[end] > bestScore {
+		state, bestScore = tbIx, ix[end]
+	}
+	if iy[end] > bestScore {
+		state, bestScore = tbIy, iy[end]
+	}
+	_ = bestScore
+	trace := make([]byte, 0, la+lb)
+	i, j := la, lb
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && state == tbM:
+			next := tbm[i*cols+j]
+			trace = append(trace, 'M')
+			i--
+			j--
+			state = next
+		case i > 0 && (state == tbIx || j == 0):
+			next := tbx[i*cols+j]
+			trace = append(trace, 'A')
+			i--
+			state = next
+		default:
+			next := tby[i*cols+j]
+			trace = append(trace, 'B')
+			j--
+			state = next
+		}
+	}
+	reverseBytes(trace)
+	return trace
+}
+
+// padd merges two groups along a pdiff trace, inserting gap columns —
+// ClustalW's add-gaps step.
+func padd(a, b *group, trace []byte, prof *profiler.Profiler) *group {
+	defer prof.Enter("padd")()
+	out := &group{rows: make([]Sequence, 0, len(a.rows)+len(b.rows))}
+	build := func(src *group, consume byte) []([]byte) {
+		bufs := make([][]byte, len(src.rows))
+		for r := range bufs {
+			bufs[r] = make([]byte, 0, len(trace))
+		}
+		pos := 0
+		for _, op := range trace {
+			if op == 'M' || op == consume {
+				for r := range src.rows {
+					bufs[r] = append(bufs[r], src.rows[r].Residues[pos])
+				}
+				pos++
+			} else {
+				for r := range bufs {
+					bufs[r] = append(bufs[r], '-')
+				}
+			}
+		}
+		return bufs
+	}
+	aBufs := build(a, 'A')
+	bBufs := build(b, 'B')
+	for r, row := range a.rows {
+		out.rows = append(out.rows, Sequence{ID: row.ID, Residues: string(aBufs[r])})
+	}
+	for r, row := range b.rows {
+		out.rows = append(out.rows, Sequence{ID: row.ID, Residues: string(bBufs[r])})
+	}
+	out.weights = append(append([]float32(nil), a.weights...), b.weights...)
+	return out
+}
+
+// MAlign performs progressive alignment along a guide tree — ClustalW's
+// malign kernel, the case study's second task.
+func MAlign(seqs []Sequence, tree *TreeNode, prof *profiler.Profiler) ([]Sequence, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("bio: malign needs a guide tree")
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != len(seqs) {
+		return nil, fmt.Errorf("bio: guide tree covers %d sequences, input has %d", len(leaves), len(seqs))
+	}
+	seen := make([]bool, len(seqs))
+	for _, l := range leaves {
+		if l < 0 || l >= len(seqs) || seen[l] {
+			return nil, fmt.Errorf("bio: guide tree leaf %d invalid or duplicated", l)
+		}
+		seen[l] = true
+	}
+	defer prof.Enter("malign")()
+	weights, err := SequenceWeights(tree, len(seqs))
+	if err != nil {
+		return nil, err
+	}
+	merged := mergeNode(tree, seqs, weights, prof)
+	// Restore the input order.
+	byID := make(map[string]Sequence, len(merged.rows))
+	for _, row := range merged.rows {
+		byID[row.ID] = row
+	}
+	out := make([]Sequence, len(seqs))
+	for i, s := range seqs {
+		row, ok := byID[s.ID]
+		if !ok {
+			return nil, fmt.Errorf("bio: sequence %s lost during merge", s.ID)
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+func mergeNode(t *TreeNode, seqs []Sequence, weights []float64, prof *profiler.Profiler) *group {
+	if t.IsLeaf() {
+		return &group{
+			rows:    []Sequence{seqs[t.Leaf]},
+			weights: []float32{float32(weights[t.Leaf])},
+		}
+	}
+	left := mergeNode(t.Left, seqs, weights, prof)
+	right := mergeNode(t.Right, seqs, weights, prof)
+	ta := prfscore(left, prof)
+	tb := prfscore(right, prof)
+	trace := pdiff(ta, tb, prof)
+	return padd(left, right, trace, prof)
+}

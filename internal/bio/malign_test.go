@@ -1,0 +1,139 @@
+package bio
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func familyFor(t *testing.T, seed uint64, n, length int) []Sequence {
+	t.Helper()
+	seqs, err := GenerateFamily(sim.NewRNG(seed), FamilyOptions{
+		Count: n, Length: length, SubstitutionRate: 0.15, IndelRate: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seqs
+}
+
+func TestMAlignProducesRectangularAlignment(t *testing.T) {
+	seqs := familyFor(t, 3, 8, 80)
+	dist, err := PairAlignAll(seqs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := NeighborJoining(dist, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligned, err := MAlign(seqs, tree, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aligned) != len(seqs) {
+		t.Fatalf("aligned %d rows, want %d", len(aligned), len(seqs))
+	}
+	cols := len(aligned[0].Residues)
+	for i, row := range aligned {
+		if len(row.Residues) != cols {
+			t.Errorf("row %d has %d cols, want %d", i, len(row.Residues), cols)
+		}
+		if Ungap(row.Residues) != seqs[i].Residues {
+			t.Errorf("row %d corrupted residues", i)
+		}
+		if row.ID != seqs[i].ID {
+			t.Errorf("row %d out of input order: %s vs %s", i, row.ID, seqs[i].ID)
+		}
+	}
+}
+
+func TestMAlignValidatesTree(t *testing.T) {
+	seqs := familyFor(t, 4, 4, 40)
+	if _, err := MAlign(seqs, nil, nil); err == nil {
+		t.Error("nil tree accepted")
+	}
+	short := &TreeNode{Leaf: -1, Left: &TreeNode{Leaf: 0}, Right: &TreeNode{Leaf: 1}}
+	if _, err := MAlign(seqs, short, nil); err == nil {
+		t.Error("tree covering 2 of 4 sequences accepted")
+	}
+	dup := &TreeNode{Leaf: -1,
+		Left:  &TreeNode{Leaf: -1, Left: &TreeNode{Leaf: 0}, Right: &TreeNode{Leaf: 0}},
+		Right: &TreeNode{Leaf: -1, Left: &TreeNode{Leaf: 1}, Right: &TreeNode{Leaf: 2}},
+	}
+	if _, err := MAlign(seqs, dup, nil); err == nil {
+		t.Error("tree with duplicated leaf accepted")
+	}
+}
+
+func TestPrfscoreFrequencies(t *testing.T) {
+	g := &group{rows: []Sequence{
+		{ID: "a", Residues: "AA"},
+		{ID: "b", Residues: "A-"},
+		{ID: "c", Residues: "AC"},
+		{ID: "d", Residues: "AC"},
+	}}
+	tab := prfscore(g, nil)
+	if len(tab.score) != 2 {
+		t.Fatalf("cols = %d", len(tab.score))
+	}
+	if tab.gapFrac[0] != 0 || tab.gapFrac[1] != 0.25 {
+		t.Errorf("gapFrac = %v", tab.gapFrac)
+	}
+	// Column 0 is all A: its score against A must be the A/A BLOSUM entry.
+	aIdx := ResidueIndex('A')
+	if got := tab.score[0][aIdx]; got != float32(ScoreIdx(aIdx, aIdx)) {
+		t.Errorf("col0 score vs A = %v", got)
+	}
+	// Column 1: A×1, C×2 over 4 rows (one gap).
+	if len(tab.freq[1]) != 2 {
+		t.Errorf("col1 freq entries = %d", len(tab.freq[1]))
+	}
+}
+
+func TestPdiffIdenticalProfilesAlignDiagonally(t *testing.T) {
+	g := &group{rows: []Sequence{{ID: "a", Residues: "ARNDCQEGH"}}}
+	ta := prfscore(g, nil)
+	tb := prfscore(g, nil)
+	trace := pdiff(ta, tb, nil)
+	for _, op := range trace {
+		if op != 'M' {
+			t.Fatalf("identical profiles should align all-match, got %s", string(trace))
+		}
+	}
+	if len(trace) != 9 {
+		t.Errorf("trace length = %d", len(trace))
+	}
+}
+
+func TestPaddMergesWithGaps(t *testing.T) {
+	a := &group{rows: []Sequence{{ID: "a", Residues: "AR"}}}
+	b := &group{rows: []Sequence{{ID: "b", Residues: "ARN"}}}
+	trace := []byte{'M', 'M', 'B'}
+	merged := padd(a, b, trace, nil)
+	if len(merged.rows) != 2 {
+		t.Fatalf("merged rows = %d", len(merged.rows))
+	}
+	if merged.rows[0].Residues != "AR-" {
+		t.Errorf("row a = %q", merged.rows[0].Residues)
+	}
+	if merged.rows[1].Residues != "ARN" {
+		t.Errorf("row b = %q", merged.rows[1].Residues)
+	}
+}
+
+func TestMAlignTwoSequencesMatchesPairwiseQuality(t *testing.T) {
+	a := Sequence{ID: "a", Residues: "ARNDCQEGHILKMFP"}
+	b := Sequence{ID: "b", Residues: "ARNDCEGHILKMFP"} // Q deleted
+	tree := &TreeNode{Leaf: -1, Left: &TreeNode{Leaf: 0}, Right: &TreeNode{Leaf: 1}}
+	aligned, err := MAlign([]Sequence{a, b}, tree, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aligned[0].Residues) != len(aligned[1].Residues) {
+		t.Fatal("ragged alignment")
+	}
+	if aligned[1].Residues != "ARNDC-EGHILKMFP" {
+		t.Errorf("profile alignment = %q, want the single-gap solution", aligned[1].Residues)
+	}
+}

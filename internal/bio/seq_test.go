@@ -1,0 +1,171 @@
+package bio
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestResidueIndexRoundTrip(t *testing.T) {
+	for i := 0; i < AlphabetSize; i++ {
+		if ResidueIndex(Alphabet[i]) != i {
+			t.Errorf("ResidueIndex(%c) = %d, want %d", Alphabet[i], ResidueIndex(Alphabet[i]), i)
+		}
+		lower := Alphabet[i] + 'a' - 'A'
+		if ResidueIndex(lower) != i {
+			t.Errorf("lower-case index for %c wrong", lower)
+		}
+	}
+	for _, c := range []byte{'-', 'X', 'B', 'Z', '*', ' ', '1'} {
+		if ResidueIndex(c) >= 0 {
+			t.Errorf("ResidueIndex(%c) should be -1", c)
+		}
+	}
+}
+
+func TestSequenceValidate(t *testing.T) {
+	if err := (Sequence{ID: "a", Residues: "ARNDC"}).Validate(); err != nil {
+		t.Errorf("valid sequence rejected: %v", err)
+	}
+	bad := []Sequence{
+		{},
+		{ID: "a"},
+		{ID: "a", Residues: "AR-DC"},
+		{ID: "a", Residues: "ARXDC"},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad sequence %d accepted", i)
+		}
+	}
+}
+
+func TestParseFASTA(t *testing.T) {
+	in := ">alpha description here\nARNDC\nQEGHI\n\n>beta\nlkmfp\n"
+	seqs, err := ParseFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 {
+		t.Fatalf("parsed %d sequences", len(seqs))
+	}
+	if seqs[0].ID != "alpha" || seqs[0].Residues != "ARNDCQEGHI" {
+		t.Errorf("seq0 = %+v", seqs[0])
+	}
+	if seqs[1].ID != "beta" || seqs[1].Residues != "LKMFP" {
+		t.Errorf("seq1 = %+v (lower case should upcase)", seqs[1])
+	}
+}
+
+func TestParseFASTAErrors(t *testing.T) {
+	cases := []string{
+		"ARNDC\n",     // data before header
+		">\nARNDC\n",  // empty header
+		">x\nAR1DC\n", // invalid residue
+	}
+	for _, in := range cases {
+		if _, err := ParseFASTA(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseFASTA(%q) accepted", in)
+		}
+	}
+}
+
+func TestWriteFASTARoundTrip(t *testing.T) {
+	long := strings.Repeat("ARNDCQEGHILKMFPSTWYV", 8) // 160 residues, forces wrapping
+	orig := []Sequence{{ID: "x", Residues: long}, {ID: "y", Residues: "ARNDC"}}
+	var b strings.Builder
+	if err := WriteFASTA(&b, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseFASTA(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Residues != long || back[1].ID != "y" {
+		t.Errorf("round trip failed: %+v", back)
+	}
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, ">") && len(line) > 60 {
+			t.Errorf("unwrapped line of %d chars", len(line))
+		}
+	}
+}
+
+func TestGenerateFamilyValidAndRelated(t *testing.T) {
+	rng := sim.NewRNG(42)
+	seqs, err := GenerateFamily(rng, DefaultFamily())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 24 {
+		t.Fatalf("generated %d sequences", len(seqs))
+	}
+	seen := map[string]bool{}
+	for _, s := range seqs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("generated invalid sequence: %v", err)
+		}
+		if seen[s.ID] {
+			t.Errorf("duplicate ID %s", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	// Family members descend from one ancestor: pairwise identity must be
+	// far above the ≈5 % expected for unrelated random proteins.
+	res, err := PairAlign(seqs[0], seqs[1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Identity < 0.4 {
+		t.Errorf("family identity = %v, want related sequences", res.Identity)
+	}
+}
+
+func TestGenerateFamilyDeterministic(t *testing.T) {
+	a, _ := GenerateFamily(sim.NewRNG(7), DefaultFamily())
+	b, _ := GenerateFamily(sim.NewRNG(7), DefaultFamily())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different families")
+		}
+	}
+}
+
+func TestGenerateFamilyValidation(t *testing.T) {
+	rng := sim.NewRNG(1)
+	bad := []FamilyOptions{
+		{Count: 1, Length: 100},
+		{Count: 5, Length: 5},
+		{Count: 5, Length: 100, SubstitutionRate: -1},
+		{Count: 5, Length: 100, IndelRate: 0.9},
+	}
+	for i, opt := range bad {
+		if _, err := GenerateFamily(rng, opt); err == nil {
+			t.Errorf("bad options %d accepted", i)
+		}
+	}
+}
+
+func TestBlosumSymmetricPositiveDiagonal(t *testing.T) {
+	for i := 0; i < AlphabetSize; i++ {
+		if ScoreIdx(i, i) <= 0 {
+			t.Errorf("self score for %c = %d, want positive", Alphabet[i], ScoreIdx(i, i))
+		}
+		for j := 0; j < AlphabetSize; j++ {
+			if ScoreIdx(i, j) != ScoreIdx(j, i) {
+				t.Errorf("BLOSUM62 asymmetric at (%c,%c)", Alphabet[i], Alphabet[j])
+			}
+		}
+	}
+	// Spot-check canonical entries.
+	if Score('W', 'W') != 11 {
+		t.Errorf("W/W = %d, want 11", Score('W', 'W'))
+	}
+	if Score('A', 'R') != -1 {
+		t.Errorf("A/R = %d, want -1", Score('A', 'R'))
+	}
+	if Score('X', 'A') != -1 {
+		t.Error("unknown residue should score -1")
+	}
+}

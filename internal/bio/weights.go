@@ -1,0 +1,63 @@
+package bio
+
+import "fmt"
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SequenceWeights computes ClustalW's tree-derived sequence weights: each
+// sequence's weight is the sum, over the branches on its root-to-leaf
+// path, of branch length divided by the number of sequences sharing that
+// branch. Closely related sequences share long paths and are downweighted,
+// so an over-sampled subfamily cannot dominate the profile scores.
+//
+// Weights are normalized to mean 1; a degenerate tree (all branch lengths
+// zero, e.g. identical sequences) yields uniform weights.
+func SequenceWeights(tree *TreeNode, n int) ([]float64, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("bio: nil guide tree")
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != n {
+		return nil, fmt.Errorf("bio: tree covers %d leaves, want %d", len(leaves), n)
+	}
+	w := make([]float64, n)
+	var walk func(t *TreeNode, acc float64) error
+	walk = func(t *TreeNode, acc float64) error {
+		if t.IsLeaf() {
+			if t.Leaf < 0 || t.Leaf >= n {
+				return fmt.Errorf("bio: leaf index %d out of range", t.Leaf)
+			}
+			w[t.Leaf] = acc
+			return nil
+		}
+		nl := float64(len(t.Left.Leaves()))
+		nr := float64(len(t.Right.Leaves()))
+		if err := walk(t.Left, acc+t.LeftLen/nl); err != nil {
+			return err
+		}
+		return walk(t.Right, acc+t.RightLen/nr)
+	}
+	if err := walk(tree, 0); err != nil {
+		return nil, err
+	}
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	if sum <= 0 {
+		for i := range w {
+			w[i] = 1
+		}
+		return w, nil
+	}
+	scale := float64(n) / sum
+	for i := range w {
+		w[i] *= scale
+	}
+	return w, nil
+}

@@ -1,0 +1,167 @@
+package bio
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNJBranchLengthsAdditiveMatrix(t *testing.T) {
+	// On the additive 4-taxon matrix, NJ should recover the generating
+	// limb lengths: taxa 0,1 are distance 2 apart (limbs 1,1).
+	tree, err := NeighborJoining(fourTaxa(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the (0,1) or (2,3) cherry and check its limbs.
+	var check func(*TreeNode) bool
+	check = func(n *TreeNode) bool {
+		if n == nil || n.IsLeaf() {
+			return false
+		}
+		if n.Left.IsLeaf() && n.Right.IsLeaf() {
+			a, b := n.Left.Leaf, n.Right.Leaf
+			if (a == 0 && b == 1) || (a == 1 && b == 0) || (a == 2 && b == 3) || (a == 3 && b == 2) {
+				if math.Abs(n.LeftLen-1) < 1e-9 && math.Abs(n.RightLen-1) < 1e-9 {
+					return true
+				}
+			}
+		}
+		return check(n.Left) || check(n.Right)
+	}
+	if !check(tree) {
+		t.Errorf("no cherry with limb lengths 1,1 in %s", tree.Newick())
+	}
+}
+
+func TestBranchLengthsNonNegative(t *testing.T) {
+	seqs := familyFor(t, 17, 10, 80)
+	d, err := PairAlignAll(seqs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, build := range []func([][]float64) (*TreeNode, error){
+		func(m [][]float64) (*TreeNode, error) { return NeighborJoining(m, nil) },
+		func(m [][]float64) (*TreeNode, error) { return UPGMA(m, nil) },
+	} {
+		tree, err := build(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var walk func(*TreeNode)
+		walk = func(n *TreeNode) {
+			if n == nil || n.IsLeaf() {
+				return
+			}
+			if n.LeftLen < 0 || n.RightLen < 0 {
+				t.Errorf("negative branch length %g/%g", n.LeftLen, n.RightLen)
+			}
+			walk(n.Left)
+			walk(n.Right)
+		}
+		walk(tree)
+	}
+}
+
+func TestSequenceWeightsMeanOneAndPositive(t *testing.T) {
+	seqs := familyFor(t, 18, 12, 90)
+	d, _ := PairAlignAll(seqs, nil)
+	tree, _ := NeighborJoining(d, nil)
+	w, err := SequenceWeights(tree, len(seqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range w {
+		if v < 0 {
+			t.Errorf("negative weight %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum/float64(len(w))-1) > 1e-9 {
+		t.Errorf("mean weight = %v, want 1", sum/float64(len(w)))
+	}
+}
+
+func TestDuplicatedSequencesAreDownweighted(t *testing.T) {
+	// Three copies of one sequence plus two distinct ones: the copies must
+	// each weigh less than the distinct sequences (ClustalW's motivation
+	// for weighting).
+	base := familyFor(t, 19, 3, 100)
+	seqs := []Sequence{
+		{ID: "dup1", Residues: base[0].Residues},
+		{ID: "dup2", Residues: base[0].Residues},
+		{ID: "dup3", Residues: base[0].Residues},
+		{ID: "solo1", Residues: base[1].Residues},
+		{ID: "solo2", Residues: base[2].Residues},
+	}
+	d, err := PairAlignAll(seqs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := NeighborJoining(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := SequenceWeights(tree, len(seqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDup := math.Max(w[0], math.Max(w[1], w[2]))
+	minSolo := math.Min(w[3], w[4])
+	if maxDup >= minSolo {
+		t.Errorf("duplicates not downweighted: dup max %v vs solo min %v (weights %v)", maxDup, minSolo, w)
+	}
+}
+
+func TestSequenceWeightsDegenerateTreeUniform(t *testing.T) {
+	// Identical sequences: all distances zero, all branch lengths zero →
+	// uniform weights.
+	seqs := []Sequence{
+		{ID: "a", Residues: "ARNDCQEGH"},
+		{ID: "b", Residues: "ARNDCQEGH"},
+		{ID: "c", Residues: "ARNDCQEGH"},
+	}
+	d, _ := PairAlignAll(seqs, nil)
+	tree, _ := NeighborJoining(d, nil)
+	w, err := SequenceWeights(tree, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range w {
+		if v != 1 {
+			t.Errorf("degenerate weights = %v, want all 1", w)
+		}
+	}
+}
+
+func TestSequenceWeightsValidation(t *testing.T) {
+	if _, err := SequenceWeights(nil, 3); err == nil {
+		t.Error("nil tree accepted")
+	}
+	tree := &TreeNode{Leaf: -1, Left: &TreeNode{Leaf: 0}, Right: &TreeNode{Leaf: 1}}
+	if _, err := SequenceWeights(tree, 5); err == nil {
+		t.Error("leaf-count mismatch accepted")
+	}
+	bad := &TreeNode{Leaf: -1, Left: &TreeNode{Leaf: 0}, Right: &TreeNode{Leaf: 7}}
+	if _, err := SequenceWeights(bad, 2); err == nil {
+		t.Error("out-of-range leaf accepted")
+	}
+}
+
+func TestWeightedAlignmentStillValid(t *testing.T) {
+	// End-to-end with weighting in the loop: structural invariants hold.
+	seqs := familyFor(t, 20, 9, 90)
+	res, err := Align(seqs, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := res.Columns()
+	for i, row := range res.Aligned {
+		if len(row.Residues) != cols {
+			t.Errorf("ragged row %d", i)
+		}
+		if Ungap(row.Residues) != seqs[i].Residues {
+			t.Errorf("row %d corrupted", i)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package capability
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// valueJSON is the wire form of a Value: exactly one field set.
+type valueJSON struct {
+	Num  *float64 `json:"num,omitempty"`
+	Text *string  `json:"text,omitempty"`
+	Bool *bool    `json:"bool,omitempty"`
+}
+
+// MarshalJSON encodes the value as a one-field object, keeping the type
+// explicit across the wire ({"num":3}, {"text":"Virtex-5"}, {"bool":true}).
+func (v Value) MarshalJSON() ([]byte, error) {
+	var w valueJSON
+	switch v.typ {
+	case TypeNumber:
+		w.Num = &v.num
+	case TypeText:
+		w.Text = &v.txt
+	case TypeBool:
+		w.Bool = &v.b
+	default:
+		return nil, fmt.Errorf("capability: unencodable value type %d", v.typ)
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the one-field object form.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var w valueJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	set := 0
+	if w.Num != nil {
+		*v = Num(*w.Num)
+		set++
+	}
+	if w.Text != nil {
+		*v = Text(*w.Text)
+		set++
+	}
+	if w.Bool != nil {
+		*v = Bool(*w.Bool)
+		set++
+	}
+	if set != 1 {
+		return fmt.Errorf("capability: value must set exactly one of num/text/bool, got %d", set)
+	}
+	return nil
+}
+
+// requirementJSON is the wire form of a Requirement.
+type requirementJSON struct {
+	Param string `json:"param"`
+	Op    string `json:"op"`
+	Value Value  `json:"value"`
+}
+
+// MarshalJSON encodes the predicate with its operator in source form.
+func (r Requirement) MarshalJSON() ([]byte, error) {
+	return json.Marshal(requirementJSON{Param: r.Param, Op: r.Op.String(), Value: r.Value})
+}
+
+// ParseOp converts an operator's source form back to an Op.
+func ParseOp(s string) (Op, error) {
+	for op, name := range opNames {
+		if name == s {
+			return op, nil
+		}
+	}
+	return OpEq, fmt.Errorf("capability: unknown operator %q", s)
+}
+
+// UnmarshalJSON decodes the predicate.
+func (r *Requirement) UnmarshalJSON(data []byte) error {
+	var w requirementJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.Param == "" {
+		return fmt.Errorf("capability: requirement without a parameter")
+	}
+	op, err := ParseOp(w.Op)
+	if err != nil {
+		return err
+	}
+	r.Param = w.Param
+	r.Op = op
+	r.Value = w.Value
+	return nil
+}

@@ -1,0 +1,110 @@
+package capability
+
+// Canonical parameter names. These mirror the "Parameter" column of Table I;
+// the prefix is the Table I "Processing Element" row. Anything matching on
+// capabilities — the RMS matchmaker, the scheduler, ExecReq authors — uses
+// these names.
+const (
+	// FPGA parameters (Table I, FPGA rows).
+	ParamFPGADevice       = "fpga.device"        // concrete part, e.g. "XC5VLX110T"
+	ParamFPGAFamily       = "fpga.family"        // device family, e.g. "Virtex-5"
+	ParamFPGALogicCells   = "fpga.logic_cells"   // user-defined combinatorial/sequential logic
+	ParamFPGASlices       = "fpga.slices"        // slice count
+	ParamFPGALUTs         = "fpga.luts"          // look-up tables
+	ParamFPGABRAMKb       = "fpga.bram_kb"       // block RAM in Kb
+	ParamFPGADSPSlices    = "fpga.dsp_slices"    // DSP multiplier/adder/accumulator slices
+	ParamFPGASpeedGrade   = "fpga.speed_grade"   // maximum operating frequency grade
+	ParamFPGAReconfigMBps = "fpga.reconfig_mbps" // reconfiguration bandwidth, MB/s
+	ParamFPGAIOBs         = "fpga.iobs"          // I/O blocks
+	ParamFPGAEthernetMAC  = "fpga.ethernet_mac"  // embedded Ethernet MAC present
+	ParamFPGAPartialRecon = "fpga.partial_recon" // supports dynamic partial reconfiguration
+
+	// GPP parameters (Table I, GPP rows).
+	ParamGPPCPUType = "gpp.cpu_type" // CPU type/model
+	ParamGPPMIPS    = "gpp.mips"     // million instructions per second
+	ParamGPPOS      = "gpp.os"       // operating system
+	ParamGPPRAMMB   = "gpp.ram_mb"   // main memory in MB
+	ParamGPPCores   = "gpp.cores"    // total cores
+
+	// Soft-core (VLIW) parameters (Table I, Softcores rows).
+	ParamSoftFUTypes    = "softcore.fu_types"    // functional unit mix, e.g. "ALU,MUL"
+	ParamSoftIssueWidth = "softcore.issue_width" // issue slots
+	ParamSoftIMemKB     = "softcore.imem_kb"     // instruction memory
+	ParamSoftDMemKB     = "softcore.dmem_kb"     // data memory
+	ParamSoftRegFile    = "softcore.regfile"     // register-file size
+	ParamSoftPipeline   = "softcore.pipeline"    // pipeline stages
+	ParamSoftClusters   = "softcore.clusters"    // cluster count
+	ParamSoftISA        = "softcore.isa"         // target ISA, e.g. "rvex-vliw"
+
+	// GPU parameters (Table I, GPU rows).
+	ParamGPUModel       = "gpu.model"        // GPU model
+	ParamGPUShaderCores = "gpu.shader_cores" // data-parallel cores
+	ParamGPUWarpSize    = "gpu.warp_size"    // SIMD threads grouped together
+	ParamGPUSIMDWidth   = "gpu.simd_width"   // SIMD pipeline width
+	ParamGPUSharedKBPer = "gpu.shared_kb"    // shared memory per core, KB
+	ParamGPUMemFreqMHz  = "gpu.mem_freq_mhz" // maximum memory clock
+)
+
+// Descriptor documents one Table I parameter: which PE kind it belongs to,
+// its canonical name, and the paper's description.
+type Descriptor struct {
+	Kind        Kind
+	Param       string
+	Description string
+}
+
+// TableI returns the full parameter catalog of Table I, in the paper's row
+// order. Experiment T1 regenerates the table from this catalog.
+func TableI() []Descriptor {
+	return []Descriptor{
+		{KindFPGA, ParamFPGALogicCells, "Designed to implement user-defined combinatorial and sequential functions."},
+		{KindFPGA, ParamFPGASlices, "Slice count of the reconfigurable fabric."},
+		{KindFPGA, ParamFPGALUTs, "Look-up tables available on the device."},
+		{KindFPGA, ParamFPGABRAMKb, "Additional memory blocks available in terms of distributed RAM."},
+		{KindFPGA, ParamFPGADSPSlices, "Pre-configured multiplier, adder, and accumulator required for high-speed filtering."},
+		{KindFPGA, ParamFPGASpeedGrade, "Maximum frequency at which a device can operate."},
+		{KindFPGA, ParamFPGAReconfigMBps, "Speed (in MB/s) to reconfigure a device."},
+		{KindFPGA, ParamFPGAIOBs, "Support different I/O standards."},
+		{KindFPGA, ParamFPGAEthernetMAC, "Embedded MAC for Ethernet applications."},
+		{KindFPGA, ParamFPGADevice, "Concrete device part number."},
+		{KindFPGA, ParamFPGAFamily, "Device family for virtualized-execution portability."},
+		{KindFPGA, ParamFPGAPartialRecon, "Dynamic partial reconfiguration support."},
+		{KindGPP, ParamGPPCPUType, "Type of CPU."},
+		{KindGPP, ParamGPPMIPS, "Million Instructions per Second processing capability."},
+		{KindGPP, ParamGPPOS, "Operating system."},
+		{KindGPP, ParamGPPRAMMB, "Main memory."},
+		{KindGPP, ParamGPPCores, "Total number of cores."},
+		{KindSoftcore, ParamSoftFUTypes, "Functional units: multipliers, ALUs."},
+		{KindSoftcore, ParamSoftIssueWidth, "Number of issue slots."},
+		{KindSoftcore, ParamSoftIMemKB, "Instruction memory."},
+		{KindSoftcore, ParamSoftDMemKB, "Data memory."},
+		{KindSoftcore, ParamSoftRegFile, "Register file size."},
+		{KindSoftcore, ParamSoftPipeline, "Number and size of pipelines."},
+		{KindSoftcore, ParamSoftClusters, "Number of clusters."},
+		{KindSoftcore, ParamSoftISA, "Instruction-set architecture implemented by the core."},
+		{KindGPU, ParamGPUModel, "GPU model."},
+		{KindGPU, ParamGPUShaderCores, "Number of data-parallel cores."},
+		{KindGPU, ParamGPUWarpSize, "Number of SIMD threads grouped together."},
+		{KindGPU, ParamGPUSIMDWidth, "Size of SIMD pipeline."},
+		{KindGPU, ParamGPUSharedKBPer, "Shared memory per core."},
+		{KindGPU, ParamGPUMemFreqMHz, "Maximum clock rate of memory."},
+	}
+}
+
+// KindOfParam returns the PE kind a canonical parameter name belongs to,
+// inferred from its prefix.
+func KindOfParam(param string) Kind {
+	switch {
+	case hasPrefix(param, "fpga."):
+		return KindFPGA
+	case hasPrefix(param, "gpp."):
+		return KindGPP
+	case hasPrefix(param, "softcore."):
+		return KindSoftcore
+	case hasPrefix(param, "gpu."):
+		return KindGPU
+	}
+	return KindUnknown
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }

@@ -1,0 +1,145 @@
+package capability
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseRequirements parses the textual predicate form that
+// Requirements.String produces, closing the round trip:
+//
+//	fpga.family == Virtex-5 && fpga.slices >= 18707
+//	softcore.fu_types has-all "ALU,MUL" && softcore.issue_width >= 4
+//
+// Values parse as numbers when they look numeric, booleans for true/false,
+// and text otherwise; double quotes force text (needed for comma lists).
+// This is the form job-submission tools accept ExecReqs in.
+func ParseRequirements(src string) (Requirements, error) {
+	p := &reqParser{src: src}
+	var out Requirements
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			break
+		}
+		if len(out) > 0 {
+			if !p.consume("&&") {
+				return nil, fmt.Errorf("capability: expected '&&' at offset %d", p.pos)
+			}
+			p.skipSpace()
+		}
+		r, err := p.predicate()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("capability: empty requirements expression")
+	}
+	return out, nil
+}
+
+type reqParser struct {
+	src string
+	pos int
+}
+
+func (p *reqParser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *reqParser) consume(tok string) bool {
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+// bareToken reads a parameter-name or bare-value token.
+func (p *reqParser) bareToken() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '.' || c == '_' || c == '-' || c == '+' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *reqParser) predicate() (Requirement, error) {
+	p.skipSpace()
+	param := p.bareToken()
+	if param == "" {
+		return Requirement{}, fmt.Errorf("capability: expected parameter name at offset %d", p.pos)
+	}
+	p.skipSpace()
+	op, err := p.operator()
+	if err != nil {
+		return Requirement{}, err
+	}
+	p.skipSpace()
+	val, err := p.value()
+	if err != nil {
+		return Requirement{}, err
+	}
+	return Requirement{Param: param, Op: op, Value: val}, nil
+}
+
+// operator order matters: longest tokens first so ">=" wins over ">".
+var operatorTokens = []struct {
+	tok string
+	op  Op
+}{
+	{"has-all", OpHasAll},
+	{"==", OpEq},
+	{"!=", OpNe},
+	{">=", OpGe},
+	{"<=", OpLe},
+	{">", OpGt},
+	{"<", OpLt},
+}
+
+func (p *reqParser) operator() (Op, error) {
+	for _, cand := range operatorTokens {
+		if p.consume(cand.tok) {
+			return cand.op, nil
+		}
+	}
+	return OpEq, fmt.Errorf("capability: expected operator at offset %d", p.pos)
+}
+
+func (p *reqParser) value() (Value, error) {
+	if p.pos < len(p.src) && p.src[p.pos] == '"' {
+		end := strings.IndexByte(p.src[p.pos+1:], '"')
+		if end < 0 {
+			return Value{}, fmt.Errorf("capability: unterminated string at offset %d", p.pos)
+		}
+		s := p.src[p.pos+1 : p.pos+1+end]
+		p.pos += end + 2
+		return Text(s), nil
+	}
+	tok := p.bareToken()
+	if tok == "" {
+		return Value{}, fmt.Errorf("capability: expected value at offset %d", p.pos)
+	}
+	switch strings.ToLower(tok) {
+	case "true":
+		return Bool(true), nil
+	case "false":
+		return Bool(false), nil
+	}
+	if n, err := strconv.ParseFloat(tok, 64); err == nil {
+		return Num(n), nil
+	}
+	return Text(tok), nil
+}

@@ -1,0 +1,168 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+)
+
+// extent is a contiguous range of slice addresses [Start, Start+Len).
+type extent struct {
+	Start int
+	Len   int
+}
+
+// Allocator hands out contiguous slice ranges from a 1-D slice address
+// space, the standard abstraction for slot-based dynamic partial
+// reconfiguration. Contiguity matters: it makes external fragmentation a
+// real phenomenon, which the partial-reconfiguration experiments measure.
+type Allocator struct {
+	total int
+	free  []extent // sorted by Start, coalesced
+}
+
+// NewAllocator creates an allocator over [0, total) slices.
+func NewAllocator(total int) *Allocator {
+	if total <= 0 {
+		panic(fmt.Sprintf("fabric: allocator needs positive area, got %d", total))
+	}
+	return &Allocator{total: total, free: []extent{{0, total}}}
+}
+
+// Total returns the size of the managed address space.
+func (a *Allocator) Total() int { return a.total }
+
+// Free returns the total unallocated slices (possibly fragmented).
+func (a *Allocator) Free() int {
+	n := 0
+	for _, e := range a.free {
+		n += e.Len
+	}
+	return n
+}
+
+// LargestFree returns the size of the largest contiguous free range — the
+// biggest region that can actually be allocated right now.
+func (a *Allocator) LargestFree() int {
+	max := 0
+	for _, e := range a.free {
+		if e.Len > max {
+			max = e.Len
+		}
+	}
+	return max
+}
+
+// Fragmentation returns 1 - largestFree/totalFree: 0 when all free space is
+// one contiguous block, approaching 1 when free space is shattered. With no
+// free space it returns 0.
+func (a *Allocator) Fragmentation() float64 {
+	free := a.Free()
+	if free == 0 {
+		return 0
+	}
+	return 1 - float64(a.LargestFree())/float64(free)
+}
+
+// Alloc reserves n contiguous slices first-fit and returns the start
+// address. It fails when no contiguous run of n slices exists, even if the
+// total free area would suffice (external fragmentation).
+func (a *Allocator) Alloc(n int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("fabric: allocation of %d slices", n)
+	}
+	for i, e := range a.free {
+		if e.Len < n {
+			continue
+		}
+		start := e.Start
+		if e.Len == n {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		} else {
+			a.free[i] = extent{e.Start + n, e.Len - n}
+		}
+		return start, nil
+	}
+	return 0, fmt.Errorf("fabric: no contiguous run of %d slices (free %d, largest %d)", n, a.Free(), a.LargestFree())
+}
+
+// AllocBestFit reserves n contiguous slices from the smallest free extent
+// that fits, which reduces fragmentation for skewed size mixes. Used by the
+// allocation-policy ablation.
+func (a *Allocator) AllocBestFit(n int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("fabric: allocation of %d slices", n)
+	}
+	best := -1
+	for i, e := range a.free {
+		if e.Len >= n && (best < 0 || e.Len < a.free[best].Len) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("fabric: no contiguous run of %d slices (free %d, largest %d)", n, a.Free(), a.LargestFree())
+	}
+	e := a.free[best]
+	start := e.Start
+	if e.Len == n {
+		a.free = append(a.free[:best], a.free[best+1:]...)
+	} else {
+		a.free[best] = extent{e.Start + n, e.Len - n}
+	}
+	return start, nil
+}
+
+// AllocAt claims the exact range [start, start+n), failing if any part of
+// it is already allocated. Compaction uses it to pin busy regions in place.
+func (a *Allocator) AllocAt(start, n int) error {
+	if n <= 0 || start < 0 || start+n > a.total {
+		return fmt.Errorf("fabric: AllocAt invalid range [%d,%d)", start, start+n)
+	}
+	for i, e := range a.free {
+		if e.Start <= start && start+n <= e.Start+e.Len {
+			// Split the hosting extent into up to two remainders.
+			var repl []extent
+			if start > e.Start {
+				repl = append(repl, extent{e.Start, start - e.Start})
+			}
+			if start+n < e.Start+e.Len {
+				repl = append(repl, extent{start + n, e.Start + e.Len - (start + n)})
+			}
+			a.free = append(a.free[:i], append(repl, a.free[i+1:]...)...)
+			return nil
+		}
+	}
+	return fmt.Errorf("fabric: range [%d,%d) not free", start, start+n)
+}
+
+// Release returns [start, start+n) to the free pool, coalescing with
+// adjacent free extents. Releasing a range that overlaps free space is a
+// programming bug and returns an error.
+func (a *Allocator) Release(start, n int) error {
+	if n <= 0 || start < 0 || start+n > a.total {
+		return fmt.Errorf("fabric: release of invalid range [%d,%d)", start, start+n)
+	}
+	for _, e := range a.free {
+		if start < e.Start+e.Len && e.Start < start+n {
+			return fmt.Errorf("fabric: release [%d,%d) overlaps free extent [%d,%d)", start, start+n, e.Start, e.Start+e.Len)
+		}
+	}
+	a.free = append(a.free, extent{start, n})
+	sort.Slice(a.free, func(i, j int) bool { return a.free[i].Start < a.free[j].Start })
+	// Coalesce neighbours.
+	out := a.free[:1]
+	for _, e := range a.free[1:] {
+		last := &out[len(out)-1]
+		if last.Start+last.Len == e.Start {
+			last.Len += e.Len
+		} else {
+			out = append(out, e)
+		}
+	}
+	a.free = out
+	return nil
+}
+
+// Reset frees the entire address space (what a full reconfiguration does).
+func (a *Allocator) Reset() {
+	a.free = []extent{{0, a.total}}
+}

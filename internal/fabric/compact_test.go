@@ -1,0 +1,177 @@
+package fabric
+
+import "testing"
+
+func TestAllocAt(t *testing.T) {
+	a := NewAllocator(100)
+	if err := a.AllocAt(20, 30); err != nil {
+		t.Fatal(err)
+	}
+	if a.Free() != 70 {
+		t.Errorf("Free = %d", a.Free())
+	}
+	// The claimed range is gone; its neighbours remain.
+	if err := a.AllocAt(25, 5); err == nil {
+		t.Error("overlapping AllocAt accepted")
+	}
+	if err := a.AllocAt(0, 20); err != nil {
+		t.Errorf("left remainder not allocatable: %v", err)
+	}
+	if err := a.AllocAt(50, 50); err != nil {
+		t.Errorf("right remainder not allocatable: %v", err)
+	}
+	if a.Free() != 0 {
+		t.Errorf("Free = %d, want 0", a.Free())
+	}
+	if err := a.AllocAt(-1, 5); err == nil {
+		t.Error("negative start accepted")
+	}
+	if err := a.AllocAt(99, 5); err == nil {
+		t.Error("overflow accepted")
+	}
+	if err := a.AllocAt(0, 0); err == nil {
+		t.Error("zero length accepted")
+	}
+}
+
+func TestCompactConsolidatesFreeSpace(t *testing.T) {
+	f, err := NewByName("XC5VLX110T") // 17,280 slices
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := f.Device()
+	// Create a checkerboard: allocate four 4,000-slice regions, evict two.
+	var regions []*Region
+	for i := 0; i < 4; i++ {
+		bs := PartialBitstream(idFor(i), "k", dev, 4000)
+		r, _, err := f.ConfigurePartial(bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions = append(regions, r)
+	}
+	f.Evict(regions[0])
+	f.Evict(regions[2])
+	// 9,280 free but fragmented: 4,000 + 4,000 + 1,280.
+	if f.State().LargestFree >= 8000 {
+		t.Fatalf("setup failed: largest free = %d", f.State().LargestFree)
+	}
+	before := f.Reconfigurations()
+	moved, delay, err := f.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 || delay <= 0 {
+		t.Fatalf("compaction did nothing: moved=%d delay=%v", moved, delay)
+	}
+	st := f.State()
+	if st.LargestFree != st.AvailableSlices {
+		t.Errorf("free space still fragmented: largest %d of %d", st.LargestFree, st.AvailableSlices)
+	}
+	if len(st.Configurations) != 2 {
+		t.Errorf("compaction lost configurations: %v", st.Configurations)
+	}
+	if f.Reconfigurations() != before+moved {
+		t.Error("moved regions not charged as reconfigurations")
+	}
+	// An 8,000-slice allocation now fits.
+	big := PartialBitstream("big", "k", dev, 8000)
+	if _, _, err := f.ConfigurePartial(big); err != nil {
+		t.Errorf("post-compaction placement failed: %v", err)
+	}
+}
+
+func idFor(i int) string {
+	return string(rune('a'+i)) + "-bs"
+}
+
+func TestCompactPinsBusyRegions(t *testing.T) {
+	f, _ := NewByName("XC5VLX110T")
+	dev := f.Device()
+	r1, _, _ := f.ConfigurePartial(PartialBitstream("a", "k", dev, 3000))
+	r2, _, _ := f.ConfigurePartial(PartialBitstream("b", "k", dev, 3000))
+	r3, _, _ := f.ConfigurePartial(PartialBitstream("c", "k", dev, 3000))
+	f.Evict(r1)
+	f.Acquire(r2)
+	busyStart := r2.Start
+	moved, _, err := f.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Start != busyStart {
+		t.Error("busy region moved")
+	}
+	if moved == 0 {
+		t.Error("idle region behind the busy one should have moved")
+	}
+	if r3.Start >= busyStart+3000+3000 {
+		t.Errorf("r3 not repacked: start=%d", r3.Start)
+	}
+}
+
+func TestCompactNoOpWhenDense(t *testing.T) {
+	f, _ := NewByName("XC5VLX110T")
+	dev := f.Device()
+	f.ConfigurePartial(PartialBitstream("a", "k", dev, 3000))
+	f.ConfigurePartial(PartialBitstream("b", "k", dev, 3000))
+	moved, delay, err := f.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 0 || delay != 0 {
+		t.Errorf("dense fabric compacted anyway: %d, %v", moved, delay)
+	}
+}
+
+func TestSecondaryResourceAccounting(t *testing.T) {
+	f, _ := NewByName("XC5VLX110T") // 5,328 Kb BRAM, 64 DSP
+	dev := f.Device()
+	bs1 := PartialBitstream("m1", "k", dev, 1000)
+	bs1.BRAMKb = 4000
+	bs1.DSPSlices = 40
+	if _, _, err := f.ConfigurePartial(bs1); err != nil {
+		t.Fatal(err)
+	}
+	st := f.State()
+	if st.AvailableBRAMKb != 1328 || st.AvailableDSP != 24 {
+		t.Errorf("availability = %d Kb / %d DSP", st.AvailableBRAMKb, st.AvailableDSP)
+	}
+	// A second BRAM-hungry configuration must be refused even though
+	// plenty of slices remain.
+	bs2 := PartialBitstream("m2", "k", dev, 1000)
+	bs2.BRAMKb = 2000
+	if _, _, err := f.ConfigurePartial(bs2); err == nil {
+		t.Error("BRAM overcommit accepted")
+	}
+	bs3 := PartialBitstream("m3", "k", dev, 1000)
+	bs3.DSPSlices = 30
+	if _, _, err := f.ConfigurePartial(bs3); err == nil {
+		t.Error("DSP overcommit accepted")
+	}
+	// Evicting the first frees the budget.
+	r := f.FindLoaded("m1")
+	if err := f.Evict(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.ConfigurePartial(bs2); err != nil {
+		t.Errorf("post-evict placement failed: %v", err)
+	}
+}
+
+func TestFullReconfigResetsSecondaryBudget(t *testing.T) {
+	f, _ := NewByName("XC5VLX110T")
+	dev := f.Device()
+	p := PartialBitstream("p", "k", dev, 1000)
+	p.BRAMKb = 5000
+	if _, _, err := f.ConfigurePartial(p); err != nil {
+		t.Fatal(err)
+	}
+	full := FullBitstream("f", "k", dev, 2000)
+	full.BRAMKb = 5000 // fits only if the partial's budget was reclaimed
+	if _, _, err := f.ConfigureFull(full); err != nil {
+		t.Errorf("full reconfiguration did not reset secondary budget: %v", err)
+	}
+	if f.State().AvailableBRAMKb != dev.BRAMKb-5000 {
+		t.Errorf("available BRAM = %d", f.State().AvailableBRAMKb)
+	}
+}

@@ -1,0 +1,352 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Region is a slice range on a fabric currently holding a configuration.
+type Region struct {
+	// ID is unique per fabric instance.
+	ID int
+	// Start and Slices locate the region in the slice address space.
+	Start  int
+	Slices int
+	// Bitstream is the loaded configuration.
+	Bitstream *Bitstream
+	// Busy marks the region as executing a task; busy regions cannot be
+	// evicted.
+	Busy bool
+}
+
+// String summarizes the region.
+func (r *Region) String() string {
+	state := "idle"
+	if r.Busy {
+		state = "busy"
+	}
+	return fmt.Sprintf("region %d [%d+%d) %s (%s)", r.ID, r.Start, r.Start+r.Slices, state, r.Bitstream.Design)
+}
+
+// State is a point-in-time snapshot of a fabric — the dynamically changing
+// "state" attribute of the paper's node model (Fig. 3): available area and
+// the currently loaded configuration(s).
+type State struct {
+	Device          string
+	TotalSlices     int
+	AvailableSlices int
+	LargestFree     int
+	Fragmentation   float64
+	Configurations  []string // loaded bitstream IDs, sorted
+	BusyRegions     int
+	// AvailableBRAMKb and AvailableDSP are the unclaimed secondary
+	// resources.
+	AvailableBRAMKb int
+	AvailableDSP    int
+}
+
+// String renders the snapshot as the paper's Fig. 5 notation does
+// ("available & idle, not configured").
+func (s State) String() string {
+	if len(s.Configurations) == 0 {
+		return fmt.Sprintf("%s: available and idle, not configured (%d slices free)", s.Device, s.AvailableSlices)
+	}
+	return fmt.Sprintf("%s: %d configuration(s), %d busy, %d/%d slices free",
+		s.Device, len(s.Configurations), s.BusyRegions, s.AvailableSlices, s.TotalSlices)
+}
+
+// Fabric is a live FPGA: a device plus its mutable configuration state.
+// Fabric is not safe for concurrent use; in the simulator all mutation
+// happens on the single event-loop goroutine, and the RMS serializes
+// external access.
+type Fabric struct {
+	dev              Device
+	alloc            *Allocator
+	regions          map[int]*Region
+	nextID           int
+	policy           AllocPolicy
+	reconfigurations int
+	// usedBRAMKb and usedDSP track secondary-resource consumption by
+	// resident configurations; slices alone do not bound a placement.
+	usedBRAMKb int
+	usedDSP    int
+	// reconfigTime accumulates total time spent reconfiguring, for
+	// utilization accounting.
+	reconfigTime sim.Time
+}
+
+// AllocPolicy selects the placement policy for partial regions.
+type AllocPolicy int
+
+// Placement policies.
+const (
+	FirstFit AllocPolicy = iota
+	BestFit
+)
+
+// New creates an idle, unconfigured fabric for a catalog device.
+func New(dev Device) *Fabric {
+	return &Fabric{
+		dev:     dev,
+		alloc:   NewAllocator(dev.Slices),
+		regions: make(map[int]*Region),
+	}
+}
+
+// NewByName creates a fabric for a named catalog device.
+func NewByName(device string) (*Fabric, error) {
+	dev, err := LookupDevice(device)
+	if err != nil {
+		return nil, err
+	}
+	return New(dev), nil
+}
+
+// SetPolicy selects the region placement policy.
+func (f *Fabric) SetPolicy(p AllocPolicy) { f.policy = p }
+
+// Device returns the immutable part description.
+func (f *Fabric) Device() Device { return f.dev }
+
+// Reconfigurations returns how many configuration loads the fabric has
+// performed.
+func (f *Fabric) Reconfigurations() int { return f.reconfigurations }
+
+// ReconfigTime returns the cumulative time spent loading configurations.
+func (f *Fabric) ReconfigTime() sim.Time { return f.reconfigTime }
+
+// State returns the current snapshot.
+func (f *Fabric) State() State {
+	s := State{
+		Device:          f.dev.FPGACaps.Device,
+		TotalSlices:     f.dev.Slices,
+		AvailableSlices: f.alloc.Free(),
+		LargestFree:     f.alloc.LargestFree(),
+		Fragmentation:   f.alloc.Fragmentation(),
+		AvailableBRAMKb: f.dev.BRAMKb - f.usedBRAMKb,
+		AvailableDSP:    f.dev.DSPSlices - f.usedDSP,
+	}
+	for _, r := range f.regions {
+		s.Configurations = append(s.Configurations, r.Bitstream.ID)
+		if r.Busy {
+			s.BusyRegions++
+		}
+	}
+	sort.Strings(s.Configurations)
+	return s
+}
+
+// FindLoaded returns a loaded, idle region holding the given bitstream ID,
+// or nil. A hit lets the scheduler skip reconfiguration entirely
+// (configuration reuse).
+func (f *Fabric) FindLoaded(bitstreamID string) *Region {
+	ids := make([]int, 0, len(f.regions))
+	for id := range f.regions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		r := f.regions[id]
+		if r.Bitstream.ID == bitstreamID && !r.Busy {
+			return r
+		}
+	}
+	return nil
+}
+
+// checkTarget validates that a bitstream targets this exact device.
+func (f *Fabric) checkTarget(bs *Bitstream) error {
+	if err := bs.Validate(); err != nil {
+		return err
+	}
+	if bs.Device != f.dev.FPGACaps.Device {
+		return fmt.Errorf("fabric: bitstream %s targets %s, device is %s", bs.ID, bs.Device, f.dev.FPGACaps.Device)
+	}
+	return nil
+}
+
+// checkSecondary verifies BRAM and DSP budgets for a new configuration.
+func (f *Fabric) checkSecondary(bs *Bitstream) error {
+	if f.usedBRAMKb+bs.BRAMKb > f.dev.BRAMKb {
+		return fmt.Errorf("fabric: %s needs %d Kb BRAM, %d free on %s",
+			bs.ID, bs.BRAMKb, f.dev.BRAMKb-f.usedBRAMKb, f.dev.FPGACaps.Device)
+	}
+	if f.usedDSP+bs.DSPSlices > f.dev.DSPSlices {
+		return fmt.Errorf("fabric: %s needs %d DSP slices, %d free on %s",
+			bs.ID, bs.DSPSlices, f.dev.DSPSlices-f.usedDSP, f.dev.FPGACaps.Device)
+	}
+	return nil
+}
+
+// ConfigureFull performs a full reconfiguration: every existing region is
+// wiped and the whole device is given to the new configuration. It fails if
+// any region is busy. The returned delay is what the caller must advance in
+// simulated time before the region is usable.
+func (f *Fabric) ConfigureFull(bs *Bitstream) (*Region, sim.Time, error) {
+	if err := f.checkTarget(bs); err != nil {
+		return nil, 0, err
+	}
+	if bs.Partial {
+		return nil, 0, fmt.Errorf("fabric: partial bitstream %s passed to full reconfiguration", bs.ID)
+	}
+	if bs.Slices > f.dev.Slices {
+		return nil, 0, fmt.Errorf("fabric: design needs %d slices, %s has %d", bs.Slices, f.dev.FPGACaps.Device, f.dev.Slices)
+	}
+	for _, r := range f.regions {
+		if r.Busy {
+			return nil, 0, fmt.Errorf("fabric: full reconfiguration with busy region %d", r.ID)
+		}
+	}
+	f.regions = make(map[int]*Region)
+	f.alloc.Reset()
+	f.usedBRAMKb, f.usedDSP = 0, 0
+	if err := f.checkSecondary(bs); err != nil {
+		return nil, 0, err
+	}
+	start, err := f.alloc.Alloc(bs.Slices)
+	if err != nil {
+		return nil, 0, err // unreachable after Reset, kept for safety
+	}
+	f.nextID++
+	r := &Region{ID: f.nextID, Start: start, Slices: bs.Slices, Bitstream: bs}
+	f.regions[r.ID] = r
+	f.usedBRAMKb += bs.BRAMKb
+	f.usedDSP += bs.DSPSlices
+	delay := ConfigDelay(bs.SizeBytes, f.dev.ReconfigMBps)
+	f.reconfigurations++
+	f.reconfigTime += delay
+	return r, delay, nil
+}
+
+// ConfigurePartial loads a partial bitstream into a newly allocated region,
+// leaving existing regions untouched. It fails if the device does not
+// support partial reconfiguration or no contiguous area is free.
+func (f *Fabric) ConfigurePartial(bs *Bitstream) (*Region, sim.Time, error) {
+	if err := f.checkTarget(bs); err != nil {
+		return nil, 0, err
+	}
+	if !bs.Partial {
+		return nil, 0, fmt.Errorf("fabric: full bitstream %s passed to partial reconfiguration", bs.ID)
+	}
+	if !f.dev.PartialRecon {
+		return nil, 0, fmt.Errorf("fabric: %s does not support partial reconfiguration", f.dev.FPGACaps.Device)
+	}
+	if err := f.checkSecondary(bs); err != nil {
+		return nil, 0, err
+	}
+	var start int
+	var err error
+	if f.policy == BestFit {
+		start, err = f.alloc.AllocBestFit(bs.Slices)
+	} else {
+		start, err = f.alloc.Alloc(bs.Slices)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	f.nextID++
+	r := &Region{ID: f.nextID, Start: start, Slices: bs.Slices, Bitstream: bs}
+	f.regions[r.ID] = r
+	f.usedBRAMKb += bs.BRAMKb
+	f.usedDSP += bs.DSPSlices
+	delay := ConfigDelay(bs.SizeBytes, f.dev.ReconfigMBps)
+	f.reconfigurations++
+	f.reconfigTime += delay
+	return r, delay, nil
+}
+
+// Evict removes an idle region, freeing its area for future configurations.
+func (f *Fabric) Evict(r *Region) error {
+	cur, ok := f.regions[r.ID]
+	if !ok || cur != r {
+		return fmt.Errorf("fabric: region %d is not resident", r.ID)
+	}
+	if r.Busy {
+		return fmt.Errorf("fabric: evicting busy region %d", r.ID)
+	}
+	if err := f.alloc.Release(r.Start, r.Slices); err != nil {
+		return err
+	}
+	delete(f.regions, r.ID)
+	f.usedBRAMKb -= r.Bitstream.BRAMKb
+	f.usedDSP -= r.Bitstream.DSPSlices
+	return nil
+}
+
+// Acquire marks a region busy for task execution.
+func (f *Fabric) Acquire(r *Region) error {
+	cur, ok := f.regions[r.ID]
+	if !ok || cur != r {
+		return fmt.Errorf("fabric: region %d is not resident", r.ID)
+	}
+	if r.Busy {
+		return fmt.Errorf("fabric: region %d already busy", r.ID)
+	}
+	r.Busy = true
+	return nil
+}
+
+// ReleaseRegion marks a busy region idle again; the configuration stays
+// loaded so a later task needing the same bitstream can reuse it.
+func (f *Fabric) ReleaseRegion(r *Region) error {
+	cur, ok := f.regions[r.ID]
+	if !ok || cur != r {
+		return fmt.Errorf("fabric: region %d is not resident", r.ID)
+	}
+	if !r.Busy {
+		return fmt.Errorf("fabric: region %d is not busy", r.ID)
+	}
+	r.Busy = false
+	return nil
+}
+
+// Compact repacks idle regions toward low addresses, consolidating free
+// space without losing their configurations. Busy regions are pinned in
+// place. Rewriting a moved region costs its configuration delay; the total
+// is returned so callers can charge it in simulated time.
+func (f *Fabric) Compact() (moved int, delay sim.Time, err error) {
+	regions := f.Regions()
+	sort.Slice(regions, func(i, j int) bool { return regions[i].Start < regions[j].Start })
+	f.alloc.Reset()
+	// Pin busy regions first: their addresses cannot change.
+	for _, r := range regions {
+		if r.Busy {
+			if err := f.alloc.AllocAt(r.Start, r.Slices); err != nil {
+				return 0, 0, fmt.Errorf("fabric: compaction lost a busy region: %w", err)
+			}
+		}
+	}
+	// Re-place idle regions lowest-first.
+	for _, r := range regions {
+		if r.Busy {
+			continue
+		}
+		start, allocErr := f.alloc.Alloc(r.Slices)
+		if allocErr != nil {
+			// Cannot happen: the region fit before and nothing grew.
+			return moved, delay, fmt.Errorf("fabric: compaction failed to re-place region %d: %w", r.ID, allocErr)
+		}
+		if start != r.Start {
+			moved++
+			delay += ConfigDelay(r.Bitstream.SizeBytes, f.dev.ReconfigMBps)
+			r.Start = start
+		}
+	}
+	if moved > 0 {
+		f.reconfigurations += moved
+		f.reconfigTime += delay
+	}
+	return moved, delay, nil
+}
+
+// Regions returns resident regions sorted by ID.
+func (f *Fabric) Regions() []*Region {
+	out := make([]*Region, 0, len(f.regions))
+	for _, r := range f.regions {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,67 @@
+// Package gpp models general-purpose processors: Table I capabilities plus
+// a MIPS-based execution-time estimator with Amdahl multi-core scaling.
+package gpp
+
+import (
+	"fmt"
+
+	"repro/internal/capability"
+	"repro/internal/pe"
+)
+
+// Processor is a concrete GPP instance.
+type Processor struct {
+	Caps capability.GPPCaps
+}
+
+// New validates the capabilities and returns a processor model.
+func New(caps capability.GPPCaps) (*Processor, error) {
+	if err := caps.Validate(); err != nil {
+		return nil, err
+	}
+	return &Processor{Caps: caps}, nil
+}
+
+// Kind implements pe.Estimator.
+func (p *Processor) Kind() capability.Kind { return capability.KindGPP }
+
+// EstimateSeconds implements pe.Estimator: time = MI / (MIPS × Amdahl(p, cores)).
+func (p *Processor) EstimateSeconds(w pe.Work) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	eff := p.Caps.MIPS * pe.Amdahl(w.ParallelFraction, float64(p.Caps.Cores))
+	return w.MInstructions / eff, nil
+}
+
+// String summarizes the processor.
+func (p *Processor) String() string {
+	return fmt.Sprintf("gpp %s", p.Caps)
+}
+
+// Presets for common grid-node processors; MIPS ratings are of the era the
+// paper targets (2010-2012 commodity grid hardware).
+var presets = map[string]capability.GPPCaps{
+	"xeon-e5540":  {CPUType: "Intel Xeon E5540", MIPS: 42000, OS: "Linux", RAMMB: 16384, Cores: 4},
+	"opteron-250": {CPUType: "AMD Opteron 250", MIPS: 9600, OS: "Linux", RAMMB: 4096, Cores: 1},
+	"core2-q9550": {CPUType: "Intel Core2 Q9550", MIPS: 28000, OS: "Linux", RAMMB: 8192, Cores: 4},
+	"pentium4":    {CPUType: "Intel Pentium 4", MIPS: 6500, OS: "Linux", RAMMB: 2048, Cores: 1},
+}
+
+// Preset returns a named catalog processor.
+func Preset(name string) (*Processor, error) {
+	caps, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("gpp: unknown preset %q", name)
+	}
+	return New(caps)
+}
+
+// Presets lists the available preset names.
+func Presets() []string {
+	out := make([]string, 0, len(presets))
+	for k := range presets {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package gpp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/capability"
+	"repro/internal/pe"
+)
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(capability.GPPCaps{}); err == nil {
+		t.Error("empty caps accepted")
+	}
+	p, err := New(capability.GPPCaps{CPUType: "t", MIPS: 1000, Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind() != capability.KindGPP {
+		t.Error("kind")
+	}
+	if p.String() == "" {
+		t.Error("String")
+	}
+}
+
+func TestEstimateSequential(t *testing.T) {
+	p, _ := New(capability.GPPCaps{CPUType: "t", MIPS: 1000, Cores: 4})
+	// 1000 MI of fully sequential work on 1000 MIPS = 1 s regardless of cores.
+	got, err := p.EstimateSeconds(pe.Work{MInstructions: 1000, ParallelFraction: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("sequential estimate = %v, want 1", got)
+	}
+}
+
+func TestEstimateParallelScaling(t *testing.T) {
+	p4, _ := New(capability.GPPCaps{CPUType: "t", MIPS: 1000, Cores: 4})
+	p1, _ := New(capability.GPPCaps{CPUType: "t", MIPS: 1000, Cores: 1})
+	w := pe.Work{MInstructions: 1000, ParallelFraction: 1}
+	t4, _ := p4.EstimateSeconds(w)
+	t1, _ := p1.EstimateSeconds(w)
+	if math.Abs(t1/t4-4) > 1e-9 {
+		t.Errorf("4-core speedup = %v, want 4", t1/t4)
+	}
+}
+
+func TestEstimateRejectsInvalidWork(t *testing.T) {
+	p, _ := New(capability.GPPCaps{CPUType: "t", MIPS: 1000, Cores: 1})
+	if _, err := p.EstimateSeconds(pe.Work{}); err == nil {
+		t.Error("invalid work accepted")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	names := Presets()
+	if len(names) < 3 {
+		t.Fatalf("only %d presets", len(names))
+	}
+	for _, n := range names {
+		p, err := Preset(n)
+		if err != nil {
+			t.Errorf("preset %s: %v", n, err)
+			continue
+		}
+		if p.Caps.MIPS <= 0 {
+			t.Errorf("preset %s has no MIPS", n)
+		}
+	}
+	if _, err := Preset("z80"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestFasterProcessorIsFaster(t *testing.T) {
+	xeon, _ := Preset("xeon-e5540")
+	p4, _ := Preset("pentium4")
+	w := pe.Work{MInstructions: 5000, ParallelFraction: 0.5}
+	tx, _ := xeon.EstimateSeconds(w)
+	tp, _ := p4.EstimateSeconds(w)
+	if tx >= tp {
+		t.Errorf("Xeon (%v) not faster than Pentium 4 (%v)", tx, tp)
+	}
+}

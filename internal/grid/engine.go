@@ -1,0 +1,590 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hdl"
+	"repro/internal/jss"
+	"repro/internal/network"
+	"repro/internal/node"
+	"repro/internal/pe"
+	"repro/internal/rms"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Strategy is the RMS scheduling strategy under test.
+	Strategy sched.Strategy
+	// Queue orders waiting tasks.
+	Queue sched.QueuePolicy
+	// LinkMBps and LinkLatencySeconds model the default network link
+	// between the JSS and every node: input data and configuration
+	// bitstreams both cross it ("the time required to send configuration
+	// bitstreams").
+	LinkMBps           float64
+	LinkLatencySeconds float64
+	// Topology, when non-nil, overrides per-node links (heterogeneous
+	// connectivity); the default link above still covers unlisted nodes
+	// only when Topology is nil.
+	Topology *network.Topology
+	// Horizon optionally bounds simulated time (0 = run to completion).
+	Horizon sim.Time
+	// PrewarmSynthesis models a provider that keeps a ready bitstream
+	// library for the workload's IP designs (the paper's OpenCores
+	// scenario): CAD time is paid offline, not on the task critical path.
+	PrewarmSynthesis bool
+	// Tracer, when non-nil, records per-task lifecycle events.
+	Tracer *Recorder
+}
+
+// DefaultConfig uses the reconfiguration-aware strategy over a gigabit
+// link.
+func DefaultConfig() Config {
+	return Config{
+		Strategy:           sched.ReconfigAware{},
+		Queue:              sched.FCFS,
+		LinkMBps:           125, // 1 Gb/s
+		LinkLatencySeconds: 0.002,
+		PrewarmSynthesis:   true,
+	}
+}
+
+// Validate reports impossible configurations.
+func (c Config) Validate() error {
+	if c.Strategy == nil {
+		return fmt.Errorf("grid: config without a strategy")
+	}
+	if c.LinkMBps <= 0 {
+		return fmt.Errorf("grid: non-positive link bandwidth")
+	}
+	if c.LinkLatencySeconds < 0 {
+		return fmt.Errorf("grid: negative link latency")
+	}
+	return nil
+}
+
+// appRun tracks one submission's progress through the engine.
+type appRun struct {
+	sub *jss.Submission
+	// Graph mode: remaining dependency counts per task.
+	waiting map[string]int
+	// Program mode: dispatch batches and progress.
+	batches   []task.Batch
+	batchIdx  int
+	batchLeft int
+}
+
+// item is one runnable task waiting for a processing element.
+type item struct {
+	run *appRun
+	t   *task.Task
+	enq sim.Time
+	seq int
+}
+
+// Engine drives the simulation: submissions arrive, the scheduler places
+// tasks on elements via the matchmaker, reconfigurations and transfers are
+// charged, and metrics accumulate.
+type Engine struct {
+	cfg Config
+	S   *sim.Simulator
+	Reg *rms.Registry
+	MM  *rms.Matchmaker
+	J   *jss.JSS
+
+	queue []*item
+	seq   int
+	m     *Metrics
+	// running tracks in-flight executions per element, for failure
+	// injection.
+	running map[*node.Element][]*execution
+}
+
+// execution is one in-flight task placement.
+type execution struct {
+	it    *item
+	lease *rms.Lease
+	ev    *sim.Event
+}
+
+// NewEngine wires a simulator around an existing registry and matchmaker.
+func NewEngine(cfg Config, reg *rms.Registry, mm *rms.Matchmaker) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if reg == nil || mm == nil {
+		return nil, fmt.Errorf("grid: engine needs a registry and matchmaker")
+	}
+	return &Engine{
+		cfg:     cfg,
+		S:       sim.NewSimulator(),
+		Reg:     reg,
+		MM:      mm,
+		J:       jss.New(),
+		m:       newMetrics(cfg.Strategy.Name()),
+		running: make(map[*node.Element][]*execution),
+	}, nil
+}
+
+// Submit schedules an application submission at a virtual time. Program
+// may be nil to execute by graph dependencies (Fig. 7 mode); otherwise the
+// Seq/Par plan drives dispatch (Fig. 8 mode).
+func (e *Engine) Submit(at sim.Time, user string, g *task.Graph, prog *task.Program, qos jss.QoS) {
+	e.S.Schedule(at, "submit", func() {
+		if _, err := e.J.Submit(user, g, prog, qos, e.S.Now()); err != nil {
+			return // rejected; the JSS records the reason
+		}
+		// Each submit event admits one submission; Dequeue honours
+		// priority if several were queued at the same instant.
+		run := &appRun{sub: e.J.Dequeue()}
+		e.start(run)
+	})
+}
+
+// SubmitWorkload schedules a many-task workload: each generated task is an
+// independent single-task submission at its arrival time (DReAMSim's
+// independent-task model).
+func (e *Engine) SubmitWorkload(gen []Generated, user string) error {
+	if e.cfg.PrewarmSynthesis {
+		if err := e.prewarm(gen); err != nil {
+			return err
+		}
+	}
+	for _, g := range gen {
+		tg := task.NewGraph()
+		if err := tg.Add(g.Task); err != nil {
+			return err
+		}
+		e.Submit(g.Arrival, user, tg, nil, jss.QoS{})
+	}
+	return nil
+}
+
+// prewarm fills the provider's bitstream library for every design the
+// workload references, on every distinct RPE device in the grid.
+func (e *Engine) prewarm(gen []Generated) error {
+	designs := map[string]*hdl.Design{}
+	for _, g := range gen {
+		if d := g.Task.ExecReq.Design; d != nil {
+			designs[d.Name] = d
+		}
+	}
+	if len(designs) == 0 {
+		return nil
+	}
+	seenDev := map[string]bool{}
+	for _, n := range e.Reg.Nodes() {
+		for _, el := range n.RPEs() {
+			dev := el.Fabric.Device()
+			if seenDev[dev.FPGACaps.Device] {
+				continue
+			}
+			seenDev[dev.FPGACaps.Device] = true
+			for _, d := range designs {
+				// Skip incompatible pairs; the matchmaker will simply not
+				// offer them.
+				if err := e.MM.PrewarmSynthesis(d, dev); err != nil {
+					continue
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// linkTo returns the network link for a node.
+func (e *Engine) linkTo(nodeID string) network.Link {
+	if e.cfg.Topology != nil {
+		return e.cfg.Topology.LinkTo(nodeID)
+	}
+	return network.Link{BandwidthMBps: e.cfg.LinkMBps, LatencySeconds: e.cfg.LinkLatencySeconds}
+}
+
+// AttachNodeAt adds a node to the grid at a virtual time — resources
+// joining at runtime, per the framework's adaptivity claim. Queued tasks
+// are re-examined immediately: work that was unschedulable may now run.
+func (e *Engine) AttachNodeAt(at sim.Time, n *node.Node) {
+	e.S.Schedule(at, "attach "+n.ID, func() {
+		if err := e.Reg.AddNode(n); err != nil {
+			return // duplicate ID; the registry refused
+		}
+		e.tryDispatch()
+	})
+}
+
+// DetachNodeAt removes a node at a virtual time. A node busy with running
+// tasks cannot leave; the detach retries after each second of virtual time
+// until the node drains (bounded, so a saturated grid cannot loop forever).
+func (e *Engine) DetachNodeAt(at sim.Time, id string) {
+	const maxRetries = 100000
+	retries := 0
+	var attempt func()
+	attempt = func() {
+		if err := e.Reg.RemoveNode(id); err == nil {
+			return
+		}
+		retries++
+		if retries < maxRetries {
+			e.S.After(1, "detach-retry "+id, attempt)
+		}
+	}
+	e.S.Schedule(at, "detach "+id, attempt)
+}
+
+// start initializes a run and enqueues its initially ready tasks.
+func (e *Engine) start(run *appRun) {
+	if run.sub.Program != nil {
+		run.batches = run.sub.Program.Plan()
+		e.startBatch(run)
+		return
+	}
+	run.waiting = make(map[string]int)
+	for _, id := range run.sub.Graph.IDs() {
+		deps := 0
+		for _, dep := range run.sub.Graph.Dependencies(id) {
+			if _, ok := run.sub.Graph.Get(dep); ok {
+				deps++
+			}
+		}
+		run.waiting[id] = deps
+		if deps == 0 {
+			e.enqueue(run, id)
+		}
+	}
+}
+
+func (e *Engine) startBatch(run *appRun) {
+	if run.batchIdx >= len(run.batches) {
+		return
+	}
+	batch := run.batches[run.batchIdx]
+	run.batchLeft = len(batch)
+	for _, id := range batch {
+		e.enqueue(run, id)
+	}
+}
+
+func (e *Engine) enqueue(run *appRun, taskID string) {
+	t, ok := run.sub.Graph.Get(taskID)
+	if !ok {
+		return
+	}
+	e.seq++
+	e.queue = append(e.queue, &item{run: run, t: t, enq: e.S.Now(), seq: e.seq})
+	e.J.Notify(run.sub.ID, e.S.Now(), taskID, "queued")
+	e.cfg.Tracer.record(TraceEvent{Time: e.S.Now(), Kind: TraceQueued, TaskID: taskID})
+	e.tryDispatch()
+}
+
+// orderQueue sorts the waiting items per the queue policy.
+func (e *Engine) orderQueue() {
+	switch e.cfg.Queue {
+	case sched.SJF:
+		sort.SliceStable(e.queue, func(i, j int) bool {
+			a, b := e.queue[i], e.queue[j]
+			if a.t.EstimatedSeconds != b.t.EstimatedSeconds {
+				return a.t.EstimatedSeconds < b.t.EstimatedSeconds
+			}
+			return a.seq < b.seq
+		})
+	default: // FCFS
+		sort.SliceStable(e.queue, func(i, j int) bool { return e.queue[i].seq < e.queue[j].seq })
+	}
+}
+
+// tryDispatch greedily places queued tasks until no further placement
+// succeeds (FCFS order with backfill: a blocked head does not stall
+// runnable tasks behind it).
+func (e *Engine) tryDispatch() {
+	for {
+		e.orderQueue()
+		dispatched := false
+		for i := 0; i < len(e.queue); i++ {
+			it := e.queue[i]
+			if e.dispatchOne(it) {
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				dispatched = true
+				break
+			}
+		}
+		if !dispatched {
+			return
+		}
+	}
+}
+
+// dispatchOne attempts to place one task; true on success.
+func (e *Engine) dispatchOne(it *item) bool {
+	req := it.t.ExecReq
+	cands, err := e.MM.Candidates(req)
+	if err != nil || len(cands) == 0 {
+		return false
+	}
+	opts := make([]sched.Option, 0, len(cands))
+	for _, c := range cands {
+		est, err := e.MM.Estimate(c, req, it.t.Work)
+		if err != nil {
+			continue
+		}
+		transfer := e.linkTo(c.Node.ID).TransferSeconds(it.t.InputMB() + est.BitstreamMB)
+		opts = append(opts, sched.Option{
+			Cand:             c,
+			ExecSeconds:      est.ExecSeconds,
+			ReconfigSeconds:  float64(est.ReconfigDelay),
+			TransferSeconds:  transfer,
+			SynthesisSeconds: est.SynthesisSeconds,
+		})
+	}
+	for len(opts) > 0 {
+		idx := e.cfg.Strategy.Choose(opts)
+		if idx < 0 {
+			return false
+		}
+		opt := opts[idx]
+		lease, err := e.MM.Allocate(opt.Cand, req)
+		if err != nil {
+			// Element became unusable (area busy); drop the option.
+			opts = append(opts[:idx], opts[idx+1:]...)
+			continue
+		}
+		e.execute(it, opt, lease)
+		return true
+	}
+	return false
+}
+
+// execute charges the placement's timeline and schedules completion.
+func (e *Engine) execute(it *item, opt sched.Option, lease *rms.Lease) {
+	now := e.S.Now()
+	wait := float64(now - it.enq)
+	e.m.Wait.Observe(wait)
+
+	exec, err := lease.Estimator.EstimateSeconds(it.t.Work)
+	if err != nil {
+		// Work validated at submission; a failure here is a model bug.
+		panic(fmt.Sprintf("grid: estimator failed post-allocation: %v", err))
+	}
+	// Transfer: input data always crosses the node's link; the
+	// configuration bitstream only when this lease actually reconfigured.
+	transfer := e.linkTo(opt.Cand.Node.ID).TransferSeconds(it.t.InputMB() + lease.BitstreamMB)
+	span := transfer + lease.SynthesisSeconds + float64(lease.ReconfigDelay+lease.CompactionDelay) + exec
+
+	if lease.ReconfigDelay > 0 {
+		e.m.Reconfigs++
+		e.m.ReconfigSeconds += float64(lease.ReconfigDelay)
+		e.m.BitstreamMB += lease.BitstreamMB
+	} else if opt.Cand.Elem.Fabric != nil {
+		e.m.Reuses++
+	}
+	if lease.CompactionMoves > 0 {
+		e.m.Compactions += lease.CompactionMoves
+		e.m.CompactionSeconds += float64(lease.CompactionDelay)
+	}
+	if opt.Cand.Fallback {
+		e.m.Fallbacks++
+	}
+	e.m.SynthesisSeconds += lease.SynthesisSeconds
+
+	kind := lease.Estimator.Kind()
+	run := it.run
+	e.J.Notify(run.sub.ID, now, it.t.ID, fmt.Sprintf("dispatched to %s", opt.Cand.Label()))
+
+	exe := &execution{it: it, lease: lease}
+	elem := opt.Cand.Elem
+	e.running[elem] = append(e.running[elem], exe)
+	e.cfg.Tracer.record(TraceEvent{
+		Time: now, Kind: TraceDispatch, TaskID: it.t.ID,
+		Node: opt.Cand.Node.ID, Element: elem.ID,
+	})
+	exe.ev = e.S.After(sim.Time(span), "complete "+it.t.ID, func() {
+		end := e.S.Now()
+		e.dropRunning(elem, exe)
+		if err := lease.Release(); err != nil {
+			panic(fmt.Sprintf("grid: release failed: %v", err))
+		}
+		e.m.Completed++
+		e.m.Exec.Observe(exec)
+		e.m.Turnaround.Observe(float64(end - it.enq))
+		e.m.busySeconds[opt.Cand.Elem.Kind] += span
+		e.m.Energy.ChargeActive(opt.Cand.Elem.Kind, span)
+		if end > e.m.Makespan {
+			e.m.Makespan = end
+		}
+		e.J.Charge(run.sub.ID, exec, kind)
+		e.J.Notify(run.sub.ID, end, it.t.ID, "completed")
+		e.cfg.Tracer.record(TraceEvent{
+			Time: end, Kind: TraceComplete, TaskID: it.t.ID,
+			Node: opt.Cand.Node.ID, Element: elem.ID,
+		})
+		e.J.TaskDone(run.sub.ID, end)
+		e.advance(run, it.t.ID)
+		e.tryDispatch()
+	})
+}
+
+// advance unlocks the tasks enabled by a completion.
+func (e *Engine) advance(run *appRun, doneID string) {
+	if run.sub.Program != nil {
+		run.batchLeft--
+		if run.batchLeft == 0 {
+			run.batchIdx++
+			e.startBatch(run)
+		}
+		return
+	}
+	for _, dep := range run.sub.Graph.Dependents(doneID) {
+		run.waiting[dep]--
+		if run.waiting[dep] == 0 {
+			e.enqueue(run, dep)
+		}
+	}
+}
+
+// dropRunning removes one execution record from an element's list.
+func (e *Engine) dropRunning(elem *node.Element, exe *execution) {
+	list := e.running[elem]
+	for i, cur := range list {
+		if cur == exe {
+			e.running[elem] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(e.running[elem]) == 0 {
+		delete(e.running, elem)
+	}
+}
+
+// FailElementAt injects an element failure at a virtual time: every task
+// running on the element is aborted and re-enqueued (its original enqueue
+// time is kept, so the lost work shows up in waiting/turnaround). With
+// permanent set, the element is also removed from its node, modelling
+// hardware loss rather than a transient fault.
+func (e *Engine) FailElementAt(at sim.Time, nodeID, elemID string, permanent bool) {
+	e.S.Schedule(at, "fail "+nodeID+"/"+elemID, func() {
+		n, ok := e.Reg.Node(nodeID)
+		if !ok {
+			return
+		}
+		elem, ok := n.Element(elemID)
+		if !ok {
+			return
+		}
+		for _, exe := range append([]*execution(nil), e.running[elem]...) {
+			e.S.Cancel(exe.ev)
+			e.dropRunning(elem, exe)
+			if err := exe.lease.Release(); err != nil {
+				panic(fmt.Sprintf("grid: failure release: %v", err))
+			}
+			// A failed fabric loses its configurations: evict the region
+			// the task was using so no stale reuse happens.
+			if exe.lease.Region != nil && elem.Fabric != nil {
+				_ = elem.Fabric.Evict(exe.lease.Region)
+			}
+			e.m.Failures++
+			e.J.Notify(exe.it.run.sub.ID, e.S.Now(), exe.it.t.ID,
+				fmt.Sprintf("failed on %s/%s, requeued", nodeID, elemID))
+			e.cfg.Tracer.record(TraceEvent{
+				Time: e.S.Now(), Kind: TraceFail, TaskID: exe.it.t.ID,
+				Node: nodeID, Element: elemID,
+			})
+			e.queue = append(e.queue, exe.it)
+		}
+		if permanent {
+			_ = n.Remove(elemID)
+		}
+		e.tryDispatch()
+	})
+}
+
+// Run executes the simulation to completion (or the horizon) and returns
+// the metrics. Tasks still queued at the end are counted unfinished and
+// their submissions marked failed.
+func (e *Engine) Run() (*Metrics, error) {
+	e.S.Horizon = e.cfg.Horizon
+	if err := e.S.Run(); err != nil {
+		return nil, err
+	}
+	e.m.Unfinished = len(e.queue)
+	for _, it := range e.queue {
+		e.J.Fail(it.run.sub.ID, e.S.Now(), fmt.Sprintf("task %s unschedulable under %s", it.t.ID, e.cfg.Strategy.Name()))
+	}
+	e.fillCapacity()
+	return e.m, nil
+}
+
+// fillCapacity computes per-kind capacity-seconds over the makespan and
+// charges powered-but-idle energy for the unused capacity.
+func (e *Engine) fillCapacity() {
+	horizon := float64(e.m.Makespan)
+	if horizon <= 0 {
+		return
+	}
+	for _, n := range e.Reg.Nodes() {
+		for _, el := range n.Elements() {
+			units := 1.0
+			if el.GPP != nil {
+				units = float64(el.GPP.Caps.Cores)
+			}
+			e.m.capacitySeconds[el.Kind] += units * horizon
+		}
+	}
+	for kind, cap := range e.m.capacitySeconds {
+		idle := cap - e.m.busySeconds[kind]
+		if idle > 0 {
+			e.m.Energy.ChargeIdle(kind, idle)
+		}
+	}
+}
+
+// RunScenario is the one-call harness used by benchmarks and commands:
+// build a grid, generate a workload, simulate, return metrics. The
+// toolchain may be nil (a provider without CAD tools).
+func RunScenario(seed uint64, cfg Config, gs GridSpec, ws WorkloadSpec, toolchain *hdl.Toolchain) (*Metrics, error) {
+	reg, err := BuildGrid(gs)
+	if err != nil {
+		return nil, err
+	}
+	mm, err := rms.NewMatchmaker(reg, toolchain)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := NewEngine(cfg, reg, mm)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := Generate(sim.NewRNG(seed), ws)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.SubmitWorkload(gen, "bench"); err != nil {
+		return nil, err
+	}
+	return eng.Run()
+}
+
+// DefaultToolchain returns the provider toolchain used by scenario runs.
+func DefaultToolchain() (*hdl.Toolchain, error) {
+	return hdl.NewToolchain("Xilinx ISE 13", "Virtex-4", "Virtex-5", "Virtex-6")
+}
+
+// ToSoftwareOnly rewrites every generated task to the software-only
+// scenario with modest GPP demands — the GPP-baseline transformation for
+// the hybrid-vs-GPP experiment: the same computational work, no
+// accelerator option.
+func ToSoftwareOnly(gen []Generated) []Generated {
+	out := make([]Generated, len(gen))
+	for i, g := range gen {
+		t := *g.Task
+		t.ExecReq = task.ExecReq{
+			Scenario:     pe.SoftwareOnly,
+			Requirements: task.GPPOnly(1000, 256),
+		}
+		t.Work.HWSpeedup = 0
+		out[i] = Generated{Task: &t, Arrival: g.Arrival}
+	}
+	return out
+}

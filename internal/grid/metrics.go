@@ -1,0 +1,113 @@
+package grid
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/capability"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// Metrics aggregates one simulation run's outcomes.
+type Metrics struct {
+	Strategy string
+	// Completed and Unfinished partition the submitted tasks; Unfinished
+	// tasks were still queued (unschedulable under the strategy, or the
+	// horizon hit) when the run ended.
+	Completed  int
+	Unfinished int
+	// Wait is queueing delay (enqueue → dispatch); Turnaround is enqueue →
+	// completion; Exec is pure execution time.
+	Wait       sim.Series
+	Turnaround sim.Series
+	Exec       sim.Series
+	// Reconfigs counts fabric configuration loads; ReconfigSeconds their
+	// total delay; BitstreamMB the configuration traffic sent over the
+	// network; Reuses the allocations served by resident configurations.
+	Reconfigs       int
+	ReconfigSeconds float64
+	BitstreamMB     float64
+	Reuses          int
+	// Fallbacks counts software tasks served by soft-cores on RPEs.
+	Fallbacks int
+	// Failures counts task executions aborted by injected element
+	// failures (each aborted task is re-enqueued and retried).
+	Failures int
+	// Compactions counts idle regions rewritten by fabric defragmentation
+	// and CompactionSeconds their total configuration-port time.
+	Compactions       int
+	CompactionSeconds float64
+	// SynthesisSeconds is total CAD time paid.
+	SynthesisSeconds float64
+	// Makespan is the completion time of the last task.
+	Makespan sim.Time
+	// busySeconds accumulates element-kind busy time for utilization.
+	busySeconds     map[capability.Kind]float64
+	capacitySeconds map[capability.Kind]float64
+	// Energy meters the grid's power draw over the run (active while
+	// executing, idle otherwise), quantifying the paper's low-power claim.
+	Energy *power.Meter
+}
+
+func newMetrics(strategy string) *Metrics {
+	return &Metrics{
+		Strategy:        strategy,
+		busySeconds:     make(map[capability.Kind]float64),
+		capacitySeconds: make(map[capability.Kind]float64),
+		Energy:          power.NewMeter(),
+	}
+}
+
+// EnergyJoules returns the total grid energy consumed over the makespan.
+func (m *Metrics) EnergyJoules() float64 { return m.Energy.TotalJoules() }
+
+// JoulesPerTask returns average energy per completed task, the
+// performance-per-watt proxy of the X5 experiment.
+func (m *Metrics) JoulesPerTask() float64 {
+	if m.Completed == 0 {
+		return 0
+	}
+	return m.EnergyJoules() / float64(m.Completed)
+}
+
+// Utilization returns busy time over capacity time for a PE kind in [0,1],
+// or 0 when the grid has no capacity of that kind.
+func (m *Metrics) Utilization(kind capability.Kind) float64 {
+	cap := m.capacitySeconds[kind]
+	if cap <= 0 {
+		return 0
+	}
+	u := m.busySeconds[kind] / cap
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// MeanWait returns the average queueing delay in seconds.
+func (m *Metrics) MeanWait() float64 { return m.Wait.Mean() }
+
+// P95Wait returns the 95th-percentile queueing delay in seconds.
+func (m *Metrics) P95Wait() float64 { return m.Wait.Quantile(0.95) }
+
+// MeanTurnaround returns the average enqueue-to-completion time.
+func (m *Metrics) MeanTurnaround() float64 { return m.Turnaround.Mean() }
+
+// Throughput returns completed tasks per simulated second.
+func (m *Metrics) Throughput() float64 {
+	if m.Makespan <= 0 {
+		return 0
+	}
+	return float64(m.Completed) / float64(m.Makespan)
+}
+
+// String renders a one-line summary.
+func (m *Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] done=%d unfinished=%d wait(mean=%.3gs p95=%.3gs) turnaround=%.3gs makespan=%s",
+		m.Strategy, m.Completed, m.Unfinished, m.MeanWait(), m.P95Wait(), m.MeanTurnaround(), m.Makespan)
+	fmt.Fprintf(&b, " reconfigs=%d (%.3gs, %.1f MB) reuse=%d fallback=%d", m.Reconfigs, m.ReconfigSeconds, m.BitstreamMB, m.Reuses, m.Fallbacks)
+	fmt.Fprintf(&b, " util{gpp=%.0f%% fpga=%.0f%%}", 100*m.Utilization(capability.KindGPP), 100*m.Utilization(capability.KindFPGA))
+	return b.String()
+}

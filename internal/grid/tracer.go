@@ -1,0 +1,141 @@
+package grid
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// TraceKind classifies recorder events.
+type TraceKind string
+
+// Trace event kinds.
+const (
+	TraceQueued   TraceKind = "queued"
+	TraceDispatch TraceKind = "dispatch"
+	TraceComplete TraceKind = "complete"
+	TraceFail     TraceKind = "fail"
+)
+
+// TraceEvent is one recorded lifecycle event.
+type TraceEvent struct {
+	Time    sim.Time
+	Kind    TraceKind
+	TaskID  string
+	Node    string
+	Element string
+}
+
+// Recorder captures per-task lifecycle events for post-hoc analysis. Attach
+// one via Config.Tracer. The zero value is ready to use.
+type Recorder struct {
+	events []TraceEvent
+}
+
+func (r *Recorder) record(ev TraceEvent) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Events returns the recorded events in emission order.
+func (r *Recorder) Events() []TraceEvent {
+	if r == nil {
+		return nil
+	}
+	return append([]TraceEvent(nil), r.events...)
+}
+
+// WriteCSV emits the trace as CSV (time_s,kind,task,node,element).
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "kind", "task", "node", "element"}); err != nil {
+		return err
+	}
+	for _, ev := range r.events {
+		rec := []string{
+			strconv.FormatFloat(float64(ev.Time), 'g', -1, 64),
+			string(ev.Kind), ev.TaskID, ev.Node, ev.Element,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// span is one task's occupancy of an element.
+type span struct {
+	task       string
+	start, end sim.Time
+}
+
+// Gantt renders an ASCII Gantt chart: one lane per processing element,
+// bars spanning dispatch→complete, scaled to width columns.
+func (r *Recorder) Gantt(w io.Writer, width int) error {
+	if width < 10 {
+		return fmt.Errorf("grid: gantt width %d too small", width)
+	}
+	open := map[string]TraceEvent{} // task → dispatch event
+	lanes := map[string][]span{}
+	var maxT sim.Time
+	for _, ev := range r.events {
+		switch ev.Kind {
+		case TraceDispatch:
+			open[ev.TaskID] = ev
+		case TraceComplete, TraceFail:
+			d, ok := open[ev.TaskID]
+			if !ok {
+				continue
+			}
+			delete(open, ev.TaskID)
+			lane := d.Node + "/" + d.Element
+			lanes[lane] = append(lanes[lane], span{task: ev.TaskID, start: d.Time, end: ev.Time})
+			if ev.Time > maxT {
+				maxT = ev.Time
+			}
+		}
+	}
+	if maxT <= 0 || len(lanes) == 0 {
+		_, err := fmt.Fprintln(w, "(no completed spans)")
+		return err
+	}
+	names := make([]string, 0, len(lanes))
+	nameWidth := 0
+	for name := range lanes {
+		names = append(names, name)
+		if len(name) > nameWidth {
+			nameWidth = len(name)
+		}
+	}
+	sort.Strings(names)
+	scale := float64(width) / float64(maxT)
+	for _, name := range names {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, sp := range lanes[name] {
+			lo := int(float64(sp.start) * scale)
+			hi := int(float64(sp.end) * scale)
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi && i < width; i++ {
+				row[i] = '#'
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s|\n", nameWidth, name, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s  0%s%s\n", nameWidth, "", strings.Repeat(" ", width-len(maxT.String())), maxT)
+	return err
+}

@@ -1,0 +1,121 @@
+package grid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rms"
+	"repro/internal/sim"
+)
+
+func tracedRun(t *testing.T) (*Recorder, *Metrics) {
+	t.Helper()
+	rec := &Recorder{}
+	cfg := DefaultConfig()
+	cfg.Tracer = rec
+	tc, _ := DefaultToolchain()
+	reg, _ := BuildGrid(DefaultGridSpec())
+	mm, _ := rms.NewMatchmaker(reg, tc)
+	eng, err := NewEngine(cfg, reg, mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := Generate(sim.NewRNG(21), DefaultWorkload(20, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SubmitWorkload(gen, "trace"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, m
+}
+
+func TestRecorderCapturesLifecycle(t *testing.T) {
+	rec, m := tracedRun(t)
+	events := rec.Events()
+	counts := map[TraceKind]int{}
+	for _, ev := range events {
+		counts[ev.Kind]++
+	}
+	if counts[TraceQueued] != 20 || counts[TraceDispatch] != 20 || counts[TraceComplete] != 20 {
+		t.Errorf("event counts = %v, want 20 of each lifecycle kind", counts)
+	}
+	if m.Completed != 20 {
+		t.Errorf("completed = %d", m.Completed)
+	}
+	// Causality: each task's queued ≤ dispatch ≤ complete.
+	dispatch := map[string]sim.Time{}
+	queued := map[string]sim.Time{}
+	for _, ev := range events {
+		switch ev.Kind {
+		case TraceQueued:
+			queued[ev.TaskID] = ev.Time
+		case TraceDispatch:
+			dispatch[ev.TaskID] = ev.Time
+			if ev.Node == "" || ev.Element == "" {
+				t.Error("dispatch without placement info")
+			}
+		case TraceComplete:
+			if ev.Time < dispatch[ev.TaskID] || dispatch[ev.TaskID] < queued[ev.TaskID] {
+				t.Errorf("causality violated for %s", ev.TaskID)
+			}
+		}
+	}
+}
+
+func TestRecorderCSV(t *testing.T) {
+	rec, _ := tracedRun(t)
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "time_s,kind,task,node,element" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 1+len(rec.Events()) {
+		t.Errorf("csv rows = %d, want %d", len(lines)-1, len(rec.Events()))
+	}
+}
+
+func TestRecorderGantt(t *testing.T) {
+	rec, _ := tracedRun(t)
+	var buf bytes.Buffer
+	if err := rec.Gantt(&buf, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "#") {
+		t.Errorf("gantt has no bars:\n%s", out)
+	}
+	if !strings.Contains(out, "Node0/GPP0") && !strings.Contains(out, "Node2/RPE0") {
+		t.Errorf("gantt lanes missing:\n%s", out)
+	}
+	if err := rec.Gantt(&buf, 2); err == nil {
+		t.Error("tiny width accepted")
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var rec *Recorder
+	rec.record(TraceEvent{}) // must not panic
+	if rec.Events() != nil {
+		t.Error("nil recorder should have no events")
+	}
+}
+
+func TestRecorderEmptyGantt(t *testing.T) {
+	rec := &Recorder{}
+	var buf bytes.Buffer
+	if err := rec.Gantt(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no completed spans") {
+		t.Errorf("empty gantt = %q", buf.String())
+	}
+}

@@ -1,0 +1,180 @@
+// Package hdl models the hardware-design side of the user-defined and
+// device-specific scenarios: IP-core designs described in generic HDLs
+// (the paper's OpenCores reuse case), a synthesis toolchain that turns a
+// design into a device-specific bitstream (the CAD tools the service
+// provider must possess in Section III-B2), and hardware-accelerator
+// execution-time estimation.
+//
+// Real vendor CAD tools are not available in this environment; the
+// toolchain here is a deterministic cost model: area comes from the Quipu
+// predictor, bitstream size from the fabric device model, and tool runtime
+// from design size. The framework only depends on these outputs.
+package hdl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/capability"
+	"repro/internal/pe"
+	"repro/internal/quipu"
+)
+
+// Language is an HDL source language.
+type Language string
+
+// Supported source languages (the paper names both).
+const (
+	VHDL    Language = "VHDL"
+	Verilog Language = "Verilog"
+)
+
+// Design is a hardware design in a generic HDL: what the application
+// developer hands to the grid in the user-defined-hardware scenario.
+type Design struct {
+	// Name identifies the design (e.g. "pairalign-core").
+	Name string
+	// Language is the source HDL.
+	Language Language
+	// Metrics characterize the kernel the design implements; the Quipu
+	// model predicts area from them.
+	Metrics quipu.Metrics
+	// AccelFactor is the design's speedup over the reference grid CPU
+	// (pe.ReferenceMIPS).
+	AccelFactor float64
+	// ReferenceClockMHz is the clock the AccelFactor was characterized at;
+	// achieved speed scales with the synthesized clock.
+	ReferenceClockMHz float64
+	// Streaming marks designs that process unbounded streams; the current
+	// framework rejects them (the paper defers streaming support to future
+	// work).
+	Streaming bool
+}
+
+// Validate reports structural problems.
+func (d *Design) Validate() error {
+	switch {
+	case d == nil:
+		return fmt.Errorf("hdl: nil design")
+	case d.Name == "":
+		return fmt.Errorf("hdl: design without a name")
+	case d.Language != VHDL && d.Language != Verilog:
+		return fmt.Errorf("hdl: design %s has unsupported language %q", d.Name, d.Language)
+	case d.AccelFactor <= 0:
+		return fmt.Errorf("hdl: design %s has non-positive acceleration factor", d.Name)
+	case d.ReferenceClockMHz <= 0:
+		return fmt.Errorf("hdl: design %s has non-positive reference clock", d.Name)
+	}
+	return d.Metrics.Validate()
+}
+
+// String summarizes the design.
+func (d *Design) String() string {
+	return fmt.Sprintf("design %s (%s, %dx speedup @%g MHz ref)", d.Name, d.Language, int(d.AccelFactor), d.ReferenceClockMHz)
+}
+
+// Accelerator is a synthesized hardware implementation of a design running
+// at a concrete clock: the execution-time model for RPE-hosted tasks.
+type Accelerator struct {
+	Design   *Design
+	ClockMHz float64
+}
+
+// Kind implements pe.Estimator. Accelerators live on FPGAs.
+func (a *Accelerator) Kind() capability.Kind { return capability.KindFPGA }
+
+// EstimateSeconds implements pe.Estimator: hardware exploits spatial
+// parallelism fully, so the parallel fraction rides the accelerator while
+// the serial remainder runs at reference-CPU speed on the host
+// (control code).
+func (a *Accelerator) EstimateSeconds(w pe.Work) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	if a.Design == nil || a.ClockMHz <= 0 {
+		return 0, fmt.Errorf("hdl: accelerator not synthesized")
+	}
+	clockScale := a.ClockMHz / a.Design.ReferenceClockMHz
+	accelRate := pe.ReferenceMIPS * a.Design.AccelFactor * clockScale
+	serial := w.MInstructions * (1 - w.ParallelFraction) / pe.ReferenceMIPS
+	parallel := w.MInstructions * w.ParallelFraction / accelRate
+	return serial + parallel, nil
+}
+
+// library is the built-in OpenCores-style IP catalog, including the two
+// ClustalW kernels of the case study.
+var library = func() map[string]*Design {
+	designs := []*Design{
+		{
+			Name: "pairalign-core", Language: VHDL,
+			Metrics:     quipu.PairalignMetrics(),
+			AccelFactor: 60, ReferenceClockMHz: 100,
+		},
+		{
+			Name: "malign-core", Language: VHDL,
+			Metrics:     quipu.MalignMetrics(),
+			AccelFactor: 40, ReferenceClockMHz: 100,
+		},
+		{
+			Name: "fft1024", Language: Verilog,
+			Metrics: quipu.Metrics{
+				Name: "fft1024", LinesOfCode: 90, UniqueOperators: 18, UniqueOperands: 40,
+				TotalOperators: 300, TotalOperands: 380, Cyclomatic: 12, Branches: 15,
+				ArrayAccesses: 70, FloatOps: 48, LoopNestDepth: 2,
+			},
+			AccelFactor: 80, ReferenceClockMHz: 150,
+		},
+		{
+			Name: "aes128", Language: Verilog,
+			Metrics: quipu.Metrics{
+				Name: "aes128", LinesOfCode: 120, UniqueOperators: 15, UniqueOperands: 45,
+				TotalOperators: 420, TotalOperands: 500, Cyclomatic: 10, Branches: 12,
+				ArrayAccesses: 64, FloatOps: 0, LoopNestDepth: 2,
+			},
+			AccelFactor: 120, ReferenceClockMHz: 200,
+		},
+		{
+			Name: "fir64", Language: VHDL,
+			Metrics: quipu.Metrics{
+				Name: "fir64", LinesOfCode: 60, UniqueOperators: 10, UniqueOperands: 22,
+				TotalOperators: 150, TotalOperands: 190, Cyclomatic: 5, Branches: 4,
+				ArrayAccesses: 40, FloatOps: 64, LoopNestDepth: 1,
+			},
+			AccelFactor: 50, ReferenceClockMHz: 250,
+		},
+		{
+			Name: "matmul32", Language: VHDL,
+			Metrics: quipu.Metrics{
+				Name: "matmul32", LinesOfCode: 45, UniqueOperators: 9, UniqueOperands: 18,
+				TotalOperators: 120, TotalOperands: 160, Cyclomatic: 4, Branches: 3,
+				ArrayAccesses: 96, FloatOps: 32, LoopNestDepth: 3,
+			},
+			AccelFactor: 45, ReferenceClockMHz: 200,
+		},
+	}
+	m := make(map[string]*Design, len(designs))
+	for _, d := range designs {
+		m[strings.ToLower(d.Name)] = d
+	}
+	return m
+}()
+
+// LookupIP returns a library design by name (case-insensitive).
+func LookupIP(name string) (*Design, error) {
+	d, ok := library[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("hdl: unknown IP core %q", name)
+	}
+	return d, nil
+}
+
+// Library returns every built-in design sorted by name.
+func Library() []*Design {
+	out := make([]*Design, 0, len(library))
+	for _, d := range library {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

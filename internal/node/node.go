@@ -1,0 +1,315 @@
+// Package node implements the paper's grid node model (Eq. 1, Fig. 3):
+//
+//	Node(NodeID, GPP Caps, RPE Caps, state)
+//
+// A node holds lists of processing elements — GPPs and RPEs (and GPUs, via
+// the taxonomy's extensibility) — each characterized by a Table I
+// capability set, plus dynamically changing state: which configurations an
+// RPE currently holds, how much reconfigurable area is free, and which GPP
+// cores are busy. Nodes are "generic and adaptive in adding/removing
+// resources at runtime".
+package node
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/capability"
+	"repro/internal/fabric"
+	"repro/internal/gpp"
+	"repro/internal/gpu"
+)
+
+// Element is one processing element installed in a node. Exactly one of
+// the backing models is non-nil, matching Kind.
+type Element struct {
+	// ID is unique within the node, e.g. "GPP0" or "RPE1" (Fig. 5 naming).
+	ID   string
+	Kind capability.Kind
+	// GPP, Fabric, GPU back the element's behaviour.
+	GPP    *gpp.Processor
+	Fabric *fabric.Fabric
+	GPU    *gpu.Device
+
+	caps      capability.Set
+	busyCores int  // GPP: cores currently executing tasks
+	busyGPU   bool // GPU occupancy
+}
+
+// Caps returns the element's Table I capability set.
+func (e *Element) Caps() capability.Set { return e.caps }
+
+// IsRPE reports whether the element is a reconfigurable processing element.
+func (e *Element) IsRPE() bool { return e.Kind == capability.KindFPGA }
+
+// FreeCores returns idle GPP cores (0 for non-GPP elements).
+func (e *Element) FreeCores() int {
+	if e.GPP == nil {
+		return 0
+	}
+	return e.GPP.Caps.Cores - e.busyCores
+}
+
+// AcquireCore marks one GPP core busy.
+func (e *Element) AcquireCore() error {
+	if e.GPP == nil {
+		return fmt.Errorf("node: %s is not a GPP", e.ID)
+	}
+	if e.FreeCores() <= 0 {
+		return fmt.Errorf("node: %s has no free cores", e.ID)
+	}
+	e.busyCores++
+	return nil
+}
+
+// ReleaseCore returns one GPP core.
+func (e *Element) ReleaseCore() error {
+	if e.GPP == nil {
+		return fmt.Errorf("node: %s is not a GPP", e.ID)
+	}
+	if e.busyCores <= 0 {
+		return fmt.Errorf("node: %s has no busy cores", e.ID)
+	}
+	e.busyCores--
+	return nil
+}
+
+// AcquireGPU marks the GPU busy.
+func (e *Element) AcquireGPU() error {
+	if e.GPU == nil {
+		return fmt.Errorf("node: %s is not a GPU", e.ID)
+	}
+	if e.busyGPU {
+		return fmt.Errorf("node: %s is busy", e.ID)
+	}
+	e.busyGPU = true
+	return nil
+}
+
+// ReleaseGPU returns the GPU.
+func (e *Element) ReleaseGPU() error {
+	if e.GPU == nil {
+		return fmt.Errorf("node: %s is not a GPU", e.ID)
+	}
+	if !e.busyGPU {
+		return fmt.Errorf("node: %s is not busy", e.ID)
+	}
+	e.busyGPU = false
+	return nil
+}
+
+// Busy reports whether any capacity of the element is in use.
+func (e *Element) Busy() bool {
+	switch {
+	case e.GPP != nil:
+		return e.busyCores > 0
+	case e.Fabric != nil:
+		return e.Fabric.State().BusyRegions > 0
+	case e.GPU != nil:
+		return e.busyGPU
+	}
+	return false
+}
+
+// StateLine renders the element's dynamic state in the Fig. 5 style.
+func (e *Element) StateLine() string {
+	switch {
+	case e.GPP != nil:
+		if e.busyCores == 0 {
+			return fmt.Sprintf("%s: idle (%d cores free)", e.ID, e.FreeCores())
+		}
+		return fmt.Sprintf("%s: %d/%d cores busy", e.ID, e.busyCores, e.GPP.Caps.Cores)
+	case e.Fabric != nil:
+		return fmt.Sprintf("%s: %s", e.ID, e.Fabric.State())
+	case e.GPU != nil:
+		if e.busyGPU {
+			return fmt.Sprintf("%s: busy", e.ID)
+		}
+		return fmt.Sprintf("%s: idle", e.ID)
+	}
+	return e.ID + ": ?"
+}
+
+// Node is a grid computing node.
+type Node struct {
+	ID string
+
+	elems []*Element
+	byID  map[string]*Element
+	seq   map[capability.Kind]int
+}
+
+// New creates an empty node.
+func New(id string) (*Node, error) {
+	if id == "" {
+		return nil, fmt.Errorf("node: empty node ID")
+	}
+	return &Node{
+		ID:   id,
+		byID: make(map[string]*Element),
+		seq:  make(map[capability.Kind]int),
+	}, nil
+}
+
+func (n *Node) install(e *Element) *Element {
+	n.elems = append(n.elems, e)
+	n.byID[e.ID] = e
+	return e
+}
+
+func (n *Node) nextID(kind capability.Kind) string {
+	var prefix string
+	switch kind {
+	case capability.KindGPP:
+		prefix = "GPP"
+	case capability.KindFPGA:
+		prefix = "RPE"
+	case capability.KindGPU:
+		prefix = "GPU"
+	default:
+		prefix = "PE"
+	}
+	id := fmt.Sprintf("%s%d", prefix, n.seq[kind])
+	n.seq[kind]++
+	return id
+}
+
+// AddGPP installs a general-purpose processor; IDs follow Fig. 5 (GPP0,
+// GPP1, …).
+func (n *Node) AddGPP(caps capability.GPPCaps) (*Element, error) {
+	p, err := gpp.New(caps)
+	if err != nil {
+		return nil, err
+	}
+	return n.install(&Element{
+		ID:   n.nextID(capability.KindGPP),
+		Kind: capability.KindGPP,
+		GPP:  p,
+		caps: caps.Set(),
+	}), nil
+}
+
+// AddRPE installs a reconfigurable processing element backed by a catalog
+// FPGA device (RPE0, RPE1, …).
+func (n *Node) AddRPE(device string) (*Element, error) {
+	f, err := fabric.NewByName(device)
+	if err != nil {
+		return nil, err
+	}
+	return n.installFabric(f), nil
+}
+
+// AddRPEDevice installs an RPE from an explicit device description,
+// allowing experiments to vary device parameters (reconfiguration
+// bandwidth, partial-reconfiguration support) beyond the catalog.
+func (n *Node) AddRPEDevice(dev fabric.Device) (*Element, error) {
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	return n.installFabric(fabric.New(dev)), nil
+}
+
+func (n *Node) installFabric(f *fabric.Fabric) *Element {
+	return n.install(&Element{
+		ID:     n.nextID(capability.KindFPGA),
+		Kind:   capability.KindFPGA,
+		Fabric: f,
+		caps:   f.Device().FPGACaps.Set(),
+	})
+}
+
+// AddGPU installs a GPU element.
+func (n *Node) AddGPU(caps capability.GPUCaps, coreClockMHz float64) (*Element, error) {
+	d, err := gpu.New(caps, coreClockMHz)
+	if err != nil {
+		return nil, err
+	}
+	return n.install(&Element{
+		ID:   n.nextID(capability.KindGPU),
+		Kind: capability.KindGPU,
+		GPU:  d,
+		caps: caps.Set(),
+	}), nil
+}
+
+// Remove detaches an idle element at runtime (the framework's dynamic
+// remove). Busy elements cannot be removed.
+func (n *Node) Remove(elemID string) error {
+	e, ok := n.byID[elemID]
+	if !ok {
+		return fmt.Errorf("node: %s has no element %s", n.ID, elemID)
+	}
+	if e.Busy() {
+		return fmt.Errorf("node: element %s is busy", elemID)
+	}
+	delete(n.byID, elemID)
+	for i, el := range n.elems {
+		if el == e {
+			n.elems = append(n.elems[:i], n.elems[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Element returns an element by ID.
+func (n *Node) Element(id string) (*Element, bool) {
+	e, ok := n.byID[id]
+	return e, ok
+}
+
+// Elements returns all elements in installation order.
+func (n *Node) Elements() []*Element { return append([]*Element(nil), n.elems...) }
+
+// ByKind returns the elements of one kind in installation order.
+func (n *Node) ByKind(kind capability.Kind) []*Element {
+	var out []*Element
+	for _, e := range n.elems {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// GPPs returns the node's general-purpose processors.
+func (n *Node) GPPs() []*Element { return n.ByKind(capability.KindGPP) }
+
+// RPEs returns the node's reconfigurable processing elements.
+func (n *Node) RPEs() []*Element { return n.ByKind(capability.KindFPGA) }
+
+// Snapshot is a point-in-time rendering of the node tuple: static
+// capabilities plus dynamic state, as Fig. 5 draws for the case study.
+type Snapshot struct {
+	NodeID string
+	Lines  []string
+}
+
+// Snapshot captures the node's current state.
+func (n *Node) Snapshot() Snapshot {
+	s := Snapshot{NodeID: n.ID}
+	for _, e := range n.elems {
+		var desc string
+		switch {
+		case e.GPP != nil:
+			desc = e.GPP.Caps.String()
+		case e.Fabric != nil:
+			desc = e.Fabric.Device().FPGACaps.String()
+		case e.GPU != nil:
+			desc = e.GPU.Caps.String()
+		}
+		s.Lines = append(s.Lines, fmt.Sprintf("%s = %s", e.ID, desc))
+		s.Lines = append(s.Lines, "  state: "+e.StateLine())
+	}
+	return s
+}
+
+// String renders the snapshot.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Node(%s):\n", s.NodeID)
+	for _, l := range s.Lines {
+		fmt.Fprintf(&b, "  %s\n", l)
+	}
+	return b.String()
+}

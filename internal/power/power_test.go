@@ -1,0 +1,57 @@
+package power
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/capability"
+)
+
+func TestProfilesShapeMatchesPaperClaim(t *testing.T) {
+	gpp := Of(capability.KindGPP)
+	fpga := Of(capability.KindFPGA)
+	if fpga.ActiveWatts >= gpp.ActiveWatts {
+		t.Error("FPGA active draw must be below a server CPU (the paper's low-power claim)")
+	}
+	if fpga.IdleWatts >= gpp.IdleWatts {
+		t.Error("FPGA idle draw must be below a server CPU")
+	}
+	for _, k := range []capability.Kind{capability.KindGPP, capability.KindFPGA, capability.KindSoftcore, capability.KindGPU} {
+		d := Of(k)
+		if d.ActiveWatts <= 0 || d.IdleWatts < 0 || d.IdleWatts >= d.ActiveWatts {
+			t.Errorf("%v draw implausible: %+v", k, d)
+		}
+	}
+	if Of(capability.KindUnknown).ActiveWatts != 0 {
+		t.Error("unknown kind should draw nothing")
+	}
+}
+
+func TestMeterAccounting(t *testing.T) {
+	m := NewMeter()
+	m.ChargeActive(capability.KindGPP, 10)  // 250 J
+	m.ChargeIdle(capability.KindGPP, 10)    // 90 J
+	m.ChargeActive(capability.KindFPGA, 10) // 200 J
+	if got := m.ActiveJoules(capability.KindGPP); got != 250 {
+		t.Errorf("GPP active = %v", got)
+	}
+	if got := m.IdleJoules(capability.KindGPP); got != 90 {
+		t.Errorf("GPP idle = %v", got)
+	}
+	if got := m.TotalJoules(); got != 540 {
+		t.Errorf("total = %v", got)
+	}
+	if !strings.Contains(m.String(), "kJ") {
+		t.Error("String")
+	}
+}
+
+func TestMeterRejectsNegative(t *testing.T) {
+	m := NewMeter()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative charge accepted")
+		}
+	}()
+	m.ChargeActive(capability.KindGPP, -1)
+}

@@ -1,0 +1,134 @@
+package quipu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// syntheticMetrics builds a valid random metrics struct.
+func syntheticMetrics(r *sim.RNG, i int) Metrics {
+	n1 := 5 + r.Intn(40)
+	n2 := 10 + r.Intn(100)
+	return Metrics{
+		Name:            "kern",
+		LinesOfCode:     20 + r.Intn(400),
+		UniqueOperators: n1,
+		UniqueOperands:  n2,
+		TotalOperators:  n1 + r.Intn(1000),
+		TotalOperands:   n2 + r.Intn(1200),
+		Cyclomatic:      1 + r.Intn(60),
+		Branches:        r.Intn(100),
+		ArrayAccesses:   r.Intn(200),
+		FloatOps:        r.Intn(50),
+		LoopNestDepth:   1 + r.Intn(4),
+	}
+}
+
+func TestFitRecoversKnownModel(t *testing.T) {
+	truth := []float64{300, 1.5, 120, 8, 20, 5}
+	r := sim.NewRNG(12345)
+	var samples []Sample
+	for i := 0; i < 60; i++ {
+		m := syntheticMetrics(r, i)
+		f := features(m)
+		var y float64
+		for j, c := range truth {
+			y += c * f[j]
+		}
+		samples = append(samples, Sample{Metrics: m, Slices: y})
+	}
+	coef, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range coef {
+		if math.Abs(c-truth[i]) > 1e-3*(math.Abs(truth[i])+1) {
+			t.Errorf("coef[%d] = %v, want %v", i, c, truth[i])
+		}
+	}
+	rmse, err := RMSE(coef, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 1 {
+		t.Errorf("RMSE = %v on noiseless data", rmse)
+	}
+}
+
+func TestFitWithNoiseStaysClose(t *testing.T) {
+	truth := []float64{500, 1.3, 170, 0, 0, 0}
+	r := sim.NewRNG(777)
+	var samples []Sample
+	for i := 0; i < 200; i++ {
+		m := syntheticMetrics(r, i)
+		f := features(m)
+		var y float64
+		for j, c := range truth {
+			y += c * f[j]
+		}
+		y += r.NormFloat64() * 50 // synthesis noise
+		samples = append(samples, Sample{Metrics: m, Slices: y})
+	}
+	coef, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Volume coefficient is the load-bearing one; it must survive noise.
+	if math.Abs(coef[1]-1.3) > 0.1 {
+		t.Errorf("volume coefficient = %v, want ≈1.3", coef[1])
+	}
+	rmse, _ := RMSE(coef, samples)
+	if rmse > 100 {
+		t.Errorf("RMSE = %v with σ=50 noise", rmse)
+	}
+}
+
+func TestFitNeedsEnoughSamples(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	r := sim.NewRNG(1)
+	var few []Sample
+	for i := 0; i < FeatureCount-1; i++ {
+		few = append(few, Sample{Metrics: syntheticMetrics(r, i), Slices: 100})
+	}
+	if _, err := Fit(few); err == nil {
+		t.Error("underdetermined fit accepted")
+	}
+}
+
+func TestFitRejectsInvalidMetrics(t *testing.T) {
+	r := sim.NewRNG(2)
+	samples := make([]Sample, FeatureCount)
+	for i := range samples {
+		samples[i] = Sample{Metrics: syntheticMetrics(r, i), Slices: 1}
+	}
+	samples[0].Metrics = Metrics{} // invalid
+	if _, err := Fit(samples); err == nil {
+		t.Error("invalid sample accepted")
+	}
+}
+
+func TestFitSingularMatrix(t *testing.T) {
+	// Identical samples make the design matrix rank-1.
+	m := PairalignMetrics()
+	samples := make([]Sample, FeatureCount+2)
+	for i := range samples {
+		samples[i] = Sample{Metrics: m, Slices: 100}
+	}
+	if _, err := Fit(samples); err == nil {
+		t.Error("singular fit should error")
+	}
+}
+
+func TestRMSEValidation(t *testing.T) {
+	if _, err := RMSE([]float64{1}, []Sample{{Metrics: PairalignMetrics(), Slices: 1}}); err == nil {
+		t.Error("short coefficients accepted")
+	}
+	coef := make([]float64, FeatureCount)
+	if _, err := RMSE(coef, nil); err == nil {
+		t.Error("empty samples accepted")
+	}
+}

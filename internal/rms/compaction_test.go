@@ -1,0 +1,103 @@
+package rms
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/hdl"
+	"repro/internal/pe"
+	"repro/internal/task"
+)
+
+// fragmentedFabric builds a checkerboard of idle configurations on one RPE
+// so the next large placement requires defragmentation.
+func fragmentedFabric(t *testing.T, mm *Matchmaker, reg *Registry) *fabric.Fabric {
+	t.Helper()
+	n := mkNode(t, "NodeA")
+	elem, err := n.AddRPE("XC5VLX110T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.AddNode(n)
+	f := elem.Fabric
+	dev := f.Device()
+	var regions []*fabric.Region
+	for i := 0; i < 4; i++ {
+		bs := fabric.PartialBitstream(string(rune('a'+i)), "k", dev, 4000)
+		r, _, err := f.ConfigurePartial(bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions = append(regions, r)
+	}
+	// Free slots 0 and 2 → 9,280 free, largest run 4,000.
+	f.Evict(regions[0])
+	f.Evict(regions[2])
+	return f
+}
+
+func TestAllocationCompactsBeforeEvicting(t *testing.T) {
+	reg := NewRegistry()
+	mm := newMM(t, reg)
+	f := fragmentedFabric(t, mm, reg)
+
+	// fft1024 needs ≈8.4k slices: only a compacted fabric fits it without
+	// evicting the resident configurations.
+	design, err := hdl.LookupIP("fft1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := task.ExecReq{
+		Scenario:     pe.UserDefinedHW,
+		Requirements: task.FPGAFamily("Virtex-5", 100),
+		Design:       design,
+	}
+	cands, err := mm.Candidates(req)
+	if err != nil || len(cands) != 1 {
+		t.Fatalf("candidates: %v %v", cands, err)
+	}
+	lease, err := mm.Allocate(cands[0], req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lease.Release()
+	if lease.CompactionMoves == 0 || lease.CompactionDelay <= 0 {
+		t.Errorf("expected compaction: %+v", lease)
+	}
+	// Both resident configurations survived.
+	st := f.State()
+	if len(st.Configurations) != 3 { // b, d, and the new fft region
+		t.Errorf("configurations after compaction = %v", st.Configurations)
+	}
+}
+
+func TestDisableCompactionFallsBackToEviction(t *testing.T) {
+	reg := NewRegistry()
+	mm := newMM(t, reg)
+	mm.DisableCompaction = true
+	f := fragmentedFabric(t, mm, reg)
+
+	design, err := hdl.LookupIP("fft1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := task.ExecReq{
+		Scenario:     pe.UserDefinedHW,
+		Requirements: task.FPGAFamily("Virtex-5", 100),
+		Design:       design,
+	}
+	cands, _ := mm.Candidates(req)
+	lease, err := mm.Allocate(cands[0], req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lease.Release()
+	if lease.CompactionMoves != 0 {
+		t.Error("compaction ran despite being disabled")
+	}
+	// Eviction destroyed at least one resident configuration.
+	st := f.State()
+	if len(st.Configurations) >= 3 {
+		t.Errorf("expected evictions, configurations = %v", st.Configurations)
+	}
+}

@@ -1,0 +1,199 @@
+package rms
+
+import (
+	"testing"
+
+	"repro/internal/capability"
+	"repro/internal/fabric"
+	"repro/internal/hdl"
+	"repro/internal/pe"
+	"repro/internal/task"
+)
+
+// estimateRig builds a single hybrid node with one GPP, one GPU, and one
+// large Virtex-5.
+func estimateRig(t *testing.T) (*Matchmaker, *Registry) {
+	t.Helper()
+	reg := NewRegistry()
+	n := mkNode(t, "NodeA")
+	if _, err := n.AddGPP(xeon()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddGPU(capability.GPUCaps{
+		Model: "GT200", ShaderCores: 240, WarpSize: 32, SIMDWidth: 8, SharedKB: 16, MemFreqMHz: 1100,
+	}, 1296); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddRPE("XC5VLX330T"); err != nil {
+		t.Fatal(err)
+	}
+	reg.AddNode(n)
+	return newMM(t, reg), reg
+}
+
+func sampleWork() pe.Work {
+	return pe.Work{MInstructions: 1e5, ParallelFraction: 0.9, DataMB: 5, HWSpeedup: 50}
+}
+
+func TestEstimateGPP(t *testing.T) {
+	mm, _ := estimateRig(t)
+	req := task.ExecReq{Scenario: pe.SoftwareOnly, Requirements: task.GPPOnly(9000, 1024)}
+	cands, err := mm.Candidates(req)
+	if err != nil || len(cands) != 1 {
+		t.Fatalf("candidates: %v %v", cands, err)
+	}
+	est, err := mm.Estimate(cands[0], req, sampleWork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ExecSeconds <= 0 || est.ReconfigDelay != 0 || est.BitstreamMB != 0 || est.SynthesisSeconds != 0 {
+		t.Errorf("GPP estimate = %+v", est)
+	}
+}
+
+func TestEstimateUserDefinedColdThenWarm(t *testing.T) {
+	mm, _ := estimateRig(t)
+	design, _ := hdl.LookupIP("aes128")
+	req := task.ExecReq{
+		Scenario:     pe.UserDefinedHW,
+		Requirements: task.FPGAFamily("Virtex-5", 100),
+		Design:       design,
+	}
+	cands, _ := mm.Candidates(req)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	// Cold: synthesis is uncached, so the estimate charges CAD time and a
+	// reconfiguration with bitstream traffic.
+	est, err := mm.Estimate(cands[0], req, sampleWork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.SynthesisSeconds <= 0 || est.ReconfigDelay <= 0 || est.BitstreamMB <= 0 {
+		t.Errorf("cold estimate = %+v", est)
+	}
+	// Warm the library: the estimate drops the CAD charge, and after an
+	// actual allocation+release the reconfiguration charge disappears too.
+	dev := cands[0].Elem.Fabric.Device()
+	if err := mm.PrewarmSynthesis(design, dev); err != nil {
+		t.Fatal(err)
+	}
+	est, err = mm.Estimate(cands[0], req, sampleWork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.SynthesisSeconds != 0 {
+		t.Errorf("warm estimate still charges synthesis: %+v", est)
+	}
+	lease, err := mm.Allocate(cands[0], req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease.Release()
+	est, err = mm.Estimate(cands[0], req, sampleWork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ReconfigDelay != 0 || est.BitstreamMB != 0 {
+		t.Errorf("resident estimate still charges reconfiguration: %+v", est)
+	}
+}
+
+func TestEstimateDeviceSpecificAndGPU(t *testing.T) {
+	mm, _ := estimateRig(t)
+	dev, _ := fabric.LookupDevice("XC5VLX330T")
+	bs := fabric.FullBitstream("user", "custom", dev, 40000)
+	dsReq := task.ExecReq{
+		Scenario:     pe.DeviceSpecificHW,
+		Requirements: task.FPGADevice("XC5VLX330T"),
+		Bitstream:    bs,
+	}
+	cands, _ := mm.Candidates(dsReq)
+	if len(cands) != 1 {
+		t.Fatalf("device-specific candidates = %d", len(cands))
+	}
+	est, err := mm.Estimate(cands[0], dsReq, sampleWork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ExecSeconds <= 0 || est.ReconfigDelay <= 0 {
+		t.Errorf("device-specific estimate = %+v", est)
+	}
+
+	gpuRequest := gpuReq()
+	gpuCands, _ := mm.Candidates(gpuRequest)
+	if len(gpuCands) != 1 {
+		t.Fatalf("gpu candidates = %d", len(gpuCands))
+	}
+	gpuEst, err := mm.Estimate(gpuCands[0], gpuRequest, sampleWork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpuEst.ExecSeconds <= 0 || gpuEst.ReconfigDelay != 0 {
+		t.Errorf("gpu estimate = %+v", gpuEst)
+	}
+}
+
+func TestEstimateSoftcore(t *testing.T) {
+	mm, _ := estimateRig(t)
+	req := task.ExecReq{
+		Scenario:     pe.PredeterminedHW,
+		SoftcoreISA:  "rvex-vliw",
+		Requirements: capability.Requirements{}.Min(capability.ParamSoftIssueWidth, 4),
+	}
+	cands, _ := mm.Candidates(req)
+	if len(cands) != 1 {
+		t.Fatalf("softcore candidates = %d", len(cands))
+	}
+	est, err := mm.Estimate(cands[0], req, sampleWork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ExecSeconds <= 0 || est.ReconfigDelay <= 0 || est.BitstreamMB <= 0 {
+		t.Errorf("softcore estimate = %+v", est)
+	}
+}
+
+func TestEstimateRejectsInvalidWork(t *testing.T) {
+	mm, _ := estimateRig(t)
+	req := task.ExecReq{Scenario: pe.SoftwareOnly, Requirements: task.GPPOnly(9000, 1024)}
+	cands, _ := mm.Candidates(req)
+	if _, err := mm.Estimate(cands[0], req, pe.Work{}); err == nil {
+		t.Error("invalid work accepted")
+	}
+}
+
+func TestPrewarmValidation(t *testing.T) {
+	reg := NewRegistry()
+	noCAD, _ := NewMatchmaker(reg, nil)
+	design, _ := hdl.LookupIP("fir64")
+	dev, _ := fabric.LookupDevice("XC5VLX110T")
+	if err := noCAD.PrewarmSynthesis(design, dev); err == nil {
+		t.Error("prewarm without CAD tools accepted")
+	}
+	withCAD := newMM(t, reg)
+	v6, _ := fabric.LookupDevice("XC6VLX365T")
+	tcNarrow, _ := hdl.NewToolchain("ise", "Virtex-5")
+	narrow, _ := NewMatchmaker(reg, tcNarrow)
+	if err := narrow.PrewarmSynthesis(design, v6); err == nil {
+		t.Error("prewarm for unsupported family accepted")
+	}
+	if err := withCAD.PrewarmSynthesis(design, dev); err != nil {
+		t.Errorf("valid prewarm failed: %v", err)
+	}
+}
+
+func TestUserBitstreamEstimatorKind(t *testing.T) {
+	var e userBitstreamEstimator
+	if e.Kind() != capability.KindFPGA {
+		t.Error("estimator kind")
+	}
+	// Missing speedup defaults to reference speed, never faster.
+	slow, err := e.EstimateSeconds(pe.Work{MInstructions: 40000, ParallelFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow != 1 {
+		t.Errorf("speedup-less task = %vs, want 1s at reference rate", slow)
+	}
+}

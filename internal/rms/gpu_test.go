@@ -1,0 +1,97 @@
+package rms
+
+import (
+	"testing"
+
+	"repro/internal/capability"
+	"repro/internal/pe"
+	"repro/internal/task"
+)
+
+func gpuReq() task.ExecReq {
+	return task.ExecReq{
+		Scenario:     pe.PredeterminedHW,
+		Requirements: capability.Requirements{}.Min(capability.ParamGPUShaderCores, 64),
+	}
+}
+
+func TestGPUMatching(t *testing.T) {
+	reg := NewRegistry()
+	n := mkNode(t, "NodeA")
+	n.AddGPP(xeon())
+	if _, err := n.AddGPU(capability.GPUCaps{
+		Model: "GT200", ShaderCores: 240, WarpSize: 32, SIMDWidth: 8, SharedKB: 16, MemFreqMHz: 1100,
+	}, 1296); err != nil {
+		t.Fatal(err)
+	}
+	reg.AddNode(n)
+	mm := newMM(t, reg)
+	cands, err := mm.Candidates(gpuReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || cands[0].Elem.Kind != capability.KindGPU {
+		t.Fatalf("candidates = %+v", cands)
+	}
+	// Too-demanding requirements match nothing.
+	big := task.ExecReq{
+		Scenario:     pe.PredeterminedHW,
+		Requirements: capability.Requirements{}.Min(capability.ParamGPUShaderCores, 10000),
+	}
+	cands, err = mm.Candidates(big)
+	if err != nil || len(cands) != 0 {
+		t.Errorf("oversized GPU demand matched: %+v, %v", cands, err)
+	}
+}
+
+func TestGPUAllocationLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	n := mkNode(t, "NodeA")
+	gpuElem, err := n.AddGPU(capability.GPUCaps{
+		Model: "GT200", ShaderCores: 240, WarpSize: 32, SIMDWidth: 8, SharedKB: 16, MemFreqMHz: 1100,
+	}, 1296)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.AddNode(n)
+	mm := newMM(t, reg)
+	req := gpuReq()
+	cands, _ := mm.Candidates(req)
+	est, err := mm.Estimate(cands[0], req, pe.Work{MInstructions: 100000, ParallelFraction: 0.95})
+	if err != nil || est.ExecSeconds <= 0 || est.ReconfigDelay != 0 {
+		t.Fatalf("estimate = %+v, %v", est, err)
+	}
+	lease, err := mm.Allocate(cands[0], req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gpuElem.Busy() {
+		t.Error("GPU not held")
+	}
+	// While busy the GPU is not offered again.
+	cands, _ = mm.Candidates(req)
+	if len(cands) != 0 {
+		t.Error("busy GPU still offered")
+	}
+	if err := lease.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if gpuElem.Busy() {
+		t.Error("GPU not released")
+	}
+}
+
+func TestGPUTaskValidation(t *testing.T) {
+	if err := gpuReq().Validate(); err != nil {
+		t.Errorf("GPU ExecReq rejected: %v", err)
+	}
+	// A predetermined task naming neither an ISA nor GPU requirements is
+	// still invalid.
+	bad := task.ExecReq{
+		Scenario:     pe.PredeterminedHW,
+		Requirements: capability.Requirements{}.Min(capability.ParamFPGASlices, 1),
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("ISA-less FPGA-kind predetermined task accepted")
+	}
+}

@@ -1,0 +1,100 @@
+// Package rms implements the paper's Resource Management System: the node
+// registry with dynamic add/remove and status updates, the matchmaker that
+// evaluates task execution requirements against node capabilities (the
+// engine behind Table II), and allocation leases that bind a task to a
+// processing element — reconfiguring fabric on the way when needed.
+package rms
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/node"
+)
+
+// Registry tracks the nodes of a grid. It is safe for concurrent use: the
+// paper's RMS "updates the statuses of all nodes" while submissions arrive.
+type Registry struct {
+	mu    sync.RWMutex
+	nodes []*node.Node
+	byID  map[string]*node.Node
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]*node.Node)}
+}
+
+// AddNode registers a node; duplicate IDs are rejected. Nodes can join at
+// any time — the framework is "adaptive in adding/removing resources at
+// runtime".
+func (r *Registry) AddNode(n *node.Node) error {
+	if n == nil {
+		return fmt.Errorf("rms: nil node")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byID[n.ID]; dup {
+		return fmt.Errorf("rms: duplicate node %s", n.ID)
+	}
+	r.nodes = append(r.nodes, n)
+	r.byID[n.ID] = n
+	return nil
+}
+
+// RemoveNode detaches a node. Nodes with busy elements are refused, so
+// running tasks are never orphaned.
+func (r *Registry) RemoveNode(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.byID[id]
+	if !ok {
+		return fmt.Errorf("rms: unknown node %s", id)
+	}
+	for _, e := range n.Elements() {
+		if e.Busy() {
+			return fmt.Errorf("rms: node %s element %s is busy", id, e.ID)
+		}
+	}
+	delete(r.byID, id)
+	for i, cand := range r.nodes {
+		if cand == n {
+			r.nodes = append(r.nodes[:i], r.nodes[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Node returns a registered node by ID.
+func (r *Registry) Node(id string) (*node.Node, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n, ok := r.byID[id]
+	return n, ok
+}
+
+// Nodes returns the registered nodes in registration order.
+func (r *Registry) Nodes() []*node.Node {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*node.Node(nil), r.nodes...)
+}
+
+// Len returns the node count.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Status returns a snapshot of every node — the RMS's status-update view.
+func (r *Registry) Status() []node.Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]node.Snapshot, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		out = append(out, n.Snapshot())
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package sim
+
+import "container/heap"
+
+// Handler is the callback attached to a scheduled event. It runs when the
+// simulator's clock reaches the event's time.
+type Handler func()
+
+// Event is a pending occurrence in virtual time. Events are ordered by
+// (Time, Priority, sequence number); the sequence number makes ordering a
+// total, deterministic order even for simultaneous events.
+type Event struct {
+	Time     Time
+	Priority int // lower runs first among simultaneous events
+	Label    string
+	fn       Handler
+	seq      uint64
+	index    int // heap index; -1 when not queued
+	canceled bool
+}
+
+// Canceled reports whether the event has been canceled and will not fire.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e.index >= 0 && !e.canceled }
+
+// eventHeap implements container/heap for *Event ordered by
+// (Time, Priority, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	return a.seq < b.seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// EventQueue is a deterministic priority queue of events. The zero value is
+// ready to use.
+type EventQueue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Len returns the number of queued (possibly canceled) events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// Push enqueues an event at time t with the given priority and handler, and
+// returns the event so it can later be canceled.
+func (q *EventQueue) Push(t Time, priority int, label string, fn Handler) *Event {
+	q.seq++
+	e := &Event{Time: t, Priority: priority, Label: label, fn: fn, seq: q.seq, index: -1}
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Peek returns the earliest event without removing it, or nil if empty.
+// Canceled events at the head are discarded first.
+func (q *EventQueue) Peek() *Event {
+	q.dropCanceled()
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// Pop removes and returns the earliest non-canceled event, or nil if the
+// queue is empty.
+func (q *EventQueue) Pop() *Event {
+	q.dropCanceled()
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+// Cancel marks an event so it will never fire. Canceling an already-fired or
+// already-canceled event is a no-op. Cancel returns true if the event was
+// pending.
+func (q *EventQueue) Cancel(e *Event) bool {
+	if e == nil || e.canceled || e.index < 0 {
+		return false
+	}
+	e.canceled = true
+	return true
+}
+
+func (q *EventQueue) dropCanceled() {
+	for len(q.h) > 0 && q.h[0].canceled {
+		heap.Pop(&q.h)
+	}
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitProducesIndependentStream(t *testing.T) {
+	r := NewRNG(7)
+	s1 := r.Split(1)
+	s2 := r.Split(2)
+	if s1.Uint64() == s2.Uint64() {
+		t.Error("split streams start identically")
+	}
+}
+
+func TestFloat64InUnitInterval(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnInRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		r := NewRNG(seed)
+		for i := 0; i < 20; i++ {
+			v := r.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 100; i++ {
+		v := r.IntRange(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("IntRange(5,9) = %d", v)
+		}
+	}
+	if r.IntRange(4, 4) != 4 {
+		t.Error("degenerate range should return lo")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestUniformityOfFloat64(t *testing.T) {
+	r := NewRNG(99)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of uniforms = %v, want ≈0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(5)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ≈1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(6)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean = %v, want ≈1", mean)
+	}
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStopped is returned by Run when the simulation was halted via Stop
+// before the event queue drained.
+var ErrStopped = errors.New("sim: stopped")
+
+// Simulator owns a virtual clock and an event queue and executes events in
+// deterministic order. It is single-threaded by design: handlers run on the
+// caller's goroutine, one at a time, which keeps simulation state free of
+// data races without locks.
+type Simulator struct {
+	queue   EventQueue
+	now     Time
+	stopped bool
+	// Executed counts events that have fired.
+	Executed uint64
+	// Horizon, when non-zero, bounds Run: events after the horizon stay
+	// queued and Run returns once the clock would pass it.
+	Horizon Time
+	// Trace, when non-nil, receives a line per executed event.
+	Trace func(t Time, label string)
+}
+
+// NewSimulator returns a simulator with the clock at TimeZero.
+func NewSimulator() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// Schedule enqueues fn to run at absolute time t. Scheduling in the past is
+// an error that would break causality, so it panics — such a call is always
+// a programming bug in a model, never an input condition.
+func (s *Simulator) Schedule(t Time, label string, fn Handler) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", label, t, s.now))
+	}
+	return s.queue.Push(t, 0, label, fn)
+}
+
+// After enqueues fn to run d seconds after the current time.
+func (s *Simulator) After(d Time, label string, fn Handler) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", d, label))
+	}
+	return s.queue.Push(s.now+d, 0, label, fn)
+}
+
+// ScheduleWithPriority is Schedule with an explicit tie-break priority;
+// lower priorities run first among simultaneous events.
+func (s *Simulator) ScheduleWithPriority(t Time, priority int, label string, fn Handler) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", label, t, s.now))
+	}
+	return s.queue.Push(t, priority, label, fn)
+}
+
+// Cancel prevents a scheduled event from firing.
+func (s *Simulator) Cancel(e *Event) bool { return s.queue.Cancel(e) }
+
+// Stop halts the run loop after the current handler returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step executes the single earliest event, advancing the clock to its time.
+// It returns false when no events remain.
+func (s *Simulator) Step() bool {
+	e := s.queue.Pop()
+	if e == nil {
+		return false
+	}
+	s.now = e.Time
+	s.Executed++
+	if s.Trace != nil {
+		s.Trace(s.now, e.Label)
+	}
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains, Stop is called, or the horizon
+// (if set) is reached. It returns nil on a drained queue or horizon stop and
+// ErrStopped if halted explicitly.
+func (s *Simulator) Run() error {
+	s.stopped = false
+	for {
+		if s.stopped {
+			return ErrStopped
+		}
+		next := s.queue.Peek()
+		if next == nil {
+			return nil
+		}
+		if s.Horizon > 0 && next.Time > s.Horizon {
+			s.now = s.Horizon
+			return nil
+		}
+		s.Step()
+	}
+}
+
+// RunUntil executes events with time ≤ t and leaves the clock at
+// min(t, last event time ≥ t boundary). Later events remain queued.
+func (s *Simulator) RunUntil(t Time) error {
+	s.stopped = false
+	for {
+		if s.stopped {
+			return ErrStopped
+		}
+		next := s.queue.Peek()
+		if next == nil || next.Time > t {
+			if s.now < t {
+				s.now = t
+			}
+			return nil
+		}
+		s.Step()
+	}
+}

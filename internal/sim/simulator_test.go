@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimulatorRunsEventsInTimeOrder(t *testing.T) {
+	s := NewSimulator()
+	var order []string
+	s.Schedule(3, "c", func() { order = append(order, "c") })
+	s.Schedule(1, "a", func() { order = append(order, "a") })
+	s.Schedule(2, "b", func() { order = append(order, "b") })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"a", "b", "c"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 3 {
+		t.Errorf("Now = %v, want 3", s.Now())
+	}
+	if s.Executed != 3 {
+		t.Errorf("Executed = %d, want 3", s.Executed)
+	}
+}
+
+func TestSimultaneousEventsRunInScheduleOrder(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, "e", func() { order = append(order, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestPriorityBreaksTies(t *testing.T) {
+	s := NewSimulator()
+	var order []string
+	s.ScheduleWithPriority(1, 5, "low", func() { order = append(order, "low") })
+	s.ScheduleWithPriority(1, 1, "high", func() { order = append(order, "high") })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if order[0] != "high" || order[1] != "low" {
+		t.Fatalf("priority tie-break failed: %v", order)
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := NewSimulator()
+	var at Time
+	s.Schedule(10, "outer", func() {
+		s.After(5, "inner", func() { at = s.Now() })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 15 {
+		t.Errorf("inner fired at %v, want 15", at)
+	}
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	s := NewSimulator()
+	fired := false
+	e := s.Schedule(1, "x", func() { fired = true })
+	if !s.Cancel(e) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if s.Cancel(e) {
+		t.Fatal("second Cancel should return false")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Error("canceled event fired")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := NewSimulator()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n == 3 {
+			s.Stop()
+		}
+		s.After(1, "step", step)
+	}
+	s.After(1, "step", step)
+	if err := s.Run(); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if n != 3 {
+		t.Errorf("executed %d steps, want 3", n)
+	}
+}
+
+func TestRunUntilLeavesLaterEventsQueued(t *testing.T) {
+	s := NewSimulator()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 10} {
+		at := at
+		s.Schedule(at, "e", func() { fired = append(fired, at) })
+	}
+	if err := s.RunUntil(5); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want 3 events", fired)
+	}
+	if s.Now() != 5 {
+		t.Errorf("Now = %v, want 5", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestHorizonStopsRun(t *testing.T) {
+	s := NewSimulator()
+	s.Horizon = 5
+	fired := 0
+	for _, at := range []Time{1, 4, 6} {
+		s.Schedule(at, "e", func() { fired++ })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+	if s.Now() != 5 {
+		t.Errorf("Now = %v, want horizon 5", s.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := NewSimulator()
+	s.Schedule(5, "x", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.Schedule(1, "past", func() {})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEventQueueCanceledHeadSkipped(t *testing.T) {
+	var q EventQueue
+	e1 := q.Push(1, 0, "a", func() {})
+	q.Push(2, 0, "b", func() {})
+	q.Cancel(e1)
+	got := q.Pop()
+	if got == nil || got.Label != "b" {
+		t.Fatalf("Pop = %v, want event b", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{TimeInf, "+inf"},
+		{Time(2), "2s"},
+		{Time(0.5), "500ms"},
+		{Time(2e-6), "2µs"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", float64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if MaxTime(1, 2) != 2 || MinTime(1, 2) != 1 {
+		t.Error("MaxTime/MinTime broken")
+	}
+	if !TimeInf.IsInf() {
+		t.Error("TimeInf.IsInf = false")
+	}
+	if Time(3).Add(2) != 5 || Time(3).Sub(2) != 1 {
+		t.Error("Add/Sub broken")
+	}
+	if !Time(1).Before(2) || !Time(2).After(1) {
+		t.Error("Before/After broken")
+	}
+	if math.Abs(Time(1.5).Millis()-1500) > 1e-9 {
+		t.Error("Millis broken")
+	}
+	if Time(-1).Duration() != 0 {
+		t.Error("negative duration should clamp to 0")
+	}
+	if TimeInf.Duration() <= 0 {
+		t.Error("inf duration should saturate positive")
+	}
+}
+
+func TestEventQueueMatchesReferenceOrdering(t *testing.T) {
+	// Property: popping the queue yields events sorted by
+	// (time, priority, insertion order), matching a reference sort.
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		var q EventQueue
+		type ref struct {
+			t    Time
+			prio int
+			seq  int
+		}
+		var refs []ref
+		n := 2 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			at := Time(r.Intn(50))
+			prio := r.Intn(3)
+			q.Push(at, prio, "e", func() {})
+			refs = append(refs, ref{at, prio, i})
+		}
+		sort.SliceStable(refs, func(i, j int) bool {
+			if refs[i].t != refs[j].t {
+				return refs[i].t < refs[j].t
+			}
+			return refs[i].prio < refs[j].prio
+		})
+		for _, want := range refs {
+			got := q.Pop()
+			if got == nil || got.Time != want.t || got.Priority != want.prio {
+				return false
+			}
+		}
+		return q.Pop() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		c.Observe(x)
+	}
+	if c.N() != 8 {
+		t.Errorf("N = %d", c.N())
+	}
+	if c.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", c.Mean())
+	}
+	// Sample variance of this classic set is 32/7.
+	if math.Abs(c.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", c.Variance(), 32.0/7)
+	}
+	if c.Min() != 2 || c.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", c.Min(), c.Max())
+	}
+	if c.Sum() != 40 {
+		t.Errorf("Sum = %v", c.Sum())
+	}
+	if c.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestCounterEmptyAndSingle(t *testing.T) {
+	var c Counter
+	if c.Mean() != 0 || c.Variance() != 0 || c.StdDev() != 0 {
+		t.Error("empty counter should report zeros")
+	}
+	c.Observe(3)
+	if c.Variance() != 0 {
+		t.Error("single observation variance should be 0")
+	}
+	if c.Min() != 3 || c.Max() != 3 {
+		t.Error("single observation min/max")
+	}
+}
+
+func TestCounterMatchesNaiveMoments(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		var c Counter
+		var xs []float64
+		n := 2 + r.Intn(100)
+		for i := 0; i < n; i++ {
+			x := r.Float64()*100 - 50
+			xs = append(xs, x)
+			c.Observe(x)
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(n-1)
+		return math.Abs(c.Mean()-mean) < 1e-9 && math.Abs(c.Variance()-variance) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeriesQuantiles(t *testing.T) {
+	var s Series
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	if s.N() != 100 {
+		t.Errorf("N = %d", s.N())
+	}
+	if m := s.Median(); math.Abs(m-50.5) > 1e-9 {
+		t.Errorf("Median = %v, want 50.5", m)
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Errorf("Q0 = %v", q)
+	}
+	if q := s.Quantile(1); q != 100 {
+		t.Errorf("Q1 = %v", q)
+	}
+	if q := s.Quantile(0.99); math.Abs(q-99.01) > 1e-9 {
+		t.Errorf("Q99 = %v, want 99.01", q)
+	}
+	if m := s.Mean(); math.Abs(m-50.5) > 1e-9 {
+		t.Errorf("Mean = %v", m)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Error("empty series should report zeros")
+	}
+}
+
+func TestSeriesQuantileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		var s Series
+		for i := 0; i < 50; i++ {
+			s.Observe(r.Float64() * 10)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := s.Quantile(q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeWeightedIntegration(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 1)  // value 1 over [0,10)
+	w.Set(10, 3) // value 3 over [10,20)
+	if got := w.MeanOver(20); math.Abs(got-2) > 1e-12 {
+		t.Errorf("MeanOver(20) = %v, want 2", got)
+	}
+	if w.Value() != 3 {
+		t.Errorf("Value = %v", w.Value())
+	}
+	if w.Max() != 3 {
+		t.Errorf("Max = %v", w.Max())
+	}
+}
+
+func TestTimeWeightedAdd(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 0)
+	w.Add(5, 2)
+	w.Add(10, -1)
+	if w.Value() != 1 {
+		t.Errorf("Value = %v, want 1", w.Value())
+	}
+	// integral = 0*5 + 2*5 + 1*10 = 20 over horizon 20
+	if got := w.MeanOver(20); math.Abs(got-1) > 1e-12 {
+		t.Errorf("MeanOver = %v, want 1", got)
+	}
+}
+
+func TestTimeWeightedBackwardsPanics(t *testing.T) {
+	var w TimeWeighted
+	w.Set(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards time did not panic")
+		}
+	}()
+	w.Set(4, 2)
+}
+
+func TestTimeWeightedEmptyMean(t *testing.T) {
+	var w TimeWeighted
+	if w.MeanOver(10) != 0 {
+		t.Error("mean of unset TimeWeighted should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 1, 5)
+	for _, x := range []float64{-1, 0, 0.5, 1.2, 4.9, 5.0, 100} {
+		h.Observe(x)
+	}
+	if h.N() != 7 {
+		t.Errorf("N = %d", h.N())
+	}
+	under, over := h.Outliers()
+	if under != 1 || over != 2 {
+		t.Errorf("outliers = %d/%d, want 1/2", under, over)
+	}
+	if h.Bin(0) != 2 {
+		t.Errorf("bin0 = %d, want 2", h.Bin(0))
+	}
+	if h.Bin(1) != 1 || h.Bin(4) != 1 {
+		t.Errorf("bin1=%d bin4=%d", h.Bin(1), h.Bin(4))
+	}
+	if h.Bins() != 5 {
+		t.Errorf("Bins = %d", h.Bins())
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid histogram did not panic")
+		}
+	}()
+	NewHistogram(0, 0, 5)
+}

@@ -1,0 +1,270 @@
+package task
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// StepKind says whether a step's tasks run sequentially or in parallel.
+type StepKind int
+
+// Step kinds (the paper's Seq and Par keywords).
+const (
+	StepSeq StepKind = iota
+	StepPar
+)
+
+// String returns the keyword.
+func (k StepKind) String() string {
+	if k == StepPar {
+		return "Par"
+	}
+	return "Seq"
+}
+
+// Step is one keyword group: Seq(T5,T10) or Par(T4,T1,T7).
+type Step struct {
+	Kind  StepKind
+	Tasks []string
+}
+
+// String renders the group in source form.
+func (s Step) String() string {
+	return fmt.Sprintf("%s(%s)", s.Kind, strings.Join(s.Tasks, ","))
+}
+
+// Program is a parsed application expression (Eq. 3): an ordered list of
+// keyword groups. Groups execute in order; a Par group's tasks run
+// concurrently, a Seq group's tasks run one after another (Fig. 8).
+type Program struct {
+	Steps []Step
+}
+
+// String renders the program in source form.
+func (p *Program) String() string {
+	parts := make([]string, len(p.Steps))
+	for i, s := range p.Steps {
+		parts[i] = s.String()
+	}
+	return "App{" + strings.Join(parts, ", ") + "}"
+}
+
+// TaskIDs returns every task mentioned, in execution order.
+func (p *Program) TaskIDs() []string {
+	var out []string
+	for _, s := range p.Steps {
+		out = append(out, s.Tasks...)
+	}
+	return out
+}
+
+// Validate rejects empty programs, empty groups, and duplicate task uses.
+func (p *Program) Validate() error {
+	if len(p.Steps) == 0 {
+		return fmt.Errorf("task: empty application program")
+	}
+	seen := map[string]bool{}
+	for _, s := range p.Steps {
+		if len(s.Tasks) == 0 {
+			return fmt.Errorf("task: %s group with no tasks", s.Kind)
+		}
+		for _, id := range s.Tasks {
+			if err := sanitizeID(id); err != nil {
+				return err
+			}
+			if seen[id] {
+				return fmt.Errorf("task: task %s appears twice in the program", id)
+			}
+			seen[id] = true
+		}
+	}
+	return nil
+}
+
+// --- Lexer ---
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokComma
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) && unicode.IsSpace(rune(lx.src[lx.pos])) {
+		lx.pos++
+	}
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, pos: lx.pos}, nil
+	}
+	start := lx.pos
+	c := lx.src[lx.pos]
+	switch c {
+	case '{':
+		lx.pos++
+		return token{tokLBrace, "{", start}, nil
+	case '}':
+		lx.pos++
+		return token{tokRBrace, "}", start}, nil
+	case '(':
+		lx.pos++
+		return token{tokLParen, "(", start}, nil
+	case ')':
+		lx.pos++
+		return token{tokRParen, ")", start}, nil
+	case ',':
+		lx.pos++
+		return token{tokComma, ",", start}, nil
+	}
+	if isIdentByte(c) {
+		for lx.pos < len(lx.src) && isIdentByte(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		return token{tokIdent, lx.src[start:lx.pos], start}, nil
+	}
+	return token{}, fmt.Errorf("task: unexpected character %q at offset %d", c, start)
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-'
+}
+
+// --- Parser ---
+
+// ParseApp parses the paper's application expression syntax, e.g.
+//
+//	App{Seq(T2), Par(T4,T1,T7), Seq(T5,T10)}
+//
+// The leading "App" keyword is optional; commas between groups are
+// optional. The paper's own example contains "Seq, (T5, T10)" — a stray
+// comma after the keyword — which this parser accepts for fidelity.
+func ParseApp(src string) (*Program, error) {
+	lx := &lexer{src: src}
+	tok, err := lx.next()
+	if err != nil {
+		return nil, err
+	}
+	if tok.kind == tokIdent && strings.EqualFold(tok.text, "App") {
+		tok, err = lx.next()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if tok.kind != tokLBrace {
+		return nil, fmt.Errorf("task: expected '{' at offset %d", tok.pos)
+	}
+	prog := &Program{}
+	tok, err = lx.next()
+	if err != nil {
+		return nil, err
+	}
+	for tok.kind != tokRBrace {
+		if tok.kind != tokIdent {
+			return nil, fmt.Errorf("task: expected Seq or Par at offset %d", tok.pos)
+		}
+		var kind StepKind
+		switch {
+		case strings.EqualFold(tok.text, "Seq"):
+			kind = StepSeq
+		case strings.EqualFold(tok.text, "Par"):
+			kind = StepPar
+		default:
+			return nil, fmt.Errorf("task: unknown keyword %q at offset %d", tok.text, tok.pos)
+		}
+		tok, err = lx.next()
+		if err != nil {
+			return nil, err
+		}
+		// Tolerate the paper's stray comma between keyword and '('.
+		if tok.kind == tokComma {
+			tok, err = lx.next()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if tok.kind != tokLParen {
+			return nil, fmt.Errorf("task: expected '(' after %s at offset %d", kind, tok.pos)
+		}
+		var ids []string
+		for {
+			tok, err = lx.next()
+			if err != nil {
+				return nil, err
+			}
+			if tok.kind != tokIdent {
+				return nil, fmt.Errorf("task: expected task ID at offset %d", tok.pos)
+			}
+			ids = append(ids, tok.text)
+			tok, err = lx.next()
+			if err != nil {
+				return nil, err
+			}
+			if tok.kind == tokRParen {
+				break
+			}
+			if tok.kind != tokComma {
+				return nil, fmt.Errorf("task: expected ',' or ')' at offset %d", tok.pos)
+			}
+		}
+		prog.Steps = append(prog.Steps, Step{Kind: kind, Tasks: ids})
+		tok, err = lx.next()
+		if err != nil {
+			return nil, err
+		}
+		if tok.kind == tokComma {
+			tok, err = lx.next()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	tok, err = lx.next()
+	if err != nil {
+		return nil, err
+	}
+	if tok.kind != tokEOF {
+		return nil, fmt.Errorf("task: trailing input at offset %d", tok.pos)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// Batch is one unit of concurrent dispatch in an execution plan: all tasks
+// in a batch may start together; the next batch starts when the previous
+// one completes.
+type Batch []string
+
+// Plan lowers a program to dispatch batches (the Fig. 8 schedule): each
+// Par group is one batch; each Seq group contributes one batch per task.
+func (p *Program) Plan() []Batch {
+	var out []Batch
+	for _, s := range p.Steps {
+		if s.Kind == StepPar {
+			out = append(out, append(Batch(nil), s.Tasks...))
+			continue
+		}
+		for _, id := range s.Tasks {
+			out = append(out, Batch{id})
+		}
+	}
+	return out
+}

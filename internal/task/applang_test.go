@@ -1,0 +1,131 @@
+package task
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePaperEq4(t *testing.T) {
+	// The exact expression from the paper, including its stray comma.
+	prog, err := ParseApp(Eq4Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Steps) != 3 {
+		t.Fatalf("steps = %d, want 3", len(prog.Steps))
+	}
+	s := prog.Steps
+	if s[0].Kind != StepSeq || len(s[0].Tasks) != 1 || s[0].Tasks[0] != "T2" {
+		t.Errorf("step0 = %v", s[0])
+	}
+	if s[1].Kind != StepPar || strings.Join(s[1].Tasks, ",") != "T4,T1,T7" {
+		t.Errorf("step1 = %v", s[1])
+	}
+	if s[2].Kind != StepSeq || strings.Join(s[2].Tasks, ",") != "T5,T10" {
+		t.Errorf("step2 = %v", s[2])
+	}
+}
+
+func TestParseWithoutAppKeyword(t *testing.T) {
+	prog, err := ParseApp("{Par(A,B)}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Steps) != 1 || prog.Steps[0].Kind != StepPar {
+		t.Errorf("prog = %v", prog)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"App",
+		"App{",
+		"App{}",
+		"App{Foo(T1)}",
+		"App{Seq}",
+		"App{Seq()}",
+		"App{Seq(T1,)}",
+		"App{Seq(T1)",
+		"App{Seq(T1)} trailing",
+		"App{Seq(T1 T2)}",
+		"App{Seq(T1)}{",
+		"App{Seq(T1,T1)}", // duplicate task use
+		"App{Seq(T$)}",
+	}
+	for _, src := range cases {
+		if _, err := ParseApp(src); err == nil {
+			t.Errorf("ParseApp(%q) accepted", src)
+		}
+	}
+}
+
+func TestProgramStringRoundTrip(t *testing.T) {
+	prog, err := ParseApp(Eq4Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := prog.String()
+	if rendered != "App{Seq(T2), Par(T4,T1,T7), Seq(T5,T10)}" {
+		t.Errorf("String = %q", rendered)
+	}
+	back, err := ParseApp(rendered)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v", err)
+	}
+	if back.String() != rendered {
+		t.Error("round trip unstable")
+	}
+}
+
+func TestTaskIDsOrder(t *testing.T) {
+	prog, _ := ParseApp(Eq4Source)
+	ids := prog.TaskIDs()
+	want := []string{"T2", "T4", "T1", "T7", "T5", "T10"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("ids[%d] = %s, want %s", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestPlanMatchesFig8(t *testing.T) {
+	// Fig. 8: T2 first, then T4/T1/T7 concurrently, then T5, then T10.
+	prog, _ := ParseApp(Eq4Source)
+	plan := prog.Plan()
+	if len(plan) != 4 {
+		t.Fatalf("plan = %v, want 4 batches", plan)
+	}
+	if len(plan[0]) != 1 || plan[0][0] != "T2" {
+		t.Errorf("batch0 = %v", plan[0])
+	}
+	if len(plan[1]) != 3 {
+		t.Errorf("batch1 = %v, want the 3-task Par group", plan[1])
+	}
+	if len(plan[2]) != 1 || plan[2][0] != "T5" {
+		t.Errorf("batch2 = %v", plan[2])
+	}
+	if len(plan[3]) != 1 || plan[3][0] != "T10" {
+		t.Errorf("batch3 = %v", plan[3])
+	}
+}
+
+func TestStepKindString(t *testing.T) {
+	if StepSeq.String() != "Seq" || StepPar.String() != "Par" {
+		t.Error("StepKind String broken")
+	}
+}
+
+func TestValidateEmptyProgram(t *testing.T) {
+	p := &Program{}
+	if err := p.Validate(); err == nil {
+		t.Error("empty program accepted")
+	}
+	p2 := &Program{Steps: []Step{{Kind: StepSeq}}}
+	if err := p2.Validate(); err == nil {
+		t.Error("empty group accepted")
+	}
+}

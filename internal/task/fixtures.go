@@ -1,0 +1,69 @@
+package task
+
+import (
+	"fmt"
+
+	"repro/internal/pe"
+)
+
+// Eq4Source is the application expression of the paper's Eq. 4, executed in
+// Fig. 8 — including the stray comma after the final Seq, reproduced
+// verbatim from the paper.
+const Eq4Source = "App{Seq(T2), Par(T4, T1, T7), Seq, (T5, T10)}"
+
+// Fig7Graph builds the application task graph of Fig. 7: 18 tasks
+// T0…T17. The paper specifies four dependency sets explicitly —
+//
+//	DataIN(T8)  ← DataOUT(T0, T2, T5)
+//	DataIN(T11) ← DataOUT(T7, T9, T13)
+//	DataIN(T13) ← DataOUT(T7, T8)
+//	DataIN(T17) ← DataOUT(T7, T13)
+//
+// — which are reproduced exactly; the remaining edges complete the figure's
+// connected DAG.
+func Fig7Graph() *Graph {
+	deps := map[int][]int{
+		4:  {1},
+		6:  {2},
+		8:  {0, 2, 5}, // paper
+		9:  {3, 6},
+		10: {4, 5},
+		11: {7, 9, 13}, // paper
+		12: {10},
+		13: {7, 8}, // paper
+		14: {11},
+		15: {12, 13},
+		16: {14, 15},
+		17: {7, 13}, // paper
+	}
+	g := NewGraph()
+	for i := 0; i < 18; i++ {
+		id := fmt.Sprintf("T%d", i)
+		t := &Task{
+			ID: id,
+			Outputs: []DataOut{
+				{DataID: fmt.Sprintf("d%d", i), SizeMB: 1},
+			},
+			ExecReq: ExecReq{
+				Scenario:     pe.SoftwareOnly,
+				Requirements: GPPOnly(1000, 512),
+			},
+			EstimatedSeconds: float64(1 + i%5),
+			Work:             pe.Work{MInstructions: 1000 * float64(1+i%5), ParallelFraction: 0.5},
+		}
+		for _, d := range deps[i] {
+			t.Inputs = append(t.Inputs, DataIn{
+				SourceTask: fmt.Sprintf("T%d", d),
+				DataID:     fmt.Sprintf("d%d", d),
+				SizeMB:     1,
+			})
+		}
+		if err := g.Add(t); err != nil {
+			panic(err) // fixture is statically valid
+		}
+	}
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	return g
+}

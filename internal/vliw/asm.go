@@ -1,0 +1,274 @@
+package vliw
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses VLIW assembly into a program. Syntax:
+//
+//	// comment
+//	label:
+//	  add r1, r1, r2 ; mul r3, r1, r4   // one bundle, two slots
+//	  ld r5, r3, #0
+//	  brnz r6, label
+//	  halt
+//
+// One line is one bundle; ';' separates slots. Operands are registers
+// (rN), immediates (#N), or labels (branches).
+func Assemble(src string) (*Program, error) {
+	type pending struct {
+		bundle, slot int
+		label        string
+	}
+	prog := &Program{Labels: map[string]int{}}
+	var fixups []pending
+
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several) prefix the next bundle.
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if !isIdent(label) {
+				return nil, fmt.Errorf("vliw: line %d: bad label %q", lineNo+1, label)
+			}
+			if _, dup := prog.Labels[label]; dup {
+				return nil, fmt.Errorf("vliw: line %d: duplicate label %q", lineNo+1, label)
+			}
+			prog.Labels[label] = len(prog.Bundles)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		var bundle Bundle
+		for slotIdx, slotSrc := range strings.Split(line, ";") {
+			slotSrc = strings.TrimSpace(slotSrc)
+			if slotSrc == "" {
+				continue
+			}
+			in, labelRef, err := parseInstr(slotSrc)
+			if err != nil {
+				return nil, fmt.Errorf("vliw: line %d slot %d: %w", lineNo+1, slotIdx+1, err)
+			}
+			if labelRef != "" {
+				fixups = append(fixups, pending{bundle: len(prog.Bundles), slot: len(bundle), label: labelRef})
+			}
+			bundle = append(bundle, in)
+		}
+		if len(bundle) > 0 {
+			prog.Bundles = append(prog.Bundles, bundle)
+		}
+	}
+	for _, f := range fixups {
+		target, ok := prog.Labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("vliw: undefined label %q", f.label)
+		}
+		prog.Bundles[f.bundle][f.slot].Target = target
+	}
+	if len(prog.Bundles) == 0 {
+		return nil, fmt.Errorf("vliw: empty program")
+	}
+	return prog, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+var mnemonics = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+// parseInstr parses one slot; a non-empty labelRef means Target needs a
+// fixup once all labels are known.
+func parseInstr(src string) (Instr, string, error) {
+	fields := strings.SplitN(src, " ", 2)
+	op, ok := mnemonics[strings.ToLower(fields[0])]
+	if !ok {
+		return Instr{}, "", fmt.Errorf("unknown mnemonic %q", fields[0])
+	}
+	rest := ""
+	if len(fields) == 2 {
+		rest = fields[1]
+	}
+	args := splitArgs(rest)
+	in := Instr{Op: op}
+	switch op {
+	case NOP, HALT:
+		if len(args) != 0 {
+			return in, "", fmt.Errorf("%s takes no operands", op)
+		}
+		return in, "", nil
+	case JMP:
+		if len(args) != 1 || !isIdent(args[0]) {
+			return in, "", fmt.Errorf("jmp needs a label")
+		}
+		return in, args[0], nil
+	case BRNZ, BRZ:
+		if len(args) != 2 {
+			return in, "", fmt.Errorf("%s needs: reg, label", op)
+		}
+		ra, err := parseReg(args[0])
+		if err != nil {
+			return in, "", err
+		}
+		if !isIdent(args[1]) {
+			return in, "", fmt.Errorf("%s needs a label, got %q", op, args[1])
+		}
+		in.Ra = ra
+		return in, args[1], nil
+	case LDI:
+		if len(args) != 2 {
+			return in, "", fmt.Errorf("ldi needs: rd, #imm")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return in, "", err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return in, "", err
+		}
+		in.Rd, in.Imm, in.UseImm = rd, imm, true
+		return in, "", nil
+	case MOV:
+		if len(args) != 2 {
+			return in, "", fmt.Errorf("mov needs: rd, ra")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return in, "", err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return in, "", err
+		}
+		in.Rd, in.Ra = rd, ra
+		return in, "", nil
+	case LD:
+		if len(args) != 3 {
+			return in, "", fmt.Errorf("ld needs: rd, ra, #off")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return in, "", err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return in, "", err
+		}
+		off, err := parseImm(args[2])
+		if err != nil {
+			return in, "", err
+		}
+		in.Rd, in.Ra, in.Imm = rd, ra, off
+		return in, "", nil
+	case ST:
+		if len(args) != 3 {
+			return in, "", fmt.Errorf("st needs: rb, ra, #off")
+		}
+		rb, err := parseReg(args[0])
+		if err != nil {
+			return in, "", err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return in, "", err
+		}
+		off, err := parseImm(args[2])
+		if err != nil {
+			return in, "", err
+		}
+		in.Rb, in.Ra, in.Imm = rb, ra, off
+		return in, "", nil
+	default: // three-operand ALU/MUL ops
+		if len(args) != 3 {
+			return in, "", fmt.Errorf("%s needs: rd, ra, rb|#imm", op)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return in, "", err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return in, "", err
+		}
+		in.Rd, in.Ra = rd, ra
+		if strings.HasPrefix(args[2], "#") {
+			imm, err := parseImm(args[2])
+			if err != nil {
+				return in, "", err
+			}
+			in.Imm, in.UseImm = imm, true
+		} else {
+			rb, err := parseReg(args[2])
+			if err != nil {
+				return in, "", err
+			}
+			in.Rb = rb
+		}
+		return in, "", nil
+	}
+}
+
+func splitArgs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		a = strings.TrimSpace(a)
+		if a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func parseReg(s string) (int, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return n, nil
+}
+
+func parseImm(s string) (int64, error) {
+	if !strings.HasPrefix(s, "#") {
+		return 0, fmt.Errorf("expected immediate, got %q", s)
+	}
+	n, err := strconv.ParseInt(s[1:], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return n, nil
+}

@@ -1,0 +1,253 @@
+package vliw
+
+import (
+	"fmt"
+
+	"repro/internal/capability"
+)
+
+// Constraints are the functional-unit limits a program must respect,
+// derived from a soft-core configuration.
+type Constraints struct {
+	// IssueWidth bounds instructions per bundle.
+	IssueWidth int
+	// MulUnits bounds multiplier operations per bundle (0 forbids MUL).
+	MulUnits int
+	// MemUnits bounds memory operations per bundle.
+	MemUnits int
+}
+
+// ConstraintsFor derives FU limits from a Table I soft-core description:
+// issue width from the configuration, multiplier and memory slots from the
+// FU mix.
+func ConstraintsFor(caps capability.SoftcoreCaps) Constraints {
+	c := Constraints{IssueWidth: caps.IssueWidth}
+	for _, fu := range caps.FUTypes {
+		switch {
+		case equalFold(fu, "MUL"):
+			c.MulUnits++
+		case equalFold(fu, "MEM"):
+			c.MemUnits++
+		}
+	}
+	if c.MemUnits == 0 {
+		c.MemUnits = 1 // every core can at least load/store serially
+	}
+	return c
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if ca >= 'a' && ca <= 'z' {
+			ca -= 'a' - 'A'
+		}
+		if cb >= 'a' && cb <= 'z' {
+			cb -= 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks a program against the constraints: bundle width, FU
+// budgets, single control-flow op, and write-after-write conflicts.
+func (c Constraints) Validate(p *Program) error {
+	if c.IssueWidth <= 0 {
+		return fmt.Errorf("vliw: non-positive issue width")
+	}
+	for bi, b := range p.Bundles {
+		if len(b) > c.IssueWidth {
+			return fmt.Errorf("vliw: bundle %d has %d slots, issue width is %d", bi, len(b), c.IssueWidth)
+		}
+		muls, mems, ctrls := 0, 0, 0
+		writes := map[int]bool{}
+		for _, in := range b {
+			if in.Op.isMul() {
+				muls++
+			}
+			if in.Op.isMem() {
+				mems++
+			}
+			if in.Op.isControl() {
+				ctrls++
+			}
+			if in.Op.writesReg() && in.Rd != 0 {
+				if writes[in.Rd] {
+					return fmt.Errorf("vliw: bundle %d writes r%d twice", bi, in.Rd)
+				}
+				writes[in.Rd] = true
+			}
+			if in.Target < 0 || (in.Op.isControl() && in.Op != HALT && in.Target >= len(p.Bundles)) {
+				return fmt.Errorf("vliw: bundle %d branches outside the program", bi)
+			}
+		}
+		if muls > c.MulUnits {
+			return fmt.Errorf("vliw: bundle %d uses %d multipliers, core has %d", bi, muls, c.MulUnits)
+		}
+		if mems > c.MemUnits {
+			return fmt.Errorf("vliw: bundle %d uses %d memory units, core has %d", bi, mems, c.MemUnits)
+		}
+		if ctrls > 1 {
+			return fmt.Errorf("vliw: bundle %d has %d control-flow ops", bi, ctrls)
+		}
+	}
+	return nil
+}
+
+// Stats summarize one execution.
+type Stats struct {
+	// Cycles is the number of bundles issued (one bundle per cycle).
+	Cycles uint64
+	// Instructions counts non-NOP operations executed.
+	Instructions uint64
+	// Halted reports a clean HALT (false means the cycle budget ran out).
+	Halted bool
+}
+
+// IPC returns achieved instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// CPU is a VLIW core instance: registers plus data memory.
+type CPU struct {
+	cons Constraints
+	Regs [NumRegs]int64
+	Mem  []int64
+}
+
+// NewCPU creates a core with the given constraints and data-memory words.
+func NewCPU(cons Constraints, memWords int) (*CPU, error) {
+	if cons.IssueWidth <= 0 {
+		return nil, fmt.Errorf("vliw: non-positive issue width")
+	}
+	if memWords < 0 {
+		return nil, fmt.Errorf("vliw: negative memory size")
+	}
+	return &CPU{cons: cons, Mem: make([]int64, memWords)}, nil
+}
+
+// Run validates and executes a program, stopping at HALT or after
+// maxCycles bundles.
+func (c *CPU) Run(p *Program, maxCycles uint64) (Stats, error) {
+	if err := c.cons.Validate(p); err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	pc := 0
+	for st.Cycles < maxCycles {
+		if pc < 0 || pc >= len(p.Bundles) {
+			return st, fmt.Errorf("vliw: pc %d outside program", pc)
+		}
+		bundle := p.Bundles[pc]
+		st.Cycles++
+		next := pc + 1
+		halted := false
+
+		// Read phase: latch all operands against pre-bundle state.
+		type write struct {
+			reg int
+			val int64
+		}
+		type memWrite struct {
+			addr int64
+			val  int64
+		}
+		var regWrites []write
+		var memWrites []memWrite
+		for _, in := range bundle {
+			if in.Op != NOP {
+				st.Instructions++
+			}
+			ra := c.Regs[in.Ra]
+			rb := c.Regs[in.Rb]
+			if in.UseImm {
+				rb = in.Imm
+			}
+			switch in.Op {
+			case NOP:
+			case ADD:
+				regWrites = append(regWrites, write{in.Rd, ra + rb})
+			case SUB:
+				regWrites = append(regWrites, write{in.Rd, ra - rb})
+			case MUL:
+				regWrites = append(regWrites, write{in.Rd, ra * rb})
+			case AND:
+				regWrites = append(regWrites, write{in.Rd, ra & rb})
+			case OR:
+				regWrites = append(regWrites, write{in.Rd, ra | rb})
+			case XOR:
+				regWrites = append(regWrites, write{in.Rd, ra ^ rb})
+			case SHL:
+				regWrites = append(regWrites, write{in.Rd, ra << uint64(rb&63)})
+			case SHR:
+				regWrites = append(regWrites, write{in.Rd, ra >> uint64(rb&63)})
+			case SLT:
+				regWrites = append(regWrites, write{in.Rd, boolTo64(ra < rb)})
+			case SEQ:
+				regWrites = append(regWrites, write{in.Rd, boolTo64(ra == rb)})
+			case LDI:
+				regWrites = append(regWrites, write{in.Rd, in.Imm})
+			case MOV:
+				regWrites = append(regWrites, write{in.Rd, ra})
+			case LD:
+				addr := ra + in.Imm
+				if addr < 0 || addr >= int64(len(c.Mem)) {
+					return st, fmt.Errorf("vliw: load fault at %d (bundle %d)", addr, pc)
+				}
+				regWrites = append(regWrites, write{in.Rd, c.Mem[addr]})
+			case ST:
+				addr := ra + in.Imm
+				if addr < 0 || addr >= int64(len(c.Mem)) {
+					return st, fmt.Errorf("vliw: store fault at %d (bundle %d)", addr, pc)
+				}
+				memWrites = append(memWrites, memWrite{addr, c.Regs[in.Rb]})
+			case BRNZ:
+				if ra != 0 {
+					next = in.Target
+				}
+			case BRZ:
+				if ra == 0 {
+					next = in.Target
+				}
+			case JMP:
+				next = in.Target
+			case HALT:
+				halted = true
+			default:
+				return st, fmt.Errorf("vliw: unimplemented op %v", in.Op)
+			}
+		}
+		// Write phase.
+		for _, w := range regWrites {
+			if w.reg != 0 {
+				c.Regs[w.reg] = w.val
+			}
+		}
+		for _, mw := range memWrites {
+			c.Mem[mw.addr] = mw.val
+		}
+		if halted {
+			st.Halted = true
+			return st, nil
+		}
+		pc = next
+	}
+	return st, nil
+}
+
+func boolTo64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,124 @@
+// Package vliw is a small VLIW instruction-set simulator in the spirit of
+// the ρ-VEX processor the paper builds its pre-determined-hardware
+// scenario on: instructions grouped into bundles that issue together, with
+// functional-unit constraints taken from a soft-core configuration
+// (issue width, multiplier and memory units).
+//
+// The simulator serves two purposes: it makes the soft-core substrate
+// concrete (programs really execute), and it validates the timing model —
+// measured instructions-per-cycle on real kernels should land near the
+// ILP-efficiency factor the softcore package assumes.
+package vliw
+
+import "fmt"
+
+// Op is an operation code.
+type Op int
+
+// The instruction set: a classic VLIW integer core.
+const (
+	NOP  Op = iota
+	ADD     // rd = ra + rb/imm
+	SUB     // rd = ra - rb/imm
+	MUL     // rd = ra * rb/imm (multiplier FU)
+	AND     // rd = ra & rb/imm
+	OR      // rd = ra | rb/imm
+	XOR     // rd = ra ^ rb/imm
+	SHL     // rd = ra << rb/imm
+	SHR     // rd = ra >> rb/imm (arithmetic)
+	SLT     // rd = 1 if ra < rb/imm else 0
+	SEQ     // rd = 1 if ra == rb/imm else 0
+	LDI     // rd = imm
+	MOV     // rd = ra
+	LD      // rd = mem[ra + imm] (memory FU)
+	ST      // mem[ra + imm] = rb (memory FU)
+	BRNZ    // if ra != 0 jump to Target
+	BRZ     // if ra == 0 jump to Target
+	JMP     // jump to Target
+	HALT    // stop execution
+)
+
+var opNames = map[Op]string{
+	NOP: "nop", ADD: "add", SUB: "sub", MUL: "mul", AND: "and", OR: "or",
+	XOR: "xor", SHL: "shl", SHR: "shr", SLT: "slt", SEQ: "seq", LDI: "ldi",
+	MOV: "mov", LD: "ld", ST: "st", BRNZ: "brnz", BRZ: "brz", JMP: "jmp",
+	HALT: "halt",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// isMem reports whether the op needs a memory unit.
+func (o Op) isMem() bool { return o == LD || o == ST }
+
+// isMul reports whether the op needs a multiplier unit.
+func (o Op) isMul() bool { return o == MUL }
+
+// isControl reports whether the op changes control flow.
+func (o Op) isControl() bool { return o == BRNZ || o == BRZ || o == JMP || o == HALT }
+
+// writesReg reports whether the op writes a destination register.
+func (o Op) writesReg() bool {
+	switch o {
+	case NOP, ST, BRNZ, BRZ, JMP, HALT:
+		return false
+	}
+	return true
+}
+
+// NumRegs is the architectural register count (r0 is hardwired zero, as on
+// the VEX ISA).
+const NumRegs = 64
+
+// Instr is one operation within a bundle.
+type Instr struct {
+	Op     Op
+	Rd     int   // destination register
+	Ra     int   // first source register
+	Rb     int   // second source register (when UseImm is false)
+	Imm    int64 // immediate operand / memory offset
+	UseImm bool
+	// Target is the bundle index of a branch destination (resolved from a
+	// label by the assembler).
+	Target int
+}
+
+// String renders the instruction in assembly form.
+func (in Instr) String() string {
+	switch {
+	case in.Op == NOP || in.Op == HALT:
+		return in.Op.String()
+	case in.Op == JMP:
+		return fmt.Sprintf("jmp @%d", in.Target)
+	case in.Op == BRNZ || in.Op == BRZ:
+		return fmt.Sprintf("%s r%d, @%d", in.Op, in.Ra, in.Target)
+	case in.Op == LDI:
+		return fmt.Sprintf("ldi r%d, #%d", in.Rd, in.Imm)
+	case in.Op == MOV:
+		return fmt.Sprintf("mov r%d, r%d", in.Rd, in.Ra)
+	case in.Op == LD:
+		return fmt.Sprintf("ld r%d, r%d, #%d", in.Rd, in.Ra, in.Imm)
+	case in.Op == ST:
+		return fmt.Sprintf("st r%d, r%d, #%d", in.Rb, in.Ra, in.Imm)
+	case in.UseImm:
+		return fmt.Sprintf("%s r%d, r%d, #%d", in.Op, in.Rd, in.Ra, in.Imm)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Ra, in.Rb)
+	}
+}
+
+// Bundle is a set of instructions issuing in the same cycle. All reads see
+// the register state from before the bundle; all writes land after it.
+type Bundle []Instr
+
+// Program is an assembled sequence of bundles.
+type Program struct {
+	Bundles []Bundle
+	// Labels maps label names to bundle indices, kept for disassembly.
+	Labels map[string]int
+}

@@ -1,0 +1,268 @@
+package vliw
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/capability"
+	"repro/internal/softcore"
+)
+
+// rvex4 returns the constraints of the standard 4-issue ρ-VEX preset.
+func rvex4(t *testing.T) Constraints {
+	t.Helper()
+	core, err := softcore.RVEX(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ConstraintsFor(core.Config().Caps)
+}
+
+// dotProduct4 is a 4-issue dot-product kernel: a[] at address 0, b[] at
+// address n, accumulator in r10, n in r2.
+const dotProduct4 = `
+init:
+  ldi r1, #0 ; ldi r10, #0
+loop:
+  ld r5, r1, #0 ; add r6, r1, r2
+  ld r7, r6, #0
+  mul r8, r5, r7
+  add r10, r10, r8 ; add r1, r1, #1
+  slt r9, r1, r2
+  brnz r9, loop
+  halt
+`
+
+func runDot(t *testing.T, cons Constraints, n int) (*CPU, Stats) {
+	t.Helper()
+	prog, err := Assemble(dotProduct4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := NewCPU(cons, 2*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		cpu.Mem[i] = int64(i + 1) // a[i] = i+1
+		cpu.Mem[n+i] = 2          // b[i] = 2
+	}
+	cpu.Regs[2] = int64(n)
+	st, err := cpu.Run(prog, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Halted {
+		t.Fatal("kernel did not halt")
+	}
+	return cpu, st
+}
+
+func TestDotProductComputesCorrectly(t *testing.T) {
+	n := 37
+	cpu, _ := runDot(t, rvex4(t), n)
+	want := int64(n * (n + 1)) // Σ 2(i+1) = n(n+1)
+	if cpu.Regs[10] != want {
+		t.Errorf("dot product = %d, want %d", cpu.Regs[10], want)
+	}
+}
+
+func TestKernelExploitsILP(t *testing.T) {
+	_, st := runDot(t, rvex4(t), 100)
+	ipc := st.IPC()
+	if ipc <= 1.0 {
+		t.Errorf("4-issue kernel IPC = %.2f, should exceed scalar", ipc)
+	}
+	if ipc > 4.0 {
+		t.Errorf("IPC = %.2f exceeds issue width", ipc)
+	}
+}
+
+func TestSerializedKernelIPCAtMostOne(t *testing.T) {
+	// The same algorithm with one instruction per bundle.
+	serial := strings.ReplaceAll(dotProduct4, " ; ", "\n  ")
+	prog, err := Assemble(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, _ := NewCPU(rvex4(t), 200)
+	for i := 0; i < 100; i++ {
+		cpu.Mem[i] = int64(i + 1)
+		cpu.Mem[100+i] = 2
+	}
+	cpu.Regs[2] = 100
+	st, err := cpu.Run(prog, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IPC() > 1.0 {
+		t.Errorf("serialized IPC = %.2f", st.IPC())
+	}
+}
+
+func TestConstraintsFor(t *testing.T) {
+	caps := capability.SoftcoreCaps{
+		ISA: "rvex-vliw", FUTypes: []string{"ALU", "MUL", "MEM"},
+		IssueWidth: 4, Clusters: 1,
+	}
+	c := ConstraintsFor(caps)
+	if c.IssueWidth != 4 || c.MulUnits != 1 || c.MemUnits != 1 {
+		t.Errorf("constraints = %+v", c)
+	}
+	// A core without MEM in the mix still gets one memory unit.
+	caps.FUTypes = []string{"ALU"}
+	c = ConstraintsFor(caps)
+	if c.MemUnits != 1 || c.MulUnits != 0 {
+		t.Errorf("ALU-only constraints = %+v", c)
+	}
+}
+
+func TestValidateRejectsConstraintViolations(t *testing.T) {
+	cons := Constraints{IssueWidth: 2, MulUnits: 1, MemUnits: 1}
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"too wide", "add r1, r1, r2 ; add r3, r3, r4 ; add r5, r5, r6\nhalt"},
+		{"two muls", "mul r1, r2, r3 ; mul r4, r5, r6\nhalt"},
+		{"two mems", "ld r1, r2, #0 ; ld r3, r4, #0\nhalt"},
+		{"waw", "add r1, r2, r3 ; sub r1, r4, r5\nhalt"},
+		{"two branches", "brnz r1, a ; jmp a\na: halt"},
+	}
+	for _, c := range cases {
+		prog, err := Assemble(c.src)
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", c.name, err)
+		}
+		if err := cons.Validate(prog); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// MUL on a core without multipliers.
+	noMul := Constraints{IssueWidth: 2, MulUnits: 0, MemUnits: 1}
+	prog, _ := Assemble("mul r1, r2, r3\nhalt")
+	if err := noMul.Validate(prog); err == nil {
+		t.Error("MUL accepted on multiplier-less core")
+	}
+}
+
+func TestR0IsHardwiredZero(t *testing.T) {
+	prog, err := Assemble("ldi r0, #42\nadd r1, r0, #7\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, _ := NewCPU(rvex4(t), 0)
+	if _, err := cpu.Run(prog, 100); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Regs[0] != 0 {
+		t.Error("r0 was written")
+	}
+	if cpu.Regs[1] != 7 {
+		t.Errorf("r1 = %d, want 7", cpu.Regs[1])
+	}
+}
+
+func TestBundleSemanticsReadOldValues(t *testing.T) {
+	// Swap via parallel reads: both slots read pre-bundle state.
+	prog, err := Assemble("ldi r1, #5\nldi r2, #9\nmov r1, r2 ; mov r2, r1\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, _ := NewCPU(rvex4(t), 0)
+	if _, err := cpu.Run(prog, 100); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Regs[1] != 9 || cpu.Regs[2] != 5 {
+		t.Errorf("parallel swap failed: r1=%d r2=%d", cpu.Regs[1], cpu.Regs[2])
+	}
+}
+
+func TestMemoryFaults(t *testing.T) {
+	cpu, _ := NewCPU(rvex4(t), 4)
+	prog, _ := Assemble("ld r1, r0, #10\nhalt")
+	if _, err := cpu.Run(prog, 100); err == nil {
+		t.Error("out-of-bounds load accepted")
+	}
+	prog, _ = Assemble("st r1, r0, #-1\nhalt")
+	cpu2, _ := NewCPU(rvex4(t), 4)
+	if _, err := cpu2.Run(prog, 100); err == nil {
+		t.Error("negative store accepted")
+	}
+}
+
+func TestCycleBudget(t *testing.T) {
+	prog, _ := Assemble("spin: jmp spin")
+	cpu, _ := NewCPU(rvex4(t), 0)
+	st, err := cpu.Run(prog, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Halted || st.Cycles != 50 {
+		t.Errorf("stats = %+v, want 50 cycles without halt", st)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"frobnicate r1, r2, r3",
+		"add r1, r2",
+		"add r99, r1, r2",
+		"ldi r1, 42",
+		"brnz r1, 5",
+		"jmp nowhere\nhalt",
+		"dup: halt\ndup: halt",
+		"1bad: halt",
+		"halt r1",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) accepted", src)
+		}
+	}
+}
+
+func TestAssembleLabelsAndComments(t *testing.T) {
+	prog, err := Assemble(`
+// leading comment
+start:
+  ldi r1, #3   // trailing comment
+again: sub r1, r1, #1
+  brnz r1, again
+  halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Labels["start"] != 0 || prog.Labels["again"] != 1 {
+		t.Errorf("labels = %v", prog.Labels)
+	}
+	cpu, _ := NewCPU(rvex4(t), 0)
+	st, err := cpu.Run(prog, 100)
+	if err != nil || !st.Halted {
+		t.Fatalf("run: %v %+v", err, st)
+	}
+	if cpu.Regs[1] != 0 {
+		t.Errorf("countdown ended at %d", cpu.Regs[1])
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	prog, err := Assemble("ld r5, r1, #0 ; add r6, r1, r2\nst r5, r6, #3\nldi r1, #9\nbrnz r1, top\ntop: halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := []string{}
+	for _, b := range prog.Bundles {
+		for _, in := range b {
+			rendered = append(rendered, in.String())
+		}
+	}
+	joined := strings.Join(rendered, "\n")
+	for _, want := range []string{"ld r5, r1, #0", "add r6, r1, r2", "st r5, r6, #3", "ldi r1, #9", "brnz r1, @4", "halt"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in:\n%s", want, joined)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package reconvirt is a Go implementation of the virtualization framework
+// for reconfigurable hardware in distributed systems described in
+// "On Virtualization of Reconfigurable Hardware in Distributed Systems"
+// (Nadeem, Nadeem & Wong, ICPP 2012), together with every substrate the
+// paper depends on: the node and task models, the Resource Management
+// System, the Job Submission System, the scheduling strategies, the FPGA
+// fabric and soft-core models, the Quipu-style area predictor, the
+// gprof-style profiler, the ClustalW aligner of the case study, and the
+// DReAMSim-equivalent discrete-event grid simulator.
+//
+// This file is the public facade: the names most programs need, re-exported
+// from the internal packages with constructors for the common flows. See
+// the examples/ directory for runnable programs and DESIGN.md for the full
+// system inventory.
+package reconvirt
+
+import (
+	"repro/internal/bio"
+	"repro/internal/capability"
+	"repro/internal/casestudy"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/grid"
+	"repro/internal/hdl"
+	"repro/internal/jss"
+	"repro/internal/node"
+	"repro/internal/pe"
+	"repro/internal/profiler"
+	"repro/internal/quipu"
+	"repro/internal/rms"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/softcore"
+	"repro/internal/stream"
+	"repro/internal/task"
+)
+
+// Core framework types (the paper's contribution).
+type (
+	// VirtualGrid is the virtual organization: the hardware-independent
+	// layer between application developers and GPP/RPE resources.
+	VirtualGrid = core.VirtualGrid
+	// Level is a virtualization/abstraction level (Fig. 2).
+	Level = core.Level
+	// Scenario is a use-case scenario (Fig. 1, Section III).
+	Scenario = pe.Scenario
+)
+
+// Abstraction levels, most abstract first.
+const (
+	LevelGrid     = core.LevelGrid
+	LevelSoftcore = core.LevelSoftcore
+	LevelFabric   = core.LevelFabric
+	LevelDevice   = core.LevelDevice
+)
+
+// Use-case scenarios.
+const (
+	SoftwareOnly     = pe.SoftwareOnly
+	PredeterminedHW  = pe.PredeterminedHW
+	UserDefinedHW    = pe.UserDefinedHW
+	DeviceSpecificHW = pe.DeviceSpecificHW
+)
+
+// Node and capability model (Eq. 1, Table I).
+type (
+	// Node is a grid computing node holding GPPs and RPEs.
+	Node = node.Node
+	// Element is one processing element installed in a node.
+	Element = node.Element
+	// GPPCaps, FPGACaps, SoftcoreCaps, GPUCaps are Table I parameter sets.
+	GPPCaps      = capability.GPPCaps
+	FPGACaps     = capability.FPGACaps
+	SoftcoreCaps = capability.SoftcoreCaps
+	GPUCaps      = capability.GPUCaps
+	// Requirements is a conjunction of ExecReq capability predicates.
+	Requirements = capability.Requirements
+)
+
+// Task model (Eq. 2/3, Figs. 4, 7, 8).
+type (
+	// Task is the paper's task tuple.
+	Task = task.Task
+	// ExecReq is a task's execution requirement.
+	ExecReq = task.ExecReq
+	// Graph is an application task graph.
+	Graph = task.Graph
+	// Program is a parsed Seq/Par application expression.
+	Program = task.Program
+)
+
+// Grid services (Figs. 3, 9).
+type (
+	// Registry is the RMS node registry.
+	Registry = rms.Registry
+	// Matchmaker maps ExecReqs to candidate processing elements.
+	Matchmaker = rms.Matchmaker
+	// Candidate is one feasible task↔element mapping (Table II rows).
+	Candidate = rms.Candidate
+	// Lease binds a task to an element until released.
+	Lease = rms.Lease
+	// JSS is the job submission system.
+	JSS = jss.JSS
+	// QoS are submission service attributes.
+	QoS = jss.QoS
+	// Submission is one submitted application.
+	Submission = jss.Submission
+)
+
+// Hardware substrates.
+type (
+	// Fabric is a live FPGA with configuration state.
+	Fabric = fabric.Fabric
+	// Device is an FPGA part description.
+	Device = fabric.Device
+	// Bitstream is a device configuration image.
+	Bitstream = fabric.Bitstream
+	// Design is an HDL accelerator design.
+	Design = hdl.Design
+	// Toolchain is a provider's synthesis CAD tool.
+	Toolchain = hdl.Toolchain
+	// SoftCore is a parameterizable VLIW soft-core (ρ-VEX style).
+	SoftCore = softcore.Core
+)
+
+// Simulation (the DReAMSim equivalent).
+type (
+	// Engine is the discrete-event grid simulator.
+	Engine = grid.Engine
+	// SimConfig parameterizes a simulation run.
+	SimConfig = grid.Config
+	// GridSpec describes simulated grid resources.
+	GridSpec = grid.GridSpec
+	// WorkloadSpec describes a synthetic many-task workload.
+	WorkloadSpec = grid.WorkloadSpec
+	// Metrics aggregates one run's outcomes.
+	Metrics = grid.Metrics
+	// Strategy is a task scheduling strategy.
+	Strategy = sched.Strategy
+)
+
+// NewVirtualGrid creates an empty virtual organization. Pass a Toolchain
+// via Options to enable the user-defined-hardware scenario.
+func NewVirtualGrid(opts core.Options) (*VirtualGrid, error) { return core.NewVirtualGrid(opts) }
+
+// GridOptions configure NewVirtualGrid.
+type GridOptions = core.Options
+
+// NewNode creates an empty grid node.
+func NewNode(id string) (*Node, error) { return node.New(id) }
+
+// NewToolchain creates a provider CAD toolchain for the given families.
+func NewToolchain(vendor string, families ...string) (*Toolchain, error) {
+	return hdl.NewToolchain(vendor, families...)
+}
+
+// LookupIP returns a built-in OpenCores-style library design.
+func LookupIP(name string) (*Design, error) { return hdl.LookupIP(name) }
+
+// LookupDevice returns a catalog FPGA part.
+func LookupDevice(name string) (Device, error) { return fabric.LookupDevice(name) }
+
+// NewFullBitstream builds a user-supplied full-device bitstream for the
+// device-specific-hardware scenario.
+func NewFullBitstream(id, design string, dev Device, usedSlices int) *Bitstream {
+	return fabric.FullBitstream(id, design, dev, usedSlices)
+}
+
+// RVEX returns the ρ-VEX-style soft-core preset.
+func RVEX(issueWidth, clusters int) (*SoftCore, error) { return softcore.RVEX(issueWidth, clusters) }
+
+// ParseApp parses a Seq/Par application expression such as
+// "App{Seq(T2), Par(T4,T1,T7), Seq(T5,T10)}".
+func ParseApp(src string) (*Program, error) { return task.ParseApp(src) }
+
+// NewGraph returns an empty application task graph.
+func NewGraph() *Graph { return task.NewGraph() }
+
+// NewMatchmaker builds a matchmaker over a registry. The toolchain may be
+// nil (a provider without CAD tools never serves user-defined hardware).
+func NewMatchmaker(reg *Registry, tc *Toolchain) (*Matchmaker, error) {
+	return rms.NewMatchmaker(reg, tc)
+}
+
+// NewEngine wires a simulator around a registry and matchmaker.
+func NewEngine(cfg SimConfig, reg *Registry, mm *Matchmaker) (*Engine, error) {
+	return grid.NewEngine(cfg, reg, mm)
+}
+
+// DefaultSimConfig returns the default simulation configuration.
+func DefaultSimConfig() SimConfig { return grid.DefaultConfig() }
+
+// BuildGrid constructs a registry from a grid spec.
+func BuildGrid(spec GridSpec) (*Registry, error) { return grid.BuildGrid(spec) }
+
+// RunScenario builds a grid, generates a workload, and simulates it.
+func RunScenario(seed uint64, cfg SimConfig, gs GridSpec, ws WorkloadSpec, tc *Toolchain) (*Metrics, error) {
+	return grid.RunScenario(seed, cfg, gs, ws, tc)
+}
+
+// Strategies returns every built-in scheduling strategy.
+func Strategies() []Strategy { return sched.All() }
+
+// CaseStudyNodes builds the Section V grid (Fig. 5).
+func CaseStudyNodes() (*Registry, error) { return casestudy.BuildNodes() }
+
+// CaseStudyTasks builds the Section V tasks (Fig. 6).
+func CaseStudyTasks() ([]*Task, error) { return casestudy.Tasks() }
+
+// TableII regenerates the paper's mapping table.
+func TableII() ([]casestudy.TableIIRow, error) { return casestudy.TableII() }
+
+// AlignProteins runs the ClustalW-style pipeline of the case study. Pass a
+// profiler from NewProfiler to collect the Fig. 10 kernel profile.
+func AlignProteins(seqs []bio.Sequence, prof *profiler.Profiler) (*bio.Result, error) {
+	return bio.Align(seqs, prof, bio.DefaultOptions())
+}
+
+// NewProfiler returns a gprof-style instrumenting profiler.
+func NewProfiler() *profiler.Profiler { return profiler.New() }
+
+// PredictArea runs the Quipu-style predictor on kernel metrics.
+func PredictArea(m quipu.Metrics) (quipu.Prediction, error) {
+	return quipu.Default().Predict(m)
+}
+
+// NewRNG returns the deterministic random generator simulations use.
+func NewRNG(seed uint64) *sim.RNG { return sim.NewRNG(seed) }
+
+// Streaming extension (the paper's future work).
+type (
+	// StreamManager admits continuous dataflows with throughput
+	// guarantees onto grid elements.
+	StreamManager = stream.Manager
+	// StreamSpec describes a streaming session request.
+	StreamSpec = stream.Spec
+	// StreamSession is an admitted stream holding its reservation.
+	StreamSession = stream.Session
+)
+
+// NewStreamManager builds a streaming manager over a matchmaker and a
+// simulator for session timing.
+func NewStreamManager(mm *Matchmaker, s *sim.Simulator) (*StreamManager, error) {
+	return stream.NewManager(mm, s)
+}
+
+// NewSimulator returns a fresh discrete-event simulator (for callers
+// driving streams or custom models directly rather than via Engine).
+func NewSimulator() *sim.Simulator { return sim.NewSimulator() }
+
+// FamilyOptions control synthetic protein-family generation for the
+// bioinformatics case study.
+type FamilyOptions = bio.FamilyOptions
+
+// GenerateProteinFamily produces a synthetic homologous protein family.
+func GenerateProteinFamily(rng *sim.RNG, opts FamilyOptions) ([]bio.Sequence, error) {
+	return bio.GenerateFamily(rng, opts)
+}
+
+// DefaultFamily matches the scale of a BioBench ClustalW input.
+func DefaultFamily() FamilyOptions { return bio.DefaultFamily() }
+
+// PairalignMetrics returns the measured software-complexity metrics of the
+// ClustalW pairalign kernel (the case study's Quipu input).
+func PairalignMetrics() quipu.Metrics { return quipu.PairalignMetrics() }
+
+// MalignMetrics returns the measured metrics of the malign kernel.
+func MalignMetrics() quipu.Metrics { return quipu.MalignMetrics() }
