@@ -2,7 +2,9 @@ package reconvirt
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/bio"
@@ -102,7 +104,7 @@ func BenchmarkFig8_SeqPar(b *testing.B) {
 			}
 		}
 		eng.Submit(0, "bench", g, prog, QoS{})
-		m, err := eng.Run()
+		m, err := eng.Run(context.Background())
 		if err != nil || m.Completed != 6 {
 			b.Fatalf("run: %v (%d done)", err, m.Completed)
 		}
@@ -160,7 +162,7 @@ func BenchmarkDReAMSim_ArrivalSweep(b *testing.B) {
 				}
 				var last *Metrics
 				for i := 0; i < b.N; i++ {
-					m, err := RunScenario(42, cfg, gs, mkWorkload(rate), tc)
+					m, err := RunScenario(context.Background(), ScenarioSpec{Seed: 42, Config: cfg, Grid: gs, Workload: mkWorkload(rate), Toolchain: tc})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -189,7 +191,7 @@ func BenchmarkDReAMSim_HybridVsGPP(b *testing.B) {
 		tc, _ := grid.DefaultToolchain()
 		var last *Metrics
 		for i := 0; i < b.N; i++ {
-			m, err := RunScenario(11, DefaultSimConfig(), grid.DefaultGridSpec(), ws, tc)
+			m, err := RunScenario(context.Background(), ScenarioSpec{Seed: 11, Config: DefaultSimConfig(), Grid: grid.DefaultGridSpec(), Workload: ws, Toolchain: tc})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -224,7 +226,7 @@ func BenchmarkDReAMSim_HybridVsGPP(b *testing.B) {
 			if err := eng.SubmitWorkload(grid.ToSoftwareOnly(gen), "bench"); err != nil {
 				b.Fatal(err)
 			}
-			m, err := eng.Run()
+			m, err := eng.Run(context.Background())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -249,7 +251,7 @@ func BenchmarkDReAMSim_ReconfigSweep(b *testing.B) {
 			tc, _ := grid.DefaultToolchain()
 			var last *Metrics
 			for i := 0; i < b.N; i++ {
-				m, err := RunScenario(17, DefaultSimConfig(), gs, ws, tc)
+				m, err := RunScenario(context.Background(), ScenarioSpec{Seed: 17, Config: DefaultSimConfig(), Grid: gs, Workload: ws, Toolchain: tc})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -281,7 +283,7 @@ func BenchmarkDReAMSim_PartialReconfig(b *testing.B) {
 			tc, _ := grid.DefaultToolchain()
 			var last *Metrics
 			for i := 0; i < b.N; i++ {
-				m, err := RunScenario(23, DefaultSimConfig(), gs, ws, tc)
+				m, err := RunScenario(context.Background(), ScenarioSpec{Seed: 23, Config: DefaultSimConfig(), Grid: gs, Workload: ws, Toolchain: tc})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -308,7 +310,7 @@ func BenchmarkAblate_MatchOrdering(b *testing.B) {
 			tc, _ := grid.DefaultToolchain()
 			var last *Metrics
 			for i := 0; i < b.N; i++ {
-				m, err := RunScenario(31, cfg, grid.DefaultGridSpec(), grid.DefaultWorkload(100, 0.6), tc)
+				m, err := RunScenario(context.Background(), ScenarioSpec{Seed: 31, Config: cfg, Grid: grid.DefaultGridSpec(), Workload: grid.DefaultWorkload(100, 0.6), Toolchain: tc})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -338,7 +340,7 @@ func BenchmarkAblate_ConfigReuse(b *testing.B) {
 			tc, _ := grid.DefaultToolchain()
 			var last *Metrics
 			for i := 0; i < b.N; i++ {
-				m, err := RunScenario(37, cfg, gs, ws, tc)
+				m, err := RunScenario(context.Background(), ScenarioSpec{Seed: 37, Config: cfg, Grid: gs, Workload: ws, Toolchain: tc})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -443,6 +445,64 @@ func BenchmarkAblate_GuideTree(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(sp), "sum-of-pairs")
+		})
+	}
+}
+
+// --- Sweep engine: worker-pool scaling ---
+
+// sweepBenchSpec is the 32-replica sweep the scaling benchmark and the
+// determinism tests share: one reconfiguration-sensitive point replicated
+// over 32 split seeds.
+func sweepBenchSpec(workers int) SweepSpec {
+	ws := grid.DefaultWorkload(200, 2)
+	ws.WorkMI = sim.LogNormal{Mu: 10, Sigma: 0.7}
+	ws.ShareUserHW = 0.7
+	ws.ShareSoftcore = 0
+	gs := grid.DefaultGridSpec()
+	gs.ReconfigMBpsOverride = 4
+	cfg := DefaultSimConfig()
+	cfg.Strategy = sched.ReconfigAware{}
+	return SweepSpec{
+		Points:       []SweepPoint{{Config: cfg, Grid: gs, Workload: ws}},
+		BaseSeed:     42,
+		Replications: 32,
+		Workers:      workers,
+	}
+}
+
+// BenchmarkSweep_Workers runs the same 32-replica sweep serially and with
+// one worker per core: the per-replica metrics are byte-identical (seeds
+// are split from the base seed, not drawn from a shared stream), so the
+// wall-clock ratio of the two sub-benchmarks is pure worker-pool speedup.
+func BenchmarkSweep_Workers(b *testing.B) {
+	tc, err := grid.DefaultToolchain()
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			spec := sweepBenchSpec(workers)
+			spec.Toolchain = tc
+			for i := 0; i < b.N; i++ {
+				res, err := RunSweep(context.Background(), spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range res.Replicas {
+					if r.Err != nil {
+						b.Fatalf("replica %d: %v", r.Replica.Index, r.Err)
+					}
+				}
+				if i == b.N-1 {
+					b.ReportMetric(res.Points[0].MeanTurnaround.Mean, "turnaround-s")
+					b.ReportMetric(float64(res.Workers), "workers")
+				}
+			}
 		})
 	}
 }
@@ -564,7 +624,7 @@ func BenchmarkAblate_Compaction(b *testing.B) {
 				if err := eng.SubmitWorkload(gen, "bench"); err != nil {
 					b.Fatal(err)
 				}
-				m, err := eng.Run()
+				m, err := eng.Run(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -131,9 +133,72 @@ func run(strategyName, queueName string, tasks int, rate float64, seeds int, see
 	if !compare {
 		s, err := sched.ByName(strategyName)
 		if err != nil {
+			if errors.Is(err, sched.ErrUnknownStrategy) {
+				return fmt.Errorf("%w (have %s)", err, names())
+			}
 			return err
 		}
 		strategies = []sched.Strategy{s}
+	}
+
+	tc, err := grid.DefaultToolchain()
+	if err != nil {
+		return err
+	}
+
+	// The strategy × seed grid runs as one parallel sweep; the trace-replay
+	// path drives engines directly because a trace is one fixed workload.
+	perStrategy := make([][]*grid.Metrics, len(strategies))
+	if trace != nil {
+		for si, s := range strategies {
+			cfg := grid.DefaultConfig()
+			cfg.Strategy = s
+			cfg.Queue = queue
+			reg, err := grid.BuildGrid(gs)
+			if err != nil {
+				return err
+			}
+			mm, err := rms.NewMatchmaker(reg, tc)
+			if err != nil {
+				return err
+			}
+			eng, err := grid.NewEngine(cfg, reg, mm)
+			if err != nil {
+				return err
+			}
+			if err := eng.SubmitWorkload(trace, "trace"); err != nil {
+				return err
+			}
+			m, err := eng.Run(context.Background())
+			if err != nil {
+				return err
+			}
+			perStrategy[si] = []*grid.Metrics{m}
+		}
+	} else {
+		seedList := make([]uint64, seeds)
+		for r := range seedList {
+			seedList[r] = seed0 + uint64(r)
+		}
+		points := make([]grid.SweepPoint, len(strategies))
+		for si, s := range strategies {
+			cfg := grid.DefaultConfig()
+			cfg.Strategy = s
+			cfg.Queue = queue
+			points[si] = grid.SweepPoint{Name: s.Name(), Config: cfg, Grid: gs, Workload: mkWorkload()}
+		}
+		res, err := grid.Sweep(context.Background(), grid.SweepSpec{
+			Points: points, Seeds: seedList, Toolchain: tc,
+		})
+		if err != nil {
+			return err
+		}
+		for _, r := range res.Replicas {
+			if r.Err != nil {
+				return fmt.Errorf("%s seed %d: %w", r.Replica.Name, r.Replica.Seed, r.Err)
+			}
+			perStrategy[r.Replica.Point] = append(perStrategy[r.Replica.Point], r.Metrics)
+		}
 	}
 
 	tb := report.NewTable(
@@ -141,45 +206,11 @@ func run(strategyName, queueName string, tasks int, rate float64, seeds int, see
 			tasks, rate, seeds, gppNodes, hybridNodes, queue),
 		"Strategy", "done", "unfinished", "mean wait", "p95 wait", "turnaround",
 		"reconfigs", "reuses", "fallbacks", "gpp util", "fpga util")
-	for _, s := range strategies {
+	for si, s := range strategies {
 		var wait, p95, turn sim.Series
 		var done, unfinished, reconfigs, reuses, fallbacks int
 		var gppU, fpgaU float64
-		for r := 0; r < seeds; r++ {
-			cfg := grid.DefaultConfig()
-			cfg.Strategy = s
-			cfg.Queue = queue
-			tc, err := grid.DefaultToolchain()
-			if err != nil {
-				return err
-			}
-			var m *grid.Metrics
-			if trace != nil {
-				reg, err := grid.BuildGrid(gs)
-				if err != nil {
-					return err
-				}
-				mm, err := rms.NewMatchmaker(reg, tc)
-				if err != nil {
-					return err
-				}
-				eng, err := grid.NewEngine(cfg, reg, mm)
-				if err != nil {
-					return err
-				}
-				if err := eng.SubmitWorkload(trace, "trace"); err != nil {
-					return err
-				}
-				m, err = eng.Run()
-				if err != nil {
-					return err
-				}
-			} else {
-				m, err = grid.RunScenario(seed0+uint64(r), cfg, gs, mkWorkload(), tc)
-				if err != nil {
-					return err
-				}
-			}
+		for _, m := range perStrategy[si] {
 			wait.Observe(m.MeanWait())
 			p95.Observe(m.P95Wait())
 			turn.Observe(m.MeanTurnaround())
@@ -191,7 +222,7 @@ func run(strategyName, queueName string, tasks int, rate float64, seeds int, see
 			gppU += m.Utilization(kindGPP())
 			fpgaU += m.Utilization(kindFPGA())
 		}
-		n := float64(seeds)
+		n := float64(len(perStrategy[si]))
 		tb.AddRow(s.Name(), done, unfinished,
 			wait.Mean(), p95.Mean(), turn.Mean(),
 			reconfigs, reuses, fallbacks,

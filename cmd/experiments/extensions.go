@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/capability"
@@ -27,41 +28,68 @@ func x1Workload(rate float64) grid.WorkloadSpec {
 	return ws
 }
 
+// x1Strategies is the X1 strategy set; the -strategies flag (resolved via
+// sched.ByName) narrows it.
+var x1Strategies = []sched.Strategy{sched.FirstFit{}, sched.BestFitArea{}, sched.ReconfigAware{}, sched.ReuseFirst{}}
+
 // runX1 sweeps the arrival rate for each strategy — the core DReAMSim
-// comparison of scheduling strategies under load.
+// comparison of scheduling strategies under load. The strategy × rate grid
+// runs as one parallel sweep: every cell is an independent replica, so the
+// figure-generation path scales with the machine's cores while producing
+// the exact metrics the serial loop did.
 func runX1() error {
 	tb := report.NewTable("X1: mean wait / turnaround (s) by strategy and arrival rate λ",
 		"Strategy", "λ", "mean wait", "p95 wait", "turnaround", "reconfigs", "reuses")
-	strategies := []sched.Strategy{sched.FirstFit{}, sched.BestFitArea{}, sched.ReconfigAware{}, sched.ReuseFirst{}}
 	gs := grid.DefaultGridSpec()
 	gs.ReconfigMBpsOverride = 4 // slow configuration port amplifies the trade-off
-	var ffHigh, raHigh float64
-	for _, s := range strategies {
-		for _, rate := range []float64{0.5, 2, 5} {
+	tc, err := grid.DefaultToolchain()
+	if err != nil {
+		return err
+	}
+	rates := []float64{0.5, 2, 5}
+	var points []grid.SweepPoint
+	for _, s := range x1Strategies {
+		for _, rate := range rates {
 			cfg := grid.DefaultConfig()
 			cfg.Strategy = s
-			tc, err := grid.DefaultToolchain()
-			if err != nil {
-				return err
-			}
-			m, err := grid.RunScenario(42, cfg, gs, x1Workload(rate), tc)
-			if err != nil {
-				return err
-			}
-			tb.AddRow(s.Name(), rate, m.MeanWait(), m.P95Wait(), m.MeanTurnaround(), m.Reconfigs, m.Reuses)
-			if rate == 5 {
-				switch s.Name() {
-				case "first-fit":
-					ffHigh = m.MeanTurnaround()
-				case "reconfig-aware":
-					raHigh = m.MeanTurnaround()
-				}
+			points = append(points, grid.SweepPoint{
+				Name:     fmt.Sprintf("%s@%.1f", s.Name(), rate),
+				Config:   cfg,
+				Grid:     gs,
+				Workload: x1Workload(rate),
+			})
+		}
+	}
+	res, err := grid.Sweep(context.Background(), grid.SweepSpec{
+		Points:    points,
+		Seeds:     []uint64{42},
+		Toolchain: tc,
+	})
+	if err != nil {
+		return err
+	}
+	var ffHigh, raHigh float64
+	for _, r := range res.Replicas {
+		if r.Err != nil {
+			return fmt.Errorf("X1 point %s: %w", r.Replica.Name, r.Err)
+		}
+		s, rate := x1Strategies[r.Replica.Point/len(rates)], rates[r.Replica.Point%len(rates)]
+		m := r.Metrics
+		tb.AddRow(s.Name(), rate, m.MeanWait(), m.P95Wait(), m.MeanTurnaround(), m.Reconfigs, m.Reuses)
+		if rate == 5 {
+			switch s.Name() {
+			case "first-fit":
+				ffHigh = m.MeanTurnaround()
+			case "reconfig-aware":
+				raHigh = m.MeanTurnaround()
 			}
 		}
 	}
 	fmt.Print(tb)
-	fmt.Println(report.PaperVsMeasured("X1", "reconfig-aware ≤ first-fit @λ=5",
-		"expected", raHigh <= ffHigh, fmt.Sprintf("(%.1fs vs %.1fs)", raHigh, ffHigh)))
+	if ffHigh > 0 && raHigh > 0 {
+		fmt.Println(report.PaperVsMeasured("X1", "reconfig-aware ≤ first-fit @λ=5",
+			"expected", raHigh <= ffHigh, fmt.Sprintf("(%.1fs vs %.1fs)", raHigh, ffHigh)))
+	}
 	return nil
 }
 
@@ -95,7 +123,7 @@ func runX2() error {
 	if err := engH.SubmitWorkload(gen, "x2"); err != nil {
 		return err
 	}
-	mh, err := engH.Run()
+	mh, err := engH.Run(context.Background())
 	if err != nil {
 		return err
 	}
@@ -118,7 +146,7 @@ func runX2() error {
 	if err := engG.SubmitWorkload(grid.ToSoftwareOnly(gen), "x2"); err != nil {
 		return err
 	}
-	mg, err := engG.Run()
+	mg, err := engG.Run(context.Background())
 	if err != nil {
 		return err
 	}
@@ -137,26 +165,38 @@ func runX2() error {
 	return nil
 }
 
-// runX3 sweeps the configuration-port bandwidth.
+// runX3 sweeps the configuration-port bandwidth, one parallel sweep point
+// per bandwidth.
 func runX3() error {
 	tb := report.NewTable("X3: reconfiguration-bandwidth sensitivity",
 		"cfg port MB/s", "total reconfig s", "mean wait", "turnaround")
-	prev := -1.0
-	monotone := true
-	for _, mbps := range []float64{1, 10, 50, 400, 3200} {
+	tc, err := grid.DefaultToolchain()
+	if err != nil {
+		return err
+	}
+	bandwidths := []float64{1, 10, 50, 400, 3200}
+	var points []grid.SweepPoint
+	for _, mbps := range bandwidths {
 		gs := grid.DefaultGridSpec()
 		gs.ReconfigMBpsOverride = mbps
 		ws := grid.DefaultWorkload(100, 0.6)
 		ws.ShareUserHW = 0.5
-		tc, err := grid.DefaultToolchain()
-		if err != nil {
-			return err
+		points = append(points, grid.SweepPoint{
+			Name: fmt.Sprintf("cfgport=%g", mbps), Config: grid.DefaultConfig(), Grid: gs, Workload: ws,
+		})
+	}
+	res, err := grid.Sweep(context.Background(), grid.SweepSpec{Points: points, Seeds: []uint64{17}, Toolchain: tc})
+	if err != nil {
+		return err
+	}
+	prev := -1.0
+	monotone := true
+	for _, r := range res.Replicas {
+		if r.Err != nil {
+			return fmt.Errorf("X3 point %s: %w", r.Replica.Name, r.Err)
 		}
-		m, err := grid.RunScenario(17, grid.DefaultConfig(), gs, ws, tc)
-		if err != nil {
-			return err
-		}
-		tb.AddRow(mbps, m.ReconfigSeconds, m.MeanWait(), m.MeanTurnaround())
+		m := r.Metrics
+		tb.AddRow(bandwidths[r.Replica.Point], m.ReconfigSeconds, m.MeanWait(), m.MeanTurnaround())
 		if prev >= 0 && m.ReconfigSeconds > prev {
 			monotone = false
 		}
@@ -230,7 +270,7 @@ func runX5() error {
 		if err := eng.SubmitWorkload(gen, "x5"); err != nil {
 			return err
 		}
-		m, err := eng.Run()
+		m, err := eng.Run(context.Background())
 		if err != nil {
 			return err
 		}
@@ -244,30 +284,42 @@ func runX5() error {
 	return nil
 }
 
-// runX4 compares partial against full-only reconfiguration.
+// runX4 compares partial against full-only reconfiguration, both modes as
+// points of one parallel sweep.
 func runX4() error {
 	tb := report.NewTable("X4: partial vs full reconfiguration",
 		"Mode", "turnaround", "mean wait", "reconfigs", "reuses", "unfinished")
-	results := map[bool]*grid.Metrics{}
-	for _, disable := range []bool{false, true} {
+	tc, err := grid.DefaultToolchain()
+	if err != nil {
+		return err
+	}
+	modes := []bool{false, true}
+	var points []grid.SweepPoint
+	for _, disable := range modes {
 		gs := grid.DefaultGridSpec()
 		gs.DisablePartialReconfig = disable
 		ws := grid.DefaultWorkload(100, 0.6)
 		ws.ShareUserHW = 0.5
-		tc, err := grid.DefaultToolchain()
-		if err != nil {
-			return err
-		}
-		m, err := grid.RunScenario(23, grid.DefaultConfig(), gs, ws, tc)
-		if err != nil {
-			return err
-		}
-		results[disable] = m
-		mode := "partial"
+		name := "partial"
 		if disable {
-			mode = "full-only"
+			name = "full-only"
 		}
-		tb.AddRow(mode, m.MeanTurnaround(), m.MeanWait(), m.Reconfigs, m.Reuses, m.Unfinished)
+		points = append(points, grid.SweepPoint{
+			Name: name, Config: grid.DefaultConfig(), Grid: gs, Workload: ws,
+		})
+	}
+	res, err := grid.Sweep(context.Background(), grid.SweepSpec{Points: points, Seeds: []uint64{23}, Toolchain: tc})
+	if err != nil {
+		return err
+	}
+	results := map[bool]*grid.Metrics{}
+	for _, r := range res.Replicas {
+		if r.Err != nil {
+			return fmt.Errorf("X4 point %s: %w", r.Replica.Name, r.Err)
+		}
+		m := r.Metrics
+		results[modes[r.Replica.Point]] = m
+		tb.AddRow(r.Replica.Name, m.MeanTurnaround(), m.MeanWait(), m.Reconfigs, m.Reuses, m.Unfinished)
 	}
 	fmt.Print(tb)
 	partialWins := results[false].MeanTurnaround() < results[true].MeanTurnaround()

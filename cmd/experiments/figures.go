@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bio"
@@ -304,7 +305,7 @@ func runF8() error {
 		}
 	}
 	eng.Submit(0, "figure8", g, prog, jss.QoS{Monitor: true})
-	m, err := eng.Run()
+	m, err := eng.Run(context.Background())
 	if err != nil {
 		return err
 	}

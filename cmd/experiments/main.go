@@ -11,11 +11,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+
+	"repro/internal/sched"
 )
 
 // experiment is one runnable paper artifact reproduction.
@@ -49,7 +52,25 @@ func main() {
 	runID := flag.String("run", "", "run only the experiment with this ID (e.g. F10)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	out := flag.String("out", "", "write experiment output to this file instead of stdout")
+	strategies := flag.String("strategies", "", "comma-separated strategy names to narrow X1 (default: all)")
 	flag.Parse()
+
+	if *strategies != "" {
+		var chosen []sched.Strategy
+		for _, name := range strings.Split(*strategies, ",") {
+			s, err := sched.ByName(strings.TrimSpace(name))
+			if err != nil {
+				if errors.Is(err, sched.ErrUnknownStrategy) {
+					fmt.Fprintf(os.Stderr, "experiments: %v (have %s)\n", err, strings.Join(sched.Names(), ", "))
+				} else {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+				}
+				os.Exit(2)
+			}
+			chosen = append(chosen, s)
+		}
+		x1Strategies = chosen
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)

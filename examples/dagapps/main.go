@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -67,7 +68,7 @@ func run() error {
 	if err := eng.SubmitApps(apps, "dag-user"); err != nil {
 		return err
 	}
-	m, err := eng.Run()
+	m, err := eng.Run(context.Background())
 	if err != nil {
 		return err
 	}

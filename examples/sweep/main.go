@@ -4,9 +4,15 @@
 // system scenario(s) for a particular scheduling strategy and a given
 // number of tasks, grid nodes, configurations, task arrival distributions,
 // area ranges, and task required times".
+//
+// The strategy × rate grid runs as ONE parallel sweep via
+// reconvirt.RunSweep: every cell is an independent replica fanned across a
+// bounded worker pool, and the per-replica metrics are identical to what a
+// serial loop would produce.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,12 +35,13 @@ func run() error {
 	gs := grid.DefaultGridSpec()
 	gs.ReconfigMBpsOverride = 4 // slow port: placement decisions matter
 
-	fmt.Printf("%-16s %6s %12s %10s %8s\n", "strategy", "λ", "turnaround", "reconfigs", "reuses")
+	rates := []float64{0.5, 2, 5}
+	var points []reconvirt.SweepPoint
 	for _, strategy := range reconvirt.Strategies() {
 		if strategy.Name() == "gpp-only" {
 			continue // the baseline starves hardware tasks by design
 		}
-		for _, rate := range []float64{0.5, 2, 5} {
+		for _, rate := range rates {
 			ws := grid.DefaultWorkload(200, rate)
 			ws.WorkMI = sim.LogNormal{Mu: 10, Sigma: 0.7}
 			ws.ShareUserHW = 0.7
@@ -42,13 +49,32 @@ func run() error {
 
 			cfg := reconvirt.DefaultSimConfig()
 			cfg.Strategy = strategy
-			m, err := reconvirt.RunScenario(42, cfg, gs, ws, toolchain)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%-16s %6.1f %11.3fs %10d %8d\n",
-				strategy.Name(), rate, m.MeanTurnaround(), m.Reconfigs, m.Reuses)
+			points = append(points, reconvirt.SweepPoint{
+				Name:     fmt.Sprintf("%s@%.1f", strategy.Name(), rate),
+				Config:   cfg,
+				Grid:     gs,
+				Workload: ws,
+			})
 		}
+	}
+
+	res, err := reconvirt.RunSweep(context.Background(), reconvirt.SweepSpec{
+		Points:    points,
+		Seeds:     []uint64{42},
+		Toolchain: toolchain,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%d replicas on %d workers in %v\n\n", len(res.Replicas), res.Workers, res.Elapsed.Round(1000000))
+	fmt.Printf("%-22s %12s %10s %8s\n", "strategy@λ", "turnaround", "reconfigs", "reuses")
+	for _, r := range res.Replicas {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Replica.Name, r.Err)
+		}
+		m := r.Metrics
+		fmt.Printf("%-22s %11.3fs %10d %8d\n", r.Replica.Name, m.MeanTurnaround(), m.Reconfigs, m.Reuses)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/capability"
@@ -47,7 +48,7 @@ func TestRuntimeAttachUnblocksWaitingTasks(t *testing.T) {
 	late.AddRPE("XC5VLX330T")
 	eng.AttachNodeAt(50, late)
 
-	m, err := eng.Run()
+	m, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestRuntimeDetachWaitsForDrain(t *testing.T) {
 	}
 	// Ask a hybrid node to leave early; it may be busy then.
 	eng.DetachNodeAt(5, "Node2")
-	m, err := eng.Run()
+	m, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestDetachUnknownNodeGivesUp(t *testing.T) {
 	eng, _ := NewEngine(DefaultConfig(), reg, mm)
 	eng.DetachNodeAt(0, "ghost")
 	// Bounded retries: the run must terminate.
-	if _, err := eng.Run(); err != nil {
+	if _, err := eng.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }

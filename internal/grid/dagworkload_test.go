@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/rms"
@@ -85,7 +86,7 @@ func TestSubmitAppsRunsAllTasksRespectingDeps(t *testing.T) {
 	if err := eng.SubmitApps(apps, "dag"); err != nil {
 		t.Fatal(err)
 	}
-	m, err := eng.Run()
+	m, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package grid
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -119,6 +121,9 @@ func NewEngine(cfg Config, reg *rms.Registry, mm *rms.Matchmaker) (*Engine, erro
 	if reg == nil || mm == nil {
 		return nil, fmt.Errorf("grid: engine needs a registry and matchmaker")
 	}
+	// Own the strategy: a stateful strategy shared across engines (sweep
+	// replicas) would race, so clone it when it says it can be cloned.
+	cfg.Strategy = sched.ForEngine(cfg.Strategy)
 	return &Engine{
 		cfg:     cfg,
 		S:       sim.NewSimulator(),
@@ -503,17 +508,34 @@ func (e *Engine) FailElementAt(at sim.Time, nodeID, elemID string, permanent boo
 // Run executes the simulation to completion (or the horizon) and returns
 // the metrics. Tasks still queued at the end are counted unfinished and
 // their submissions marked failed.
-func (e *Engine) Run() (*Metrics, error) {
+//
+// The context bounds wall-clock time, not virtual time: the event loop
+// polls ctx periodically and stops at the first observed cancellation or
+// deadline. In that case Run returns the metrics accumulated so far
+// TOGETHER with the context's error, so callers (the sweep engine in
+// particular) can keep partial results. A nil ctx is treated as
+// context.Background().
+func (e *Engine) Run(ctx context.Context) (*Metrics, error) {
 	e.S.Horizon = e.cfg.Horizon
-	if err := e.S.Run(); err != nil {
+	if err := e.S.RunContext(ctx); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			e.finish()
+			return e.m, err
+		}
 		return nil, err
 	}
+	e.finish()
+	return e.m, nil
+}
+
+// finish folds end-of-run accounting into the metrics: queued tasks become
+// unfinished, their submissions fail, and idle capacity is charged.
+func (e *Engine) finish() {
 	e.m.Unfinished = len(e.queue)
 	for _, it := range e.queue {
 		e.J.Fail(it.run.sub.ID, e.S.Now(), fmt.Sprintf("task %s unschedulable under %s", it.t.ID, e.cfg.Strategy.Name()))
 	}
 	e.fillCapacity()
-	return e.m, nil
 }
 
 // fillCapacity computes per-kind capacity-seconds over the makespan and
@@ -540,30 +562,71 @@ func (e *Engine) fillCapacity() {
 	}
 }
 
+// ScenarioSpec bundles everything one scenario run needs. It replaced the
+// positional RunScenario(seed, cfg, gs, ws, tc) signature: each field is
+// named at the call site and new knobs no longer break every caller.
+type ScenarioSpec struct {
+	// Seed drives workload generation; equal seeds give byte-identical
+	// workloads and therefore byte-identical metrics.
+	Seed uint64
+	// Config parameterizes the engine (strategy, queue policy, links …).
+	Config Config
+	// Grid describes the simulated resources.
+	Grid GridSpec
+	// Workload describes the synthetic task stream.
+	Workload WorkloadSpec
+	// Toolchain is the provider's CAD tool; nil models a provider without
+	// one (user-defined-hardware tasks simply never match).
+	Toolchain *hdl.Toolchain
+	// Trace, when non-empty, replays a fixed workload instead of
+	// generating one from Seed/Workload.
+	Trace []Generated
+	// User labels the submissions; defaults to "bench".
+	User string
+}
+
 // RunScenario is the one-call harness used by benchmarks and commands:
-// build a grid, generate a workload, simulate, return metrics. The
-// toolchain may be nil (a provider without CAD tools).
-func RunScenario(seed uint64, cfg Config, gs GridSpec, ws WorkloadSpec, toolchain *hdl.Toolchain) (*Metrics, error) {
-	reg, err := BuildGrid(gs)
+// build a grid, generate (or replay) a workload, simulate, return metrics.
+// The context cancels the run mid-simulation; see Engine.Run for the
+// partial-metrics contract.
+func RunScenario(ctx context.Context, spec ScenarioSpec) (*Metrics, error) {
+	reg, err := BuildGrid(spec.Grid)
 	if err != nil {
 		return nil, err
 	}
-	mm, err := rms.NewMatchmaker(reg, toolchain)
+	mm, err := rms.NewMatchmaker(reg, spec.Toolchain)
 	if err != nil {
 		return nil, err
 	}
-	eng, err := NewEngine(cfg, reg, mm)
+	eng, err := NewEngine(spec.Config, reg, mm)
 	if err != nil {
 		return nil, err
 	}
-	gen, err := Generate(sim.NewRNG(seed), ws)
-	if err != nil {
+	gen := spec.Trace
+	if len(gen) == 0 {
+		gen, err = Generate(sim.NewRNG(spec.Seed), spec.Workload)
+		if err != nil {
+			return nil, err
+		}
+	}
+	user := spec.User
+	if user == "" {
+		user = "bench"
+	}
+	if err := eng.SubmitWorkload(gen, user); err != nil {
 		return nil, err
 	}
-	if err := eng.SubmitWorkload(gen, "bench"); err != nil {
-		return nil, err
-	}
-	return eng.Run()
+	return eng.Run(ctx)
+}
+
+// RunScenarioArgs is the pre-context positional form.
+//
+// Deprecated: use RunScenario with a ScenarioSpec; this shim exists so old
+// callers keep compiling and will be removed once they migrate.
+func RunScenarioArgs(seed uint64, cfg Config, gs GridSpec, ws WorkloadSpec, toolchain *hdl.Toolchain) (*Metrics, error) {
+	return RunScenario(context.Background(), ScenarioSpec{
+		Seed: seed, Config: cfg, Grid: gs, Workload: ws, Toolchain: toolchain,
+	})
 }
 
 // DefaultToolchain returns the provider toolchain used by scenario runs.

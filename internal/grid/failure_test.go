@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/capability"
@@ -61,7 +62,7 @@ func busyRPE(t *testing.T, eng *Engine) (string, string) {
 func TestTransientFailureRetriesTask(t *testing.T) {
 	// Baseline: the same rig without failure.
 	base, _ := failureRig(t)
-	baseM, err := base.Run()
+	baseM, err := base.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestTransientFailureRetriesTask(t *testing.T) {
 	}
 	nodeID, elemID := busyRPE(t, eng)
 	eng.FailElementAt(10, nodeID, elemID, false)
-	m, err := eng.Run()
+	m, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestPermanentFailureRemovesElement(t *testing.T) {
 	}
 	nodeID, elemID := busyRPE(t, eng)
 	eng.FailElementAt(10, nodeID, elemID, true)
-	m, err := eng.Run()
+	m, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestFailureOnIdleElementIsHarmless(t *testing.T) {
 	eng.FailElementAt(1, "Node2", "RPE0", false)
 	eng.FailElementAt(2, "NoSuchNode", "RPE0", false)
 	eng.FailElementAt(3, "Node2", "NoSuchElem", false)
-	if _, err := eng.Run(); err != nil {
+	if _, err := eng.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -173,7 +174,7 @@ func TestFailureEventVisibleToMonitoringUser(t *testing.T) {
 	}
 	eng.FailElementAt(8, gppNode, gppElem, false)
 	eng.FailElementAt(9, nodeID, elemID, false)
-	if _, err := eng.Run(); err != nil {
+	if _, err := eng.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	var sawFailure bool

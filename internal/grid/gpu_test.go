@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/capability"
@@ -65,7 +66,7 @@ func TestGPUWorkloadCompletesEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := RunScenario(3, DefaultConfig(), gs, ws, tc)
+	m, err := RunScenario(context.Background(), ScenarioSpec{Seed: 3, Config: DefaultConfig(), Grid: gs, Workload: ws, Toolchain: tc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestHybridUsesLessEnergyPerTask(t *testing.T) {
 	mmH, _ := rms.NewMatchmaker(hybridReg, tc)
 	engH, _ := NewEngine(DefaultConfig(), hybridReg, mmH)
 	engH.SubmitWorkload(gen, "x")
-	mh, err := engH.Run()
+	mh, err := engH.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestHybridUsesLessEnergyPerTask(t *testing.T) {
 	mmG, _ := rms.NewMatchmaker(gppReg, nil)
 	engG, _ := NewEngine(DefaultConfig(), gppReg, mmG)
 	engG.SubmitWorkload(ToSoftwareOnly(gen), "x")
-	mg, err := engG.Run()
+	mg, err := engG.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/capability"
@@ -130,7 +131,7 @@ func runSmall(t *testing.T, strategy sched.Strategy, tasks int, rate float64) *M
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := RunScenario(42, cfg, DefaultGridSpec(), DefaultWorkload(tasks, rate), tc)
+	m, err := RunScenario(context.Background(), ScenarioSpec{Seed: 42, Config: cfg, Grid: DefaultGridSpec(), Workload: DefaultWorkload(tasks, rate), Toolchain: tc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestConfigurationReuseHappens(t *testing.T) {
 	ws.ShareUserHW = 0.6
 	ws.ShareSoftcore = 0
 	tc, _ := DefaultToolchain()
-	m, err := RunScenario(7, cfg, DefaultGridSpec(), ws, tc)
+	m, err := RunScenario(context.Background(), ScenarioSpec{Seed: 7, Config: cfg, Grid: DefaultGridSpec(), Workload: ws, Toolchain: tc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestProgramModeExecutesFig8Schedule(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng.Submit(0, "alice", g, prog, jss.QoS{Monitor: true})
-	m, err := eng.Run()
+	m, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +309,7 @@ func TestGraphModeRespectsDependencies(t *testing.T) {
 	eng, _ := NewEngine(DefaultConfig(), reg, mm)
 	g := task.Fig7Graph()
 	eng.Submit(0, "alice", g, nil, jss.QoS{Monitor: true})
-	m, err := eng.Run()
+	m, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,7 +373,7 @@ func TestHybridBeatsGPPOnlyGridForAcceleratorWorkload(t *testing.T) {
 	mmH, _ := rms.NewMatchmaker(hybridReg, tc)
 	engH, _ := NewEngine(DefaultConfig(), hybridReg, mmH)
 	engH.SubmitWorkload(gen, "x")
-	mh, err := engH.Run()
+	mh, err := engH.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,7 +385,7 @@ func TestHybridBeatsGPPOnlyGridForAcceleratorWorkload(t *testing.T) {
 	mmG, _ := rms.NewMatchmaker(gppReg, nil)
 	engG, _ := NewEngine(DefaultConfig(), gppReg, mmG)
 	engG.SubmitWorkload(ToSoftwareOnly(gen), "x")
-	mg, err := engG.Run()
+	mg, err := engG.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,11 +406,11 @@ func TestSJFReducesMeanWaitVsFCFS(t *testing.T) {
 	cfgS.Queue = sched.SJF
 	tc, _ := DefaultToolchain()
 	ws := DefaultWorkload(150, 1.2) // saturating arrival rate
-	mf, err := RunScenario(5, cfgF, DefaultGridSpec(), ws, tc)
+	mf, err := RunScenario(context.Background(), ScenarioSpec{Seed: 5, Config: cfgF, Grid: DefaultGridSpec(), Workload: ws, Toolchain: tc})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms, err := RunScenario(5, cfgS, DefaultGridSpec(), ws, tc)
+	ms, err := RunScenario(context.Background(), ScenarioSpec{Seed: 5, Config: cfgS, Grid: DefaultGridSpec(), Workload: ws, Toolchain: tc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,7 +423,7 @@ func TestHorizonBoundsRun(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Horizon = 1 // far too short for the workload
 	tc, _ := DefaultToolchain()
-	m, err := RunScenario(2, cfg, DefaultGridSpec(), DefaultWorkload(50, 10), tc)
+	m, err := RunScenario(context.Background(), ScenarioSpec{Seed: 2, Config: cfg, Grid: DefaultGridSpec(), Workload: DefaultWorkload(50, 10), Toolchain: tc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,7 +460,7 @@ func TestDeadlineOutcomeUnderLoad(t *testing.T) {
 	}
 	eng.Submit(0, "generous", mkGraph("Ta"), nil, jss.QoS{DeadlineSeconds: 1000})
 	eng.Submit(1, "impossible", mkGraph("Tb"), nil, jss.QoS{DeadlineSeconds: 10})
-	if _, err := eng.Run(); err != nil {
+	if _, err := eng.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	subs := eng.J.Submissions()
@@ -502,7 +503,7 @@ func TestEngineRecordsRejectedSubmissions(t *testing.T) {
 		Work:             pe.Work{MInstructions: 1e6, ParallelFraction: 0},
 	})
 	eng.Submit(0, "cheapskate", g, nil, jss.QoS{MaxCostUnits: 1})
-	m, err := eng.Run()
+	m, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/capability"
@@ -63,7 +64,7 @@ func localityRig(t *testing.T, strategy sched.Strategy) *Metrics {
 	if err := eng.SubmitWorkload(gen, "loc"); err != nil {
 		t.Fatal(err)
 	}
-	m, err := eng.Run()
+	m, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestUniformTopologyMatchesLegacyConfig(t *testing.T) {
 		eng, _ := NewEngine(cfg, reg, mm)
 		gen, _ := Generate(sim.NewRNG(5), DefaultWorkload(40, 1))
 		eng.SubmitWorkload(gen, "u")
-		m, err := eng.Run()
+		m, err := eng.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -32,8 +33,12 @@ type TraceEvent struct {
 }
 
 // Recorder captures per-task lifecycle events for post-hoc analysis. Attach
-// one via Config.Tracer. The zero value is ready to use.
+// one via Config.Tracer. The zero value is ready to use. A Recorder is safe
+// to share across engines running on different goroutines (events from
+// concurrent sweep replicas interleave; within one engine they stay in
+// virtual-time order).
 type Recorder struct {
+	mu     sync.Mutex
 	events []TraceEvent
 }
 
@@ -41,7 +46,9 @@ func (r *Recorder) record(ev TraceEvent) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.events = append(r.events, ev)
+	r.mu.Unlock()
 }
 
 // Events returns the recorded events in emission order.
@@ -49,6 +56,8 @@ func (r *Recorder) Events() []TraceEvent {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return append([]TraceEvent(nil), r.events...)
 }
 
@@ -58,7 +67,7 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	if err := cw.Write([]string{"time_s", "kind", "task", "node", "element"}); err != nil {
 		return err
 	}
-	for _, ev := range r.events {
+	for _, ev := range r.Events() {
 		rec := []string{
 			strconv.FormatFloat(float64(ev.Time), 'g', -1, 64),
 			string(ev.Kind), ev.TaskID, ev.Node, ev.Element,
@@ -86,7 +95,7 @@ func (r *Recorder) Gantt(w io.Writer, width int) error {
 	open := map[string]TraceEvent{} // task → dispatch event
 	lanes := map[string][]span{}
 	var maxT sim.Time
-	for _, ev := range r.events {
+	for _, ev := range r.Events() {
 		switch ev.Kind {
 		case TraceDispatch:
 			open[ev.TaskID] = ev

@@ -2,6 +2,7 @@ package grid
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -28,7 +29,7 @@ func tracedRun(t *testing.T) (*Recorder, *Metrics) {
 	if err := eng.SubmitWorkload(gen, "trace"); err != nil {
 		t.Fatal(err)
 	}
-	m, err := eng.Run()
+	m, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package grid
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -74,7 +75,7 @@ func TestWorkloadRoundTripSimulatesIdentically(t *testing.T) {
 		mm, _ := rms.NewMatchmaker(reg, tc)
 		eng, _ := NewEngine(DefaultConfig(), reg, mm)
 		eng.SubmitWorkload(g, "io")
-		m, err := eng.Run()
+		m, err := eng.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

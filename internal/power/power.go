@@ -10,6 +10,7 @@ package power
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/capability"
 )
@@ -74,16 +75,33 @@ func (m *Meter) ActiveJoules(kind capability.Kind) float64 { return m.activeJ[ki
 // IdleJoules returns idle energy for one kind.
 func (m *Meter) IdleJoules(kind capability.Kind) float64 { return m.idleJ[kind] }
 
-// TotalJoules returns all energy across kinds and states.
+// TotalJoules returns all energy across kinds and states. Kinds are
+// summed in a fixed order: float addition is not associative, so map
+// iteration order would otherwise wobble the last bit between runs and
+// break bit-for-bit reproducibility.
 func (m *Meter) TotalJoules() float64 {
 	var total float64
-	for _, j := range m.activeJ {
+	for _, j := range inKindOrder(m.activeJ) {
 		total += j
 	}
-	for _, j := range m.idleJ {
+	for _, j := range inKindOrder(m.idleJ) {
 		total += j
 	}
 	return total
+}
+
+// inKindOrder returns the map's values sorted by kind.
+func inKindOrder(byKind map[capability.Kind]float64) []float64 {
+	kinds := make([]capability.Kind, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	out := make([]float64, len(kinds))
+	for i, k := range kinds {
+		out[i] = byKind[k]
+	}
+	return out
 }
 
 // String summarizes the meter.

@@ -138,7 +138,9 @@ func (m *Matchmaker) Estimate(c Candidate, req task.ExecReq, w pe.Work) (CostEst
 			return out, fmt.Errorf("rms: provider has no CAD toolchain")
 		}
 		key := hdl.BitstreamID(req.Design.Name, dev.FPGACaps.Device, dev.PartialRecon)
+		m.synthMu.RLock()
 		res, cached := m.synthCache[key]
+		m.synthMu.RUnlock()
 		if !cached {
 			var err error
 			res, err = m.tc.Synthesize(req.Design, dev, dev.PartialRecon)
@@ -272,16 +274,28 @@ func (m *Matchmaker) PrewarmSynthesis(d *hdl.Design, dev fabric.Device) error {
 
 // synthesize runs (or replays from cache) a synthesis for design×device.
 func (m *Matchmaker) synthesize(d *hdl.Design, dev fabric.Device) (*hdl.SynthesisResult, float64, error) {
-	if m.synthCache == nil {
-		m.synthCache = make(map[string]*hdl.SynthesisResult)
-	}
 	key := hdl.BitstreamID(d.Name, dev.FPGACaps.Device, dev.PartialRecon)
-	if res, ok := m.synthCache[key]; ok {
+	m.synthMu.RLock()
+	res, ok := m.synthCache[key]
+	m.synthMu.RUnlock()
+	if ok {
 		return res, 0, nil
 	}
 	res, err := m.tc.Synthesize(d, dev, dev.PartialRecon)
 	if err != nil {
 		return nil, 0, err
+	}
+	m.synthMu.Lock()
+	defer m.synthMu.Unlock()
+	if m.synthCache == nil { // zero-value Matchmaker
+		m.synthCache = make(map[string]*hdl.SynthesisResult)
+	}
+	// A concurrent caller may have synthesized the same pair while we were;
+	// keep the first result so every reader sees one canonical bitstream,
+	// and report zero tool time for the duplicate (the cost was already
+	// charged once).
+	if prior, ok := m.synthCache[key]; ok {
+		return prior, 0, nil
 	}
 	m.synthCache[key] = res
 	return res, res.ToolSeconds, nil

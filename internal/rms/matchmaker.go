@@ -2,6 +2,7 @@ package rms
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/capability"
 	"repro/internal/hdl"
@@ -46,7 +47,10 @@ type Matchmaker struct {
 	// predetermined-hardware scenario and the software-only fallback.
 	cores []*softcore.Core
 	// synthCache memoizes synthesis results per design×device so CAD time
-	// is paid once.
+	// is paid once. It is guarded by synthMu: matching mutates the cache,
+	// and two engines sharing a matchmaker (or a future concurrent RMS)
+	// would otherwise race.
+	synthMu    sync.RWMutex
 	synthCache map[string]*hdl.SynthesisResult
 	// DisableCompaction turns off fabric defragmentation during
 	// allocation; the ablation benchmarks flip it.
@@ -70,7 +74,10 @@ func NewMatchmaker(reg *Registry, tc *hdl.Toolchain, cores ...*softcore.Core) (*
 			cores = append(cores, c)
 		}
 	}
-	return &Matchmaker{reg: reg, tc: tc, cores: cores}, nil
+	return &Matchmaker{
+		reg: reg, tc: tc, cores: cores,
+		synthCache: make(map[string]*hdl.SynthesisResult),
+	}, nil
 }
 
 // Candidates returns every feasible mapping for the ExecReq in

@@ -10,6 +10,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/capability"
@@ -42,6 +43,24 @@ type Strategy interface {
 	Name() string
 	// Choose returns the index of the selected option, or -1.
 	Choose(opts []Option) int
+}
+
+// Cloner is implemented by stateful strategies that cannot be shared
+// between concurrently running engines. The sweep engine calls
+// CloneStrategy once per replica and hands each engine its own copy. Every
+// built-in strategy is a stateless value type, so none implements it.
+type Cloner interface {
+	// CloneStrategy returns an independent copy safe for a new engine.
+	CloneStrategy() Strategy
+}
+
+// ForEngine returns the instance of s an engine should own: the result of
+// CloneStrategy when s is stateful (implements Cloner), s itself otherwise.
+func ForEngine(s Strategy) Strategy {
+	if c, ok := s.(Cloner); ok {
+		return c.CloneStrategy()
+	}
+	return s
 }
 
 // FirstFit takes the first feasible option — the naive baseline: it
@@ -186,17 +205,33 @@ func (q QueuePolicy) String() string {
 	return fmt.Sprintf("QueuePolicy(%d)", int(q))
 }
 
-// ByName returns a strategy by its Name() string.
+// ErrUnknownStrategy is the sentinel ByName wraps when no built-in
+// strategy carries the requested name; match it with errors.Is.
+var ErrUnknownStrategy = errors.New("sched: unknown strategy")
+
+// ByName returns a built-in strategy by its Name() string, or an error
+// wrapping ErrUnknownStrategy.
 func ByName(name string) (Strategy, error) {
 	for _, s := range All() {
 		if s.Name() == name {
 			return s, nil
 		}
 	}
-	return nil, fmt.Errorf("sched: unknown strategy %q", name)
+	return nil, fmt.Errorf("%w %q", ErrUnknownStrategy, name)
 }
 
 // All returns every built-in strategy in comparison order.
 func All() []Strategy {
 	return []Strategy{FirstFit{}, BestFitArea{}, ReconfigAware{}, ReuseFirst{}, GPPOnly{}}
+}
+
+// Names returns every built-in strategy name, for error messages and flag
+// help.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, s := range all {
+		out[i] = s.Name()
+	}
+	return out
 }

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/capability"
@@ -141,9 +142,36 @@ func TestByNameAndAll(t *testing.T) {
 	}
 	if _, err := ByName("magic"); err == nil {
 		t.Error("unknown strategy accepted")
+	} else if !errors.Is(err, ErrUnknownStrategy) {
+		t.Errorf("err = %v, want ErrUnknownStrategy via errors.Is", err)
 	}
 	if len(All()) < 5 {
 		t.Errorf("only %d strategies", len(All()))
+	}
+	if len(Names()) != len(All()) {
+		t.Errorf("Names() = %d entries, want %d", len(Names()), len(All()))
+	}
+}
+
+// cloningStrategy is a stateful strategy for the ForEngine contract.
+type cloningStrategy struct{ clones *int }
+
+func (c cloningStrategy) Name() string        { return "cloning" }
+func (c cloningStrategy) Choose([]Option) int { return -1 }
+func (c cloningStrategy) CloneStrategy() Strategy {
+	*c.clones++
+	return cloningStrategy{clones: c.clones}
+}
+
+func TestForEngine(t *testing.T) {
+	ff := FirstFit{}
+	if got := ForEngine(ff); got != (FirstFit{}) {
+		t.Error("stateless strategy should pass through unchanged")
+	}
+	clones := 0
+	ForEngine(cloningStrategy{clones: &clones})
+	if clones != 1 {
+		t.Errorf("Cloner invoked %d times, want 1", clones)
 	}
 }
 

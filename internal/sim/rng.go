@@ -9,6 +9,9 @@ import "math"
 type RNG struct {
 	state uint64
 	inc   uint64
+	// seed is the construction seed, kept so SplitSeed stays a pure
+	// function of (seed, stream) no matter how many draws were consumed.
+	seed uint64
 }
 
 const pcgMult = 6364136223846793005
@@ -16,7 +19,7 @@ const pcgMult = 6364136223846793005
 // NewRNG returns a generator seeded deterministically from seed. Two RNGs
 // with the same seed produce identical streams.
 func NewRNG(seed uint64) *RNG {
-	r := &RNG{inc: (seed << 1) | 1}
+	r := &RNG{inc: (seed << 1) | 1, seed: seed}
 	r.state = splitmix64(seed)
 	r.Uint32() // advance away from the low-entropy initial state
 	return r
@@ -26,7 +29,16 @@ func NewRNG(seed uint64) *RNG {
 // deterministically from r's seed material and the given stream label. It is
 // the way to give each model component its own stream.
 func (r *RNG) Split(stream uint64) *RNG {
-	return NewRNG(splitmix64(r.state ^ splitmix64(stream+0x9e3779b97f4a7c15)))
+	return NewRNG(r.SplitSeed(stream))
+}
+
+// SplitSeed returns the seed Split(stream) would use, without constructing
+// the generator. It is a pure function of r's construction seed and the
+// stream label — draws consumed from r never change it — so the sweep
+// engine can give replica i the seed SplitSeed(i) no matter which worker
+// runs it, or in what order.
+func (r *RNG) SplitSeed(stream uint64) uint64 {
+	return splitmix64(splitmix64(r.seed) ^ splitmix64(stream+0x9e3779b97f4a7c15))
 }
 
 func splitmix64(x uint64) uint64 {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -89,11 +90,36 @@ func (s *Simulator) Step() bool {
 // Run executes events until the queue drains, Stop is called, or the horizon
 // (if set) is reached. It returns nil on a drained queue or horizon stop and
 // ErrStopped if halted explicitly.
-func (s *Simulator) Run() error {
+func (s *Simulator) Run() error { return s.RunContext(nil) }
+
+// ctxCheckInterval is how many events RunContext executes between
+// ctx.Err() polls. Checking on every event would put a synchronized read
+// on the hot path; a diverging model fires thousands of events per
+// millisecond, so a few hundred events of cancellation latency is
+// negligible.
+const ctxCheckInterval = 256
+
+// RunContext is Run under a context: the event loop polls ctx.Err() every
+// ctxCheckInterval events (and before the first one) and returns the
+// context's error as soon as cancellation or a deadline is observed. The
+// clock and all model state are left exactly where the last executed event
+// put them, so callers can still read partial results. A nil ctx disables
+// the checks entirely.
+func (s *Simulator) RunContext(ctx context.Context) error {
 	s.stopped = false
+	sinceCheck := 0
 	for {
 		if s.stopped {
 			return ErrStopped
+		}
+		if ctx != nil && sinceCheck == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		sinceCheck++
+		if sinceCheck >= ctxCheckInterval {
+			sinceCheck = 0
 		}
 		next := s.queue.Peek()
 		if next == nil {

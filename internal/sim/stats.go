@@ -127,6 +127,51 @@ func (s *Series) Quantile(q float64) float64 {
 // Median returns the 0.5 quantile.
 func (s *Series) Median() float64 { return s.Quantile(0.5) }
 
+// Summary condenses replicated observations — one value per independent
+// replication — into the experiment-report form: mean, sample standard
+// deviation, and the half-width of the 95% confidence interval of the mean
+// (Student's t for small samples, the normal critical value beyond 30
+// degrees of freedom).
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	// CI95 is the half-width of the 95% confidence interval of the mean:
+	// the interval is Mean ± CI95. Zero when N < 2.
+	CI95 float64
+}
+
+// String renders the summary as "mean ± ci95 (sd=…, n=…)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.3g (sd=%.3g, n=%d)", s.Mean, s.CI95, s.StdDev, s.N)
+}
+
+// tCritical95 holds two-sided 95% Student-t critical values indexed by
+// degrees of freedom (index 0 unused).
+var tCritical95 = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// Summarize computes the Summary of one value per replication.
+func Summarize(xs []float64) Summary {
+	var c Counter
+	for _, x := range xs {
+		c.Observe(x)
+	}
+	out := Summary{N: len(xs), Mean: c.Mean(), StdDev: c.StdDev()}
+	if out.N >= 2 {
+		df := out.N - 1
+		t := 1.960
+		if df < len(tCritical95) {
+			t = tCritical95[df]
+		}
+		out.CI95 = t * out.StdDev / math.Sqrt(float64(out.N))
+	}
+	return out
+}
+
 // TimeWeighted tracks a piecewise-constant quantity (queue length,
 // utilization) and integrates it over virtual time.
 type TimeWeighted struct {

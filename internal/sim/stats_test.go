@@ -206,3 +206,53 @@ func TestHistogramValidation(t *testing.T) {
 	}()
 	NewHistogram(0, 0, 5)
 }
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 || s.CI95 != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	if s := Summarize([]float64{7}); s.N != 1 || s.Mean != 7 || s.CI95 != 0 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+	// 1..5: mean 3, sd sqrt(2.5), CI95 = t(4)*sd/sqrt(5) = 2.776*1.5811/2.2361.
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || math.Abs(s.Mean-3) > 1e-12 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("sd = %v", s.StdDev)
+	}
+	want := 2.776 * math.Sqrt(2.5) / math.Sqrt(5)
+	if math.Abs(s.CI95-want) > 1e-9 {
+		t.Errorf("ci95 = %v, want %v", s.CI95, want)
+	}
+	if s.String() == "" {
+		t.Error("summary must render")
+	}
+	// Beyond the t-table the normal critical value takes over.
+	big := make([]float64, 40)
+	for i := range big {
+		big[i] = float64(i)
+	}
+	if s := Summarize(big); s.CI95 <= 0 {
+		t.Errorf("large-n ci95 = %v", s.CI95)
+	}
+}
+
+func TestSplitSeedOrderIndependent(t *testing.T) {
+	// SplitSeed must be a pure function of (base seed, stream): calling it
+	// in any order, or after consuming draws, yields the same seeds.
+	a := NewRNG(42)
+	b := NewRNG(42)
+	_ = b.Float64() // consuming draws must not change split seeds
+	s0, s1 := a.SplitSeed(0), a.SplitSeed(1)
+	if b.SplitSeed(1) != s1 || b.SplitSeed(0) != s0 {
+		t.Error("SplitSeed depends on call order or RNG consumption")
+	}
+	if s0 == s1 {
+		t.Error("distinct streams collided")
+	}
+	if NewRNG(43).SplitSeed(0) == s0 {
+		t.Error("different base seeds produced the same split seed")
+	}
+}

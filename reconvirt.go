@@ -15,6 +15,8 @@
 package reconvirt
 
 import (
+	"context"
+
 	"repro/internal/bio"
 	"repro/internal/capability"
 	"repro/internal/casestudy"
@@ -137,6 +139,27 @@ type (
 	Metrics = grid.Metrics
 	// Strategy is a task scheduling strategy.
 	Strategy = sched.Strategy
+	// ScenarioSpec bundles one scenario run's inputs for RunScenario.
+	ScenarioSpec = grid.ScenarioSpec
+)
+
+// Parallel experiment sweeps (the DReAMSim evaluation loop).
+type (
+	// SweepSpec describes a parallel sweep: points × seeds fanned across a
+	// bounded worker pool.
+	SweepSpec = grid.SweepSpec
+	// SweepPoint is one (strategy, config, grid, workload) cell.
+	SweepPoint = grid.SweepPoint
+	// SweepResult is a completed (or cancelled) sweep.
+	SweepResult = grid.SweepResult
+	// Replica identifies one point × seed replica.
+	Replica = grid.Replica
+	// ReplicaResult is one replica's metrics or error.
+	ReplicaResult = grid.ReplicaResult
+	// PointSummary is a point's mean/stddev/95%-CI aggregate across seeds.
+	PointSummary = grid.PointSummary
+	// Summary is a mean/stddev/95%-CI condensation of replicated values.
+	Summary = sim.Summary
 )
 
 // NewVirtualGrid creates an empty virtual organization. Pass a Toolchain
@@ -193,13 +216,35 @@ func DefaultSimConfig() SimConfig { return grid.DefaultConfig() }
 // BuildGrid constructs a registry from a grid spec.
 func BuildGrid(spec GridSpec) (*Registry, error) { return grid.BuildGrid(spec) }
 
-// RunScenario builds a grid, generates a workload, and simulates it.
-func RunScenario(seed uint64, cfg SimConfig, gs GridSpec, ws WorkloadSpec, tc *Toolchain) (*Metrics, error) {
-	return grid.RunScenario(seed, cfg, gs, ws, tc)
+// RunScenario builds a grid, generates a workload, and simulates it. The
+// context cancels the run mid-simulation; cancelled runs return partial
+// metrics together with the context's error.
+func RunScenario(ctx context.Context, spec ScenarioSpec) (*Metrics, error) {
+	return grid.RunScenario(ctx, spec)
+}
+
+// RunScenarioArgs is the pre-context positional form.
+//
+// Deprecated: use RunScenario with a ScenarioSpec.
+func RunScenarioArgs(seed uint64, cfg SimConfig, gs GridSpec, ws WorkloadSpec, tc *Toolchain) (*Metrics, error) {
+	return grid.RunScenarioArgs(seed, cfg, gs, ws, tc)
+}
+
+// RunSweep fans a sweep's point × seed replicas across a bounded worker
+// pool, each replica an independent simulation with a deterministically
+// split seed. Cancelling ctx stops the sweep promptly and returns the
+// partial result together with ctx's error. See grid.Sweep for the full
+// contract.
+func RunSweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
+	return grid.Sweep(ctx, spec)
 }
 
 // Strategies returns every built-in scheduling strategy.
 func Strategies() []Strategy { return sched.All() }
+
+// StrategyByName returns a built-in strategy by name; unknown names report
+// an error wrapping sched.ErrUnknownStrategy.
+func StrategyByName(name string) (Strategy, error) { return sched.ByName(name) }
 
 // CaseStudyNodes builds the Section V grid (Fig. 5).
 func CaseStudyNodes() (*Registry, error) { return casestudy.BuildNodes() }

@@ -1,6 +1,7 @@
 package reconvirt
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -110,7 +111,7 @@ func TestFacadeParseAppAndSimulate(t *testing.T) {
 		}
 	}
 	eng.Submit(0, "facade", g, prog, QoS{})
-	m, err := eng.Run()
+	m, err := eng.Run(context.Background())
 	if err != nil || m.Completed != 3 {
 		t.Fatalf("run: %v, completed=%d", err, m.Completed)
 	}
