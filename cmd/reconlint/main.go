@@ -1,0 +1,84 @@
+// Command reconlint is the repository's determinism and concurrency
+// linter: a multichecker over the custom analyzers in internal/lint
+// (detrand, maporder, ctxflow, lockcheck, deprecatedshim). It is part
+// of tier-1 verify:
+//
+//	go run ./cmd/reconlint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage/load failure. Suppress an
+// individual finding with a justified directive on or above the line:
+//
+//	//reconlint:allow <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/loader"
+)
+
+func main() {
+	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the linter over patterns relative to dir; factored out
+// of main so tests can drive it against fixture modules.
+func run(dir string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("reconlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: reconlint [packages]")
+		fmt.Fprintln(stderr, "Runs the repro determinism & concurrency analyzer suite.")
+		for _, sa := range lint.Suite() {
+			fmt.Fprintf(stderr, "  %-15s %s\n", sa.Name, sa.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "reconlint:", err)
+		return 2
+	}
+	broken := false
+	for _, pkg := range pkgs {
+		for _, e := range pkg.TypeErrors {
+			broken = true
+			fmt.Fprintf(stderr, "reconlint: %s: %v\n", pkg.ImportPath, e)
+		}
+	}
+	if broken {
+		fmt.Fprintln(stderr, "reconlint: packages did not type-check; fix the build first")
+		return 2
+	}
+
+	lint.RegisterDeprecated(pkgs)
+	suite := lint.Suite()
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.RunPackage(pkg, suite)
+		if err != nil {
+			fmt.Fprintln(stderr, "reconlint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			findings++
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "reconlint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}

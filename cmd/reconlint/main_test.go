@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/deprecatedshim"
+)
+
+// writeModule materializes a throwaway module from path->content pairs.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const goMod = "module lintvictim\n\ngo 1.22\n"
+
+// TestSyntheticViolations seeds one violation per analyzer in a
+// fixture module and checks the driver exits non-zero with a
+// position-accurate diagnostic for each.
+func TestSyntheticViolations(t *testing.T) {
+	deprecatedshim.Reset()
+	defer deprecatedshim.Reset()
+	dir := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		// detrand: global math/rand (line 6) and time.Now (line 7).
+		"internal/sim/rand.go": `package sim
+
+import "math/rand"
+import "time"
+
+func Draw() int { return rand.Intn(6) }
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+		// ctxflow: context.Background in library grid code (line 6).
+		"internal/grid/run.go": `package grid
+
+import "context"
+
+func wait(ctx context.Context) { <-ctx.Done() }
+func Run() { wait(context.Background()) }
+`,
+		// maporder: float accumulation over map order (line 5).
+		"internal/power/sum.go": `package power
+
+func Total(j map[string]float64) (t float64) {
+	for _, v := range j {
+		t += v
+	}
+	return t
+}
+`,
+		// lockcheck: guarded field read without the mutex (line 10).
+		"internal/state/state.go": `package state
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (s *S) Peek() int { return s.n }
+`,
+		// deprecatedshim: cross-package call to a deprecated shim,
+		// discovered by the driver's pre-scan (line 6 of caller.go).
+		"shim/shim.go": `package shim
+
+// Old is the legacy form.
+//
+// Deprecated: use New.
+func Old() int { return New() }
+
+func New() int { return 2 }
+`,
+		"caller/caller.go": `package caller
+
+import "lintvictim/shim"
+
+func Use() int {
+	return shim.Old()
+}
+`,
+	})
+
+	var stdout, stderr bytes.Buffer
+	code := run(dir, []string{"./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, wanted := range []struct{ loc, analyzer string }{
+		{filepath.Join("internal", "sim", "rand.go") + ":6:31", "detrand"},
+		{filepath.Join("internal", "sim", "rand.go") + ":7:34", "detrand"},
+		{filepath.Join("internal", "grid", "run.go") + ":6:6", "ctxflow"},  // exported Run lacks ctx
+		{filepath.Join("internal", "grid", "run.go") + ":6:19", "ctxflow"}, // context.Background call
+		{filepath.Join("internal", "power", "sum.go") + ":5:5", "maporder"},
+		{filepath.Join("internal", "state", "state.go") + ":10:35", "lockcheck"},
+		{filepath.Join("caller", "caller.go") + ":6:9", "deprecatedshim"},
+	} {
+		if !hasFinding(out, wanted.loc, wanted.analyzer) {
+			t.Errorf("missing %s finding at %s\noutput:\n%s", wanted.analyzer, wanted.loc, out)
+		}
+	}
+}
+
+// hasFinding reports whether some output line carries both the
+// position suffix and the analyzer tag.
+func hasFinding(out, loc, analyzer string) bool {
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, loc+":") && strings.Contains(line, "("+analyzer+")") {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCleanModule checks the driver exits 0 when nothing is wrong,
+// including violations neutralized by justified allow directives.
+func TestCleanModule(t *testing.T) {
+	deprecatedshim.Reset()
+	defer deprecatedshim.Reset()
+	dir := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"internal/sim/ok.go": `package sim
+
+import "time"
+
+func Elapsed(since time.Time) time.Duration {
+	return time.Since(since) //reconlint:allow detrand wall-clock bench timing outside sim state
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run(dir, []string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestDirectiveWithoutReason checks a reasonless allow is itself a
+// finding rather than a silent suppression.
+func TestDirectiveWithoutReason(t *testing.T) {
+	deprecatedshim.Reset()
+	defer deprecatedshim.Reset()
+	dir := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"internal/sim/bad.go": `package sim
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano() //reconlint:allow detrand
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run(dir, []string{"./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "no reason") {
+		t.Errorf("expected a no-reason directive finding, got:\n%s", stdout.String())
+	}
+	if !hasFinding(stdout.String(), filepath.Join("internal", "sim", "bad.go")+":6:14", "detrand") {
+		t.Errorf("reasonless directive must not suppress the underlying finding:\n%s", stdout.String())
+	}
+}
+
+// TestBrokenModule checks type errors exit 2, distinct from findings.
+func TestBrokenModule(t *testing.T) {
+	deprecatedshim.Reset()
+	defer deprecatedshim.Reset()
+	dir := writeModule(t, map[string]string{
+		"go.mod":      goMod,
+		"pkg/bork.go": "package pkg\n\nfunc f() int { return undefinedName }\n",
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run(dir, []string{"./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstderr:\n%s", code, stderr.String())
+	}
+}

@@ -1,3 +1,9 @@
 module repro
 
 go 1.22
+
+// Intentionally dependency-free. internal/lint mirrors the
+// golang.org/x/tools/go/analysis API shapes (Analyzer/Pass/Diagnostic)
+// on stdlib go/{ast,types,parser,importer} only; when a module proxy is
+// reachable, pin golang.org/x/tools here and migrate the analyzers by
+// swapping the import path — no behavioral rewrite needed.

@@ -4,6 +4,7 @@ package gpp
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/capability"
 	"repro/internal/pe"
@@ -57,11 +58,13 @@ func Preset(name string) (*Processor, error) {
 	return New(caps)
 }
 
-// Presets lists the available preset names.
+// Presets lists the available preset names, sorted so callers (and
+// printed catalogs) see a stable order.
 func Presets() []string {
 	out := make([]string, 0, len(presets))
 	for k := range presets {
 		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }

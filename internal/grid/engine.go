@@ -619,16 +619,6 @@ func RunScenario(ctx context.Context, spec ScenarioSpec) (*Metrics, error) {
 	return eng.Run(ctx)
 }
 
-// RunScenarioArgs is the pre-context positional form.
-//
-// Deprecated: use RunScenario with a ScenarioSpec; this shim exists so old
-// callers keep compiling and will be removed once they migrate.
-func RunScenarioArgs(seed uint64, cfg Config, gs GridSpec, ws WorkloadSpec, toolchain *hdl.Toolchain) (*Metrics, error) {
-	return RunScenario(context.Background(), ScenarioSpec{
-		Seed: seed, Config: cfg, Grid: gs, Workload: ws, Toolchain: toolchain,
-	})
-}
-
 // DefaultToolchain returns the provider toolchain used by scenario runs.
 func DefaultToolchain() (*hdl.Toolchain, error) {
 	return hdl.NewToolchain("Xilinx ISE 13", "Virtex-4", "Virtex-5", "Virtex-6")

@@ -184,9 +184,9 @@ func Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
 		return nil, err
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //reconlint:allow ctxflow documented nil-ctx fallback of the public Sweep API
 	}
-	start := time.Now()
+	start := time.Now() //reconlint:allow detrand sweep wall-clock timing never feeds simulation state
 	seeds := spec.seeds()
 
 	replicas := make([]Replica, 0, len(spec.Points)*len(seeds))
@@ -248,7 +248,7 @@ feed:
 	out := &SweepResult{
 		Replicas: results,
 		Points:   summarize(spec.Points, results),
-		Elapsed:  time.Since(start),
+		Elapsed:  time.Since(start), //reconlint:allow detrand sweep wall-clock timing never feeds simulation state
 		Workers:  workers,
 	}
 	return out, ctx.Err()

@@ -39,7 +39,7 @@ type TraceEvent struct {
 // virtual-time order).
 type Recorder struct {
 	mu     sync.Mutex
-	events []TraceEvent
+	events []TraceEvent // guarded by mu
 }
 
 func (r *Recorder) record(ev TraceEvent) {

@@ -1,0 +1,255 @@
+// Package analysistest runs a reconlint analyzer over GOPATH-style
+// fixture packages and compares its diagnostics against // want
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest for
+// the subset this repo needs.
+//
+// Fixtures live under <testdata>/src/<path>/*.go. A line expecting a
+// diagnostic carries a trailing comment of the form
+//
+//	// want "regexp"            (one or more, double- or back-quoted)
+//
+// Every diagnostic must match an unconsumed want on its line and every
+// want must be matched — extra or missing findings fail the test.
+// //reconlint:allow directives are honored exactly as in the driver,
+// so suppression behavior is testable with a violation line that
+// carries a directive and no want.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+// shared caches the fileset and stdlib source importer across Run
+// calls: re-type-checking the standard library per fixture would
+// dominate test time.
+var shared struct {
+	mu   sync.Mutex
+	fset *token.FileSet
+	std  types.ImporterFrom
+}
+
+// Run loads each fixture package under testdata/src and checks the
+// analyzer's diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	if shared.fset == nil {
+		shared.fset = token.NewFileSet()
+		std, ok := importer.ForCompiler(shared.fset, "source", nil).(types.ImporterFrom)
+		if !ok {
+			t.Fatal("analysistest: source importer unavailable")
+		}
+		shared.std = std
+	}
+	l := &fixtureLoader{
+		root: filepath.Join(testdata, "src"),
+		fset: shared.fset,
+		std:  shared.std,
+		pkgs: make(map[string]*fixturePkg),
+	}
+	for _, path := range paths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("analysistest: loading %s: %v", path, err)
+		}
+		check(t, l.fset, pkg, a)
+	}
+}
+
+// fixturePkg is one loaded fixture package.
+type fixturePkg struct {
+	types *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// fixtureLoader resolves imports among fixture packages and defers
+// everything else to the stdlib source importer.
+type fixtureLoader struct {
+	root string
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*fixturePkg
+}
+
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir := filepath.Join(l.root, path); isDir(dir) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.types, nil
+	}
+	return l.std.ImportFrom(path, l.root, 0)
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+func (l *fixtureLoader) load(path string) (*fixturePkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &fixturePkg{types: tpkg, files: files, info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// want is one expectation at a file line.
+type want struct {
+	re       *regexp.Regexp
+	raw      string
+	consumed bool
+}
+
+// check runs the analyzer over one fixture package and diffs
+// diagnostics against want comments.
+func check(t *testing.T, fset *token.FileSet, pkg *fixturePkg, a *analysis.Analyzer) {
+	t.Helper()
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	for _, f := range pkg.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				parseWants(t, fset, c, wants)
+			}
+		}
+	}
+
+	suppressed := directive.Suppresses(fset, pkg.files, a.Name)
+	var diags []analysis.Diagnostic
+	seen := make(map[string]bool)
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     pkg.files,
+		Pkg:       pkg.types,
+		TypesInfo: pkg.info,
+		Report: func(d analysis.Diagnostic) {
+			if suppressed(d.Pos) {
+				return
+			}
+			key := fmt.Sprintf("%s: %s", fset.Position(d.Pos), d.Message)
+			if !seen[key] {
+				seen[key] = true
+				diags = append(diags, d)
+			}
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.consumed && w.re.MatchString(d.Message) {
+				w.consumed = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.consumed {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.raw)
+			}
+		}
+	}
+}
+
+// parseWants extracts `// want "re" "re"…` expectations from a comment.
+func parseWants(t *testing.T, fset *token.FileSet, c *ast.Comment, wants map[string][]*want) {
+	t.Helper()
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+	pos := fset.Position(c.Pos())
+	key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+	for rest != "" {
+		q := rest[0]
+		if q != '"' && q != '`' {
+			t.Fatalf("%s: malformed want comment near %q", pos, rest)
+		}
+		end := strings.IndexByte(rest[1:], q)
+		if end < 0 {
+			t.Fatalf("%s: unterminated quote in want comment", pos)
+		}
+		lit := rest[:end+2]
+		raw, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want literal %s: %v", pos, lit, err)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+		}
+		wants[key] = append(wants[key], &want{re: re, raw: raw})
+		rest = strings.TrimSpace(rest[end+2:])
+	}
+}

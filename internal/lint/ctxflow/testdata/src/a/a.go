@@ -1,0 +1,47 @@
+// Package a exercises the ctxflow analyzer: context.Background/TODO in
+// library code and exported entry points that reach context-aware
+// callees without accepting a context are flagged.
+package a
+
+import "context"
+
+func doWork(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func Blocked() error { // want `exported Blocked calls context-aware doWork but does not accept a context\.Context`
+	return doWork(context.Background()) // want `context\.Background\(\) in library code`
+}
+
+func Todo() { // want `exported Todo calls context-aware doWork`
+	_ = doWork(context.TODO()) // want `context\.TODO\(\) in library code`
+}
+
+// Good threads the caller's context straight through: fine.
+func Good(ctx context.Context) error {
+	return doWork(ctx)
+}
+
+// unexported helpers are not entry points; only the Background/TODO
+// rule applies inside them.
+func pump(ctx context.Context) error {
+	return doWork(ctx)
+}
+
+// Pure is exported but touches nothing context-aware: fine.
+func Pure(a, b int) int { return a + b }
+
+// Spawn returns a closure; the closure receives its own context, so the
+// constructor's signature is not indicted.
+func Spawn() func(context.Context) error {
+	return func(ctx context.Context) error { return doWork(ctx) }
+}
+
+// Fallback documents a deliberate nil-context default.
+func Fallback(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background() //reconlint:allow ctxflow documented nil-ctx fallback
+	}
+	return doWork(ctx)
+}

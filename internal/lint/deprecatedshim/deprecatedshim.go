@@ -1,0 +1,107 @@
+// Package deprecatedshim implements the reconlint analyzer that flags
+// calls to this module's deprecated functions, so compatibility shims
+// (like the late grid.RunScenarioArgs) cannot quietly accrete callers
+// while awaiting deletion.
+//
+// A function is deprecated when its doc comment contains a paragraph
+// beginning "Deprecated:" (the standard Go convention). Same-package
+// declarations are discovered from the package's own syntax; for
+// cross-package calls the driver pre-scans every loaded module package
+// and registers the deprecated symbols with Register before analyzers
+// run. Standard-library deprecations are deliberately out of scope —
+// this reporter polices the module's own migration debt.
+package deprecatedshim
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the deprecated-shim analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "deprecatedshim",
+	Doc:  "flag calls to the module's own deprecated functions; migrate callers instead of accreting new ones",
+	Run:  run,
+}
+
+// registry maps types.Func.FullName() of known-deprecated module
+// functions to the first line of their deprecation note.
+var registry = map[string]string{}
+
+// Register records a deprecated function by its types.Func.FullName()
+// (e.g. "repro/internal/grid.RunScenarioArgs"). The driver calls this
+// during its pre-scan; tests may call it directly.
+func Register(fullName, note string) { registry[fullName] = note }
+
+// Reset clears the registry (test isolation).
+func Reset() { registry = map[string]string{} }
+
+// DeprecationNote returns the first line of the "Deprecated:" paragraph
+// in a doc comment, or "" when the doc carries none.
+func DeprecationNote(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "Deprecated:") {
+			return strings.TrimSpace(strings.TrimPrefix(line, "Deprecated:"))
+		}
+	}
+	return ""
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Same-package deprecated declarations, and their positions so the
+	// declaration body itself is not flagged.
+	local := map[string]string{}
+	inDeprecated := map[*ast.FuncDecl]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if note := DeprecationNote(fd.Doc); note != "" {
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(interface{ FullName() string }); ok {
+					local[obj.FullName()] = note
+				}
+				inDeprecated[fd] = true
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || inDeprecated[fd] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := pass.FuncOf(call)
+				if fn == nil {
+					return true
+				}
+				full := fn.FullName()
+				note, dep := local[full]
+				if !dep {
+					note, dep = registry[full]
+				}
+				if dep {
+					msg := "call to deprecated " + full
+					if note != "" {
+						msg += ": " + note
+					}
+					pass.Reportf(call.Pos(), "%s", msg)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,20 @@
+package deprecatedshim_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/deprecatedshim"
+)
+
+func TestSamePackage(t *testing.T) {
+	deprecatedshim.Reset()
+	analysistest.Run(t, "testdata", deprecatedshim.Analyzer, "a")
+}
+
+func TestCrossPackageRegistry(t *testing.T) {
+	deprecatedshim.Reset()
+	deprecatedshim.Register("dep.Old", "use New.")
+	defer deprecatedshim.Reset()
+	analysistest.Run(t, "testdata", deprecatedshim.Analyzer, "b")
+}

@@ -1,0 +1,24 @@
+// Package a exercises the deprecatedshim analyzer's same-package path:
+// calls to functions whose doc carries a "Deprecated:" paragraph are
+// flagged, the declarations themselves are not.
+package a
+
+// OldSum is the legacy positional form.
+//
+// Deprecated: use Sum.
+func OldSum(x, y int) int { return Sum(x, y) }
+
+// Sum adds two ints.
+func Sum(x, y int) int { return x + y }
+
+func caller() int {
+	return OldSum(1, 2) // want `call to deprecated a\.OldSum: use Sum\.`
+}
+
+func fine() int {
+	return Sum(1, 2)
+}
+
+func allowed() int {
+	return OldSum(3, 4) //reconlint:allow deprecatedshim fixture migration scheduled for next pass
+}

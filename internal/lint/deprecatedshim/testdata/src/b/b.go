@@ -1,0 +1,15 @@
+// Package b exercises the deprecatedshim analyzer's cross-package
+// path: dep.Old is registered by the driver pre-scan (simulated by the
+// test), so calls here are flagged even though the deprecation note
+// lives in another package.
+package b
+
+import "dep"
+
+func use() int {
+	return dep.Old() // want `call to deprecated dep\.Old: use New\.`
+}
+
+func fine() int {
+	return dep.New()
+}

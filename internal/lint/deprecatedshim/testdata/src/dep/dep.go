@@ -1,0 +1,11 @@
+// Package dep provides a deprecated symbol for the cross-package
+// registry test.
+package dep
+
+// Old is the legacy entry point.
+//
+// Deprecated: use New.
+func Old() int { return New() }
+
+// New is the replacement.
+func New() int { return 1 }

@@ -1,0 +1,103 @@
+// Package detrand implements the reconlint analyzer that keeps
+// nondeterministic entropy sources out of simulation logic.
+//
+// Replicated simulation runs must be bit-reproducible (workers=1 ≡
+// workers=N is enforced by TestSweepDeterminism), so simulation
+// packages may not draw randomness from process-global or wall-clock
+// state. RNGs must flow from an explicit seed via sim.NewRNG /
+// sim.SplitSeed. The analyzer reports:
+//
+//   - any use of a package-level math/rand or math/rand/v2 function or
+//     variable (rand.Intn, rand.Float64, rand.Seed, …); the seeded
+//     constructors New, NewSource, NewZipf, NewPCG, and NewChaCha8 are
+//     exempt because their seed is explicit at the call site,
+//   - any use of crypto/rand (hardware entropy is never reproducible),
+//   - wall-clock reads: time.Now, time.Since, time.Until.
+//
+// Wall-clock timing that never feeds simulation state (sweep elapsed
+// time, profiler instrumentation) is suppressed with
+// //reconlint:allow detrand <reason>, or by keeping the package out of
+// the driver's detrand scope (internal/profiler).
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the detrand analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global math/rand, crypto/rand, and wall-clock reads in simulation packages",
+	Run:  run,
+}
+
+// seededConstructors are math/rand entry points whose determinism is
+// decided by their explicit argument, not by global state.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// wallClock are the time package functions that read the wall clock.
+var wallClock = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if !isPackageLevel(obj) {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if _, isType := obj.(*types.TypeName); isType {
+					return true // rand.Rand / rand.Source in signatures is fine
+				}
+				if seededConstructors[obj.Name()] {
+					return true
+				}
+				pass.Reportf(id.Pos(),
+					"use of global %s.%s: simulation randomness must come from an explicitly seeded RNG (sim.NewRNG / sim.SplitSeed)",
+					obj.Pkg().Path(), obj.Name())
+			case "crypto/rand":
+				pass.Reportf(id.Pos(),
+					"use of crypto/rand.%s: hardware entropy is not reproducible; derive randomness from the run seed",
+					obj.Name())
+			case "time":
+				if fn, ok := obj.(*types.Func); ok && wallClock[fn.Name()] {
+					pass.Reportf(id.Pos(),
+						"wall-clock read time.%s in simulation code: use virtual time (sim.Time) so replicated runs stay bit-identical",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isPackageLevel reports whether obj is declared at package scope in
+// its defining package (methods and locals are not).
+func isPackageLevel(obj types.Object) bool {
+	if fn, ok := obj.(*types.Func); ok && fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}

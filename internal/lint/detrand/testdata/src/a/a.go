@@ -1,0 +1,41 @@
+// Package a exercises the detrand analyzer: global entropy and
+// wall-clock reads are flagged; seeded constructors, RNG instance
+// methods, and allow-directives are not.
+package a
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	mrv2 "math/rand/v2"
+	"time"
+)
+
+func bad() {
+	_ = rand.Intn(10)           // want `use of global math/rand\.Intn`
+	rand.Seed(1)                // want `use of global math/rand\.Seed`
+	_ = rand.Float64()          // want `use of global math/rand\.Float64`
+	_ = mrv2.IntN(4)            // want `use of global math/rand/v2\.IntN`
+	_, _ = crand.Read(nil)      // want `use of crypto/rand\.Read`
+	_ = time.Now()              // want `wall-clock read time\.Now`
+	_ = time.Since(time.Time{}) // want `wall-clock read time\.Since`
+	_ = time.Until(time.Time{}) // want `wall-clock read time\.Until`
+}
+
+func good(seed int64) {
+	r := rand.New(rand.NewSource(seed)) // seeded constructor: fine
+	_ = r.Intn(10)                      // instance method: fine
+	r2 := mrv2.New(mrv2.NewPCG(1, 2))   // seeded v2 constructor: fine
+	_ = r2.IntN(10)
+	_ = time.Duration(5) * time.Second // time types and constants: fine
+	var t time.Time
+	_ = t.Add(time.Hour)
+}
+
+func allowed() {
+	_ = time.Now() //reconlint:allow detrand fixture wall-clock timer that never feeds sim state
+}
+
+func allowedAbove() time.Time {
+	//reconlint:allow detrand directive on the line above also suppresses
+	return time.Now()
+}

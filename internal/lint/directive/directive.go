@@ -1,0 +1,109 @@
+// Package directive parses //reconlint:allow suppression comments and
+// filters analyzer diagnostics through them.
+//
+// Grammar, one directive per comment line:
+//
+//	//reconlint:allow <analyzer>[,<analyzer>...] <reason>
+//
+// The analyzer list may be "all". The reason is mandatory: a
+// suppression without a recorded justification is itself reported as a
+// finding, so the determinism contract stays auditable. A directive
+// suppresses matching diagnostics on its own line and on the line
+// directly below it (i.e. it may trail the offending statement or sit
+// on the line above it).
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const prefix = "//reconlint:allow"
+
+// Allow is one parsed directive.
+type Allow struct {
+	Pos       token.Pos
+	Analyzers []string // lower-case names, or ["all"]
+	Reason    string
+}
+
+// Problem is a malformed directive (missing analyzer list or reason).
+type Problem struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Parse extracts every //reconlint:allow directive from the files,
+// returning well-formed directives and the problems found in malformed
+// ones.
+func Parse(files []*ast.File) ([]Allow, []Problem) {
+	var allows []Allow
+	var probs []Problem
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, prefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //reconlint:allowfoo — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					probs = append(probs, Problem{Pos: c.Pos(),
+						Message: "reconlint:allow directive names no analyzer"})
+					continue
+				}
+				if len(fields) < 2 {
+					probs = append(probs, Problem{Pos: c.Pos(),
+						Message: "reconlint:allow directive has no reason; justify the suppression"})
+					continue
+				}
+				names := strings.Split(strings.ToLower(fields[0]), ",")
+				allows = append(allows, Allow{
+					Pos:       c.Pos(),
+					Analyzers: names,
+					Reason:    strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return allows, probs
+}
+
+// Suppresses returns a predicate reporting whether a diagnostic from
+// the named analyzer at a position is covered by an allow directive.
+// A diagnostic at line L is suppressed when a directive covering the
+// analyzer (or "all") sits at line L or line L-1 of the same file.
+// Diagnostic and directive positions must come from the same fset.
+func Suppresses(fset *token.FileSet, files []*ast.File, analyzer string) func(pos token.Pos) bool {
+	allows, _ := Parse(files)
+	suppressed := make(map[string]map[int]bool) // filename -> line set
+	name := strings.ToLower(analyzer)
+	for _, a := range allows {
+		match := false
+		for _, n := range a.Analyzers {
+			if n == "all" || n == name {
+				match = true
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		p := fset.Position(a.Pos)
+		lines := suppressed[p.Filename]
+		if lines == nil {
+			lines = make(map[int]bool)
+			suppressed[p.Filename] = lines
+		}
+		lines[p.Line] = true
+		lines[p.Line+1] = true
+	}
+	return func(pos token.Pos) bool {
+		p := fset.Position(pos)
+		return suppressed[p.Filename][p.Line]
+	}
+}

@@ -1,0 +1,154 @@
+// Package lint assembles the reconlint analyzer suite: which analyzers
+// exist, which packages each one polices, and how diagnostics are
+// collected, deduplicated, and filtered through //reconlint:allow
+// directives. cmd/reconlint is a thin driver over this package.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/ctxflow"
+	"repro/internal/lint/deprecatedshim"
+	"repro/internal/lint/detrand"
+	"repro/internal/lint/directive"
+	"repro/internal/lint/loader"
+	"repro/internal/lint/lockcheck"
+	"repro/internal/lint/maporder"
+)
+
+// Diagnostic is one resolved finding with its file position.
+type Diagnostic struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+}
+
+// ScopedAnalyzer pairs an analyzer with the package scope it polices.
+type ScopedAnalyzer struct {
+	*analysis.Analyzer
+	// Applies reports whether the analyzer runs on a package, by import
+	// path. Scoping is by path segment, so it holds for any module name
+	// (the real tree and test fixtures alike).
+	Applies func(importPath string) bool
+}
+
+// pathHasDir reports whether importPath contains dir as a consecutive
+// run of path segments ("internal/grid" matches "repro/internal/grid").
+func pathHasDir(importPath, dir string) bool {
+	return strings.Contains("/"+importPath+"/", "/"+dir+"/")
+}
+
+// simulationScope is the detrand scope: everything under internal/
+// except the wall-clock profiler (its whole purpose is wall-clock
+// instrumentation) and the linter itself.
+func simulationScope(importPath string) bool {
+	return pathHasDir(importPath, "internal") &&
+		!pathHasDir(importPath, "internal/profiler") &&
+		!pathHasDir(importPath, "internal/lint")
+}
+
+func everywhere(string) bool { return true }
+
+// Suite returns the reconlint analyzer suite with its package scoping.
+func Suite() []ScopedAnalyzer {
+	return []ScopedAnalyzer{
+		{Analyzer: detrand.Analyzer, Applies: simulationScope},
+		{Analyzer: maporder.Analyzer, Applies: everywhere},
+		{Analyzer: ctxflow.Analyzer, Applies: func(p string) bool { return pathHasDir(p, "internal/grid") }},
+		{Analyzer: lockcheck.Analyzer, Applies: everywhere},
+		{Analyzer: deprecatedshim.Analyzer, Applies: everywhere},
+	}
+}
+
+// RegisterDeprecated pre-scans loaded packages for functions whose doc
+// comment carries a "Deprecated:" paragraph and registers them with the
+// deprecatedshim analyzer, so cross-package calls are caught.
+func RegisterDeprecated(pkgs []*loader.Package) {
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				note := deprecatedshim.DeprecationNote(fd.Doc)
+				if note == "" {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(interface{ FullName() string }); ok {
+					deprecatedshim.Register(obj.FullName(), note)
+				}
+			}
+		}
+	}
+}
+
+// RunPackage runs every in-scope analyzer over one loaded package and
+// returns the surviving diagnostics in position order. Directive
+// problems (an allow with no reason) are reported under the pseudo
+// analyzer name "reconlint".
+func RunPackage(pkg *loader.Package, suite []ScopedAnalyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	seen := make(map[string]bool)
+	add := func(analyzer string, pos token.Pos, msg string) {
+		d := Diagnostic{Position: pkg.Fset.Position(pos), Analyzer: analyzer, Message: msg}
+		key := d.String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, d)
+		}
+	}
+
+	_, problems := directive.Parse(pkg.Syntax)
+	for _, p := range problems {
+		add("reconlint", p.Pos, p.Message)
+	}
+
+	for _, sa := range suite {
+		if sa.Applies != nil && !sa.Applies(pkg.ImportPath) {
+			continue
+		}
+		suppressed := directive.Suppresses(pkg.Fset, pkg.Syntax, sa.Name)
+		pass := &analysis.Pass{
+			Analyzer:  sa.Analyzer,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := sa.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			if suppressed(d.Pos) {
+				return
+			}
+			add(name, d.Pos, d.Message)
+		}
+		if _, err := sa.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", sa.Name, pkg.ImportPath, err)
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,181 @@
+// Package loader loads and type-checks Go packages for the reconlint
+// driver without depending on golang.org/x/tools/go/packages (the build
+// environment is offline). It shells out to `go list -json` for package
+// metadata and dependency order, parses the listed sources, and
+// type-checks them with go/types; standard-library imports resolve
+// through the stdlib source importer, so no compiled export data is
+// needed.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects this package's parse and type-check errors.
+	// Analyzers still run over partially-checked packages, but the
+	// driver reports these separately (a broken build is not a lint
+	// finding).
+	TypeErrors []error
+}
+
+// listEntry is the subset of `go list -json` output we consume.
+type listEntry struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+}
+
+// goList runs `go list -json` over patterns in dir and decodes the
+// stream of package objects.
+func goList(dir string, deps bool, patterns []string) ([]listEntry, error) {
+	args := []string{"list", "-json=ImportPath,Name,Dir,GoFiles,Standard"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(out)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("loader: decoding go list output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("loader: go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	return entries, nil
+}
+
+// chainImporter resolves module-local packages from an in-progress map
+// and everything else (the standard library) from the source importer.
+type chainImporter struct {
+	local map[string]*types.Package
+	std   types.ImporterFrom
+	dir   string
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, c.dir, 0)
+}
+
+func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := c.local[path]; ok && p != nil {
+		return p, nil
+	}
+	return c.std.ImportFrom(path, dir, mode)
+}
+
+// Load type-checks the packages matched by patterns (relative to dir)
+// plus their in-module dependencies, and returns the matched packages
+// in `go list` order. Test files are not loaded: reconlint polices
+// library and command code, not tests.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	roots, err := goList(dir, false, patterns)
+	if err != nil {
+		return nil, err
+	}
+	all, err := goList(dir, true, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("loader: source importer unavailable")
+	}
+	local := make(map[string]*types.Package)
+	imp := &chainImporter{local: local, std: std, dir: dir}
+
+	checked := make(map[string]*Package)
+	// `go list -deps` emits dependencies before dependents, so a single
+	// forward sweep type-checks every import before its importers.
+	for _, e := range all {
+		if e.Standard || len(e.GoFiles) == 0 {
+			continue
+		}
+		pkg := checkOne(fset, imp, e)
+		local[e.ImportPath] = pkg.Types
+		checked[e.ImportPath] = pkg
+	}
+
+	out := make([]*Package, 0, len(roots))
+	for _, r := range roots {
+		if p, ok := checked[r.ImportPath]; ok {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// checkOne parses and type-checks one package.
+func checkOne(fset *token.FileSet, imp types.Importer, e listEntry) *Package {
+	pkg := &Package{ImportPath: e.ImportPath, Name: e.Name, Dir: e.Dir, Fset: fset}
+	for _, name := range e.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		}
+		if f != nil {
+			pkg.Syntax = append(pkg.Syntax, f)
+		}
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(e.ImportPath, fset, pkg.Syntax, pkg.Info)
+	pkg.Types = tpkg
+	return pkg
+}

@@ -1,0 +1,203 @@
+// Package lockcheck implements the reconlint analyzer that verifies
+// "// guarded by <mu>" field annotations syntactically.
+//
+// A struct field annotated with a comment containing "guarded by mu"
+// (doc comment or trailing line comment) may only be accessed through
+// a selector whose base is a local identifier (usually the method
+// receiver) inside a function that visibly acquires that mutex on the
+// same base: base.mu.Lock(), base.mu.RLock(), or a
+// defer/assignment thereof. Two escape hatches keep the check honest
+// without flow analysis:
+//
+//   - functions whose name ends in "Locked" assert that the caller
+//     holds the lock (the usual Go convention),
+//   - //reconlint:allow lockcheck <reason> on the access line.
+//
+// Composite literals (construction before the value escapes) are not
+// flagged. This is a syntactic check: it cannot see aliasing or prove
+// lock ordering — it exists to catch the easy, common mistake of a new
+// method touching shared state without locking.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the lockcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "fields annotated '// guarded by mu' must only be accessed while that mutex is visibly held",
+	Run:  run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedField identifies one annotated field of one struct type.
+type guardedField struct {
+	structType *types.Named
+	field      string
+	mutex      string
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			checkFunc(pass, fd, guarded)
+		}
+	}
+	return nil, nil
+}
+
+// collectGuarded finds every struct field annotated "guarded by <mu>".
+func collectGuarded(pass *analysis.Pass) []guardedField {
+	var out []guardedField
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					mu := guardAnnotation(field)
+					if mu == "" {
+						continue
+					}
+					for _, name := range field.Names {
+						out = append(out, guardedField{structType: named, field: name.Name, mutex: mu})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// guardAnnotation returns the mutex name from a field's doc or line
+// comment, or "".
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkFunc reports guarded-field accesses in fd that are not covered
+// by a visible Lock/RLock on the same base identifier.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guarded []guardedField) {
+	// locked[obj][mu] records that fd contains obj.mu.Lock()/RLock().
+	locked := make(map[types.Object]map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := ast.Unparen(muSel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.ObjectOf(base)
+		if obj == nil {
+			return true
+		}
+		if locked[obj] == nil {
+			locked[obj] = make(map[string]bool)
+		}
+		locked[obj][muSel.Sel.Name] = true
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CompositeLit); ok {
+			return false // construction, not shared access
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.ObjectOf(base)
+		if obj == nil {
+			return true
+		}
+		named := namedOf(obj.Type())
+		if named == nil {
+			return true
+		}
+		for _, g := range guarded {
+			if g.structType != named || g.field != sel.Sel.Name {
+				continue
+			}
+			if locked[obj][g.mutex] {
+				continue
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"%s.%s is guarded by %s, but %s does not acquire %s.%s (lock it, suffix the function name with Locked, or justify with a reconlint:allow directive)",
+				base.Name, g.field, g.mutex, fd.Name.Name, base.Name, g.mutex)
+		}
+		return true
+	})
+}
+
+// namedOf unwraps pointers to a named struct type.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}

@@ -1,0 +1,76 @@
+// Package a exercises the lockcheck analyzer: accesses to fields
+// annotated "guarded by <mu>" must happen in functions that visibly
+// acquire that mutex, carry a Locked-suffix name, or justify an allow
+// directive.
+package a
+
+import "sync"
+
+type Counter struct {
+	mu  sync.Mutex
+	n   int // guarded by mu
+	hot int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *Counter) Bad() int {
+	return c.n // want `c\.n is guarded by mu, but Bad does not acquire c\.mu`
+}
+
+func (c *Counter) nLocked() int {
+	return c.n // Locked suffix asserts the caller holds mu: fine
+}
+
+func (c *Counter) Hot() int {
+	return c.hot // unannotated field: fine
+}
+
+func New(n int) *Counter {
+	return &Counter{n: n} // composite literal construction: fine
+}
+
+func (c *Counter) Snapshot() int {
+	return c.n //reconlint:allow lockcheck fixture snapshot with no concurrent writers
+}
+
+type Cache struct {
+	// data memoizes lookups across goroutines.
+	// guarded by mu
+	data map[string]int
+	mu   sync.RWMutex
+}
+
+func (c *Cache) Get(k string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.data[k]
+}
+
+func (c *Cache) Put(k string, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.data[k] = v
+}
+
+func (c *Cache) Race(k string) int {
+	return c.data[k] // want `c\.data is guarded by mu, but Race does not acquire c\.mu`
+}
+
+func drain(c *Cache) []string {
+	var out []string
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.data {
+		out = append(out, k)
+	}
+	return out
+}
+
+func leak(c *Cache) int {
+	return len(c.data) // want `c\.data is guarded by mu, but leak does not acquire c\.mu`
+}

@@ -1,0 +1,108 @@
+// Package a exercises the maporder analyzer: order-dependent float
+// accumulation, appends, output, and channel sends inside
+// range-over-map loops are flagged; the collect-then-sort idiom,
+// order-independent bodies, and allow-directives are not.
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `floating-point accumulation inside range over map`
+	}
+	return total
+}
+
+func assignFormSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `floating-point accumulation inside range over map`
+	}
+	return total
+}
+
+func sortedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // collect-then-sort: fine
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys { // ranging a slice: fine
+		total += m[k]
+	}
+	return total
+}
+
+func collectUnsorted(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want `append of map-iteration values in map order`
+	}
+	return out
+}
+
+type listing struct {
+	names []string
+}
+
+func fieldSorted(m map[string]int) listing {
+	var l listing
+	for k := range m {
+		l.names = append(l.names, k) // sorted below: fine
+	}
+	sort.Strings(l.names)
+	return l
+}
+
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `Printf inside range over map`
+	}
+}
+
+func send(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside range over map`
+	}
+}
+
+func intCount(m map[string]int) int {
+	n := 0
+	for range m { // no loop variables: fine
+		n++
+	}
+	return n
+}
+
+func orderFreeFloat(m map[string]int) float64 {
+	x := 0.0
+	for range m {
+		x += 1 // constant step, no loop variables: fine
+	}
+	return x
+}
+
+func intAccumulation(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // integer addition is associative: fine
+	}
+	return total
+}
+
+func mapWrite(src map[string]int, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v // keyed writes commute: fine
+	}
+}
+
+func allowedEmit(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //reconlint:allow maporder fixture diagnostic dump, order deliberately irrelevant
+	}
+}

@@ -47,11 +47,10 @@ type Matchmaker struct {
 	// predetermined-hardware scenario and the software-only fallback.
 	cores []*softcore.Core
 	// synthCache memoizes synthesis results per design×device so CAD time
-	// is paid once. It is guarded by synthMu: matching mutates the cache,
-	// and two engines sharing a matchmaker (or a future concurrent RMS)
-	// would otherwise race.
+	// is paid once: matching mutates the cache, and two engines sharing a
+	// matchmaker (or a future concurrent RMS) would otherwise race.
 	synthMu    sync.RWMutex
-	synthCache map[string]*hdl.SynthesisResult
+	synthCache map[string]*hdl.SynthesisResult // guarded by synthMu
 	// DisableCompaction turns off fabric defragmentation during
 	// allocation; the ablation benchmarks flip it.
 	DisableCompaction bool

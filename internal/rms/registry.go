@@ -16,8 +16,8 @@ import (
 // paper's RMS "updates the statuses of all nodes" while submissions arrive.
 type Registry struct {
 	mu    sync.RWMutex
-	nodes []*node.Node
-	byID  map[string]*node.Node
+	nodes []*node.Node          // guarded by mu
+	byID  map[string]*node.Node // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

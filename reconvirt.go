@@ -223,13 +223,6 @@ func RunScenario(ctx context.Context, spec ScenarioSpec) (*Metrics, error) {
 	return grid.RunScenario(ctx, spec)
 }
 
-// RunScenarioArgs is the pre-context positional form.
-//
-// Deprecated: use RunScenario with a ScenarioSpec.
-func RunScenarioArgs(seed uint64, cfg SimConfig, gs GridSpec, ws WorkloadSpec, tc *Toolchain) (*Metrics, error) {
-	return grid.RunScenarioArgs(seed, cfg, gs, ws, tc)
-}
-
 // RunSweep fans a sweep's point × seed replicas across a bounded worker
 // pool, each replica an independent simulation with a deterministically
 // split seed. Cancelling ctx stops the sweep promptly and returns the
