@@ -507,6 +507,75 @@ func BenchmarkSweep_Workers(b *testing.B) {
 	}
 }
 
+// --- X6: fault injection and recovery ---
+
+// BenchmarkDReAMSim_FaultSweep measures the fault-tolerant scheduling
+// path end to end: a 12-replica sweep under no, moderate, and hostile
+// fault regimes. Besides wall-clock (the lease-monitoring overhead), it
+// reports the recovery metrics of the last run so regressions in
+// availability or task loss are visible in benchmark diffs.
+func BenchmarkDReAMSim_FaultSweep(b *testing.B) {
+	tc, err := grid.DefaultToolchain()
+	if err != nil {
+		b.Fatal(err)
+	}
+	regimes := []struct {
+		name      string
+		crashRate float64
+		seuRate   float64
+	}{
+		{"no-faults", 0, 0},
+		{"moderate", 0.01, 0.02},
+		{"hostile", 0.05, 0.08},
+	}
+	for _, reg := range regimes {
+		b.Run(reg.name, func(b *testing.B) {
+			var fs *FaultSpec
+			if reg.crashRate > 0 || reg.seuRate > 0 {
+				f := DefaultFaults()
+				f.CrashRate = reg.crashRate
+				f.MeanOutageSeconds = 20
+				f.SEURate = reg.seuRate
+				f.Retry = RetryPolicy{MaxRetries: 6, BackoffSeconds: 0.5, BackoffCapSeconds: 15}
+				fs = &f
+			}
+			cfg := DefaultSimConfig()
+			cfg.Strategy = sched.ReconfigAware{}
+			spec := SweepSpec{
+				Points: []SweepPoint{{
+					Config:   cfg,
+					Grid:     grid.DefaultGridSpec(),
+					Workload: grid.DefaultWorkload(150, 1),
+					Faults:   fs,
+				}},
+				BaseSeed:     2012,
+				Replications: 12,
+				Toolchain:    tc,
+			}
+			var last *SweepResult
+			for i := 0; i < b.N; i++ {
+				res, err := RunSweep(context.Background(), spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range res.Replicas {
+					if r.Err != nil {
+						b.Fatalf("replica %d: %v", r.Replica.Index, r.Err)
+					}
+				}
+				last = res
+			}
+			if last != nil {
+				p := last.Points[0]
+				b.ReportMetric(p.MeanTurnaround.Mean, "turnaround-s")
+				b.ReportMetric(p.Retries.Mean, "retries")
+				b.ReportMetric(p.TasksLost.Mean, "lost")
+				b.ReportMetric(p.Availability.Mean, "availability")
+			}
+		})
+	}
+}
+
 // --- Quipu prediction throughput ---
 
 // BenchmarkQuipu_Predict measures the area predictor, which the matchmaker

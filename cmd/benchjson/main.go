@@ -1,0 +1,101 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// a stable JSON document on stdout, so benchmark results can be
+// committed and diffed across PRs:
+//
+//	go test -run xxx -bench . -benchtime 1x . | go run ./cmd/benchjson > BENCH.json
+//
+// Each benchmark line becomes one record holding the benchmark name, the
+// iteration count, and every reported metric keyed by its unit (ns/op,
+// B/op, allocs/op, and any b.ReportMetric custom units). Header lines
+// (goos, goarch, pkg, cpu) become the environment block.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Doc is the whole converted run.
+type Doc struct {
+	Env     map[string]string `json:"env"`
+	Results []Result          `json:"results"`
+}
+
+func main() {
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Doc, error) {
+	doc := &Doc{Env: map[string]string{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok "):
+			continue
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			doc.Env[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			r, err := parseBench(line)
+			if err != nil {
+				return nil, err
+			}
+			doc.Results = append(doc.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines on stdin")
+	}
+	return doc, nil
+}
+
+// parseBench parses "BenchmarkX/sub-8  10  123 ns/op  4.5 custom-unit ...".
+func parseBench(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, fmt.Errorf("short benchmark line: %q", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("iteration count in %q: %w", line, err)
+	}
+	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// The remainder is (value, unit) pairs.
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, fmt.Errorf("odd metric fields in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("metric value %q in %q: %w", rest[i], line, err)
+		}
+		r.Metrics[rest[i+1]] = v
+	}
+	return r, nil
+}

@@ -7,6 +7,7 @@
 //
 //	dreamsim -strategy reconfig-aware -tasks 500 -rate 1.5 -seeds 5
 //	dreamsim -compare -tasks 300 -rate 0.8
+//	dreamsim -compare -faults -crash-rate 0.05 -outage 20
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/grid"
 	"repro/internal/report"
 	"repro/internal/rms"
@@ -42,8 +44,25 @@ func main() {
 		compare      = flag.Bool("compare", false, "run every strategy and print a comparison table")
 		workloadIn   = flag.String("workload", "", "replay a JSON workload trace instead of generating one")
 		workloadOut  = flag.String("save-workload", "", "write the generated workload trace to this file and exit")
+
+		withFaults = flag.Bool("faults", false, "inject deterministic node/SEU/link faults (see -crash-rate etc.)")
+		crashRate  = flag.Float64("crash-rate", faults.Default().CrashRate, "node crashes per node-second (with -faults)")
+		outage     = flag.Float64("outage", faults.Default().MeanOutageSeconds, "mean node outage duration in seconds (with -faults)")
+		seuRate    = flag.Float64("seu-rate", faults.Default().SEURate, "SEU configuration upsets per node-second (with -faults)")
+		linkRate   = flag.Float64("link-rate", faults.Default().LinkFaultRate, "link faults per node-second (with -faults)")
+		maxRetries = flag.Int("max-retries", faults.Default().Retry.MaxRetries, "retry budget per task, 0 = unlimited (with -faults)")
 	)
 	flag.Parse()
+	var fspec *faults.Spec
+	if *withFaults {
+		f := faults.Default()
+		f.CrashRate = *crashRate
+		f.MeanOutageSeconds = *outage
+		f.SEURate = *seuRate
+		f.LinkFaultRate = *linkRate
+		f.Retry.MaxRetries = *maxRetries
+		fspec = &f
+	}
 	if *workloadOut != "" {
 		if err := saveTrace(*workloadOut, *tasks, *rate, *seed0, *shareHW, *shareSC); err != nil {
 			fmt.Fprintln(os.Stderr, "dreamsim:", err)
@@ -52,7 +71,7 @@ func main() {
 		return
 	}
 	if err := run(*strategyName, *queue, *tasks, *rate, *seeds, *seed0, *shareHW, *shareSC,
-		*gppNodes, *hybridNodes, *devices, *cfgPort, *noPR, *compare, *workloadIn); err != nil {
+		*gppNodes, *hybridNodes, *devices, *cfgPort, *noPR, *compare, *workloadIn, fspec); err != nil {
 		fmt.Fprintln(os.Stderr, "dreamsim:", err)
 		os.Exit(1)
 	}
@@ -89,7 +108,7 @@ func names() string {
 
 func run(strategyName, queueName string, tasks int, rate float64, seeds int, seed0 uint64,
 	shareHW, shareSC float64, gppNodes, hybridNodes int, devices string, cfgPort float64,
-	noPR, compare bool, workloadIn string) error {
+	noPR, compare bool, workloadIn string, fspec *faults.Spec) error {
 
 	gs := grid.DefaultGridSpec()
 	gs.GPPNodes = gppNodes
@@ -162,9 +181,37 @@ func run(strategyName, queueName string, tasks int, rate float64, seeds int, see
 			if err != nil {
 				return err
 			}
+			if fspec != nil {
+				f := *fspec
+				if f.HorizonSeconds <= 0 {
+					// Cover the whole replay: last arrival plus slack.
+					var last float64
+					for _, g := range trace {
+						if float64(g.Arrival) > last {
+							last = float64(g.Arrival)
+						}
+					}
+					f.HorizonSeconds = last*1.5 + 60
+				}
+				if err := f.Validate(); err != nil {
+					return err
+				}
+				cfg.Faults = &f
+			}
 			eng, err := grid.NewEngine(cfg, reg, mm)
 			if err != nil {
 				return err
+			}
+			if cfg.Faults != nil && cfg.Faults.Enabled() {
+				var ids []string
+				for _, n := range reg.Nodes() {
+					ids = append(ids, n.ID)
+				}
+				evs, err := faults.Schedule(sim.NewRNG(seed0).Split(faults.ScheduleStream), *cfg.Faults, ids)
+				if err != nil {
+					return err
+				}
+				eng.InjectFaults(evs)
 			}
 			if err := eng.SubmitWorkload(trace, "trace"); err != nil {
 				return err
@@ -185,7 +232,7 @@ func run(strategyName, queueName string, tasks int, rate float64, seeds int, see
 			cfg := grid.DefaultConfig()
 			cfg.Strategy = s
 			cfg.Queue = queue
-			points[si] = grid.SweepPoint{Name: s.Name(), Config: cfg, Grid: gs, Workload: mkWorkload()}
+			points[si] = grid.SweepPoint{Name: s.Name(), Config: cfg, Grid: gs, Workload: mkWorkload(), Faults: fspec}
 		}
 		res, err := grid.Sweep(context.Background(), grid.SweepSpec{
 			Points: points, Seeds: seedList, Toolchain: tc,
@@ -201,14 +248,18 @@ func run(strategyName, queueName string, tasks int, rate float64, seeds int, see
 		}
 	}
 
+	cols := []string{"Strategy", "done", "unfinished", "mean wait", "p95 wait", "turnaround",
+		"reconfigs", "reuses", "fallbacks", "gpp util", "fpga util"}
+	if fspec != nil {
+		cols = append(cols, "retries", "lost", "mttr", "avail")
+	}
 	tb := report.NewTable(
 		fmt.Sprintf("DReAMSim: %d tasks, λ=%.2g/s, %d seed(s), %d+%d nodes, queue=%s",
 			tasks, rate, seeds, gppNodes, hybridNodes, queue),
-		"Strategy", "done", "unfinished", "mean wait", "p95 wait", "turnaround",
-		"reconfigs", "reuses", "fallbacks", "gpp util", "fpga util")
+		cols...)
 	for si, s := range strategies {
-		var wait, p95, turn sim.Series
-		var done, unfinished, reconfigs, reuses, fallbacks int
+		var wait, p95, turn, mttr, avail sim.Series
+		var done, unfinished, reconfigs, reuses, fallbacks, retries, lost int
 		var gppU, fpgaU float64
 		for _, m := range perStrategy[si] {
 			wait.Observe(m.MeanWait())
@@ -219,14 +270,23 @@ func run(strategyName, queueName string, tasks int, rate float64, seeds int, see
 			reconfigs += m.Reconfigs
 			reuses += m.Reuses
 			fallbacks += m.Fallbacks
+			retries += m.Retries
+			lost += m.TasksLost
+			mttr.Observe(m.MeanMTTR())
+			avail.Observe(m.Availability())
 			gppU += m.Utilization(kindGPP())
 			fpgaU += m.Utilization(kindFPGA())
 		}
 		n := float64(len(perStrategy[si]))
-		tb.AddRow(s.Name(), done, unfinished,
+		row := []any{s.Name(), done, unfinished,
 			wait.Mean(), p95.Mean(), turn.Mean(),
 			reconfigs, reuses, fallbacks,
-			fmt.Sprintf("%.1f%%", 100*gppU/n), fmt.Sprintf("%.1f%%", 100*fpgaU/n))
+			fmt.Sprintf("%.1f%%", 100*gppU/n), fmt.Sprintf("%.1f%%", 100*fpgaU/n)}
+		if fspec != nil {
+			row = append(row, retries, lost,
+				fmt.Sprintf("%.3gs", mttr.Mean()), fmt.Sprintf("%.2f%%", 100*avail.Mean()))
+		}
+		tb.AddRow(row...)
 	}
 	fmt.Print(tb)
 	return nil

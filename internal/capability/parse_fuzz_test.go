@@ -1,0 +1,66 @@
+package capability
+
+import (
+	"testing"
+)
+
+// FuzzParseRequirements throws arbitrary bytes at the ExecReq predicate
+// parser. Rejections must be errors, never panics. Accepted expressions
+// must be structurally sound, and once an expression has passed through
+// one String→parse cycle its form is canonical: parsing and re-rendering
+// it must be a fixed point. (The first render may legitimately fail to
+// re-parse — String does not quote text values containing separators.)
+func FuzzParseRequirements(f *testing.F) {
+	for _, seed := range []string{
+		"fpga.family == Virtex-5 && fpga.slices >= 18707",
+		`softcore.fu_types has-all "ALU,MUL" && softcore.issue_width >= 4`,
+		"cpu.type == x86",
+		"x != true && y <= -3.5e2",
+		"x > 1 && x < 2 && x >= 1 && x <= 2",
+		`x == ""`,
+		`x == "unterminated`,
+		"x ==",
+		"== 5",
+		"x == 5 &&",
+		"x == 5 y == 6",
+		"x == 5",
+		"x == +Inf",
+		"x == NaN",
+		"x == TRUE",
+		"",
+		"   ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		reqs, err := ParseRequirements(src)
+		if err != nil {
+			if reqs != nil {
+				t.Errorf("ParseRequirements(%q) returned both requirements and error %v", src, err)
+			}
+			return
+		}
+		if len(reqs) == 0 {
+			t.Fatalf("ParseRequirements(%q) accepted an empty expression", src)
+		}
+		for _, r := range reqs {
+			if r.Param == "" {
+				t.Fatalf("ParseRequirements(%q) produced a predicate without a parameter", src)
+			}
+		}
+		// One render may lose quoting; if it still parses, the result must
+		// be a fixed point under further String→parse cycles.
+		second, err := ParseRequirements(reqs.String())
+		if err != nil {
+			return
+		}
+		canonical := second.String()
+		third, err := ParseRequirements(canonical)
+		if err != nil {
+			t.Fatalf("ParseRequirements(%q): canonical form %q does not re-parse: %v", src, canonical, err)
+		}
+		if third.String() != canonical {
+			t.Fatalf("ParseRequirements(%q): canonical form drifted: %q -> %q", src, canonical, third.String())
+		}
+	})
+}

@@ -1,0 +1,274 @@
+// Package faults generates deterministic fault schedules for the grid
+// simulator: node crashes and recoveries, SEU-style transient corruption
+// of RPE configurations, and network link degradation or partitions.
+//
+// A schedule is a pure function of (RNG, Spec, node list): the injector
+// never reads wall-clock time or global randomness, so the same seed
+// replays the same fault timeline event for event. The grid engine owns
+// the *effects* of each event (which execution aborts, which lease
+// expires); this package only decides *what happens when*, carrying
+// enough random bits in each Event (Selector) for the engine to resolve
+// victims deterministically without consulting another RNG.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// ScheduleStream is the sim.RNG split stream reserved for fault-schedule
+// derivation. Scenario runs split it off the workload seed so the fault
+// timeline is independent of — but still fully determined by — the seed
+// that generates the task stream.
+const ScheduleStream uint64 = 0xFA17_0003
+
+// DefaultLeaseTTL is the lease renewal interval used when a Spec enables
+// faults but leaves LeaseTTLSeconds zero: failure detection latency is at
+// most one TTL after a crash or partition.
+const DefaultLeaseTTL = 5.0
+
+// Kind classifies one scheduled fault event.
+type Kind int
+
+// Fault event kinds. Crash/Recover and Degrade/Restore come in pairs
+// sharing the pairing sequence number Event.Seq.
+const (
+	KindNodeCrash Kind = iota
+	KindNodeRecover
+	KindSEU
+	KindLinkDegrade
+	KindLinkRestore
+)
+
+// String names the kind for traces and event labels.
+func (k Kind) String() string {
+	switch k {
+	case KindNodeCrash:
+		return "node-crash"
+	case KindNodeRecover:
+		return "node-recover"
+	case KindSEU:
+		return "seu"
+	case KindLinkDegrade:
+		return "link-degrade"
+	case KindLinkRestore:
+		return "link-restore"
+	}
+	return fmt.Sprintf("faults.Kind(%d)", int(k))
+}
+
+// Event is one scheduled fault. Events are self-contained: the engine
+// applies them without any further randomness.
+type Event struct {
+	// Time is the virtual time the fault strikes.
+	Time sim.Time
+	// Kind says what happens.
+	Kind Kind
+	// Node is the victim node ID.
+	Node string
+	// Seq pairs a crash with its recovery (and a degrade with its
+	// restore): a recovery only applies if the node is still down from
+	// the crash with the same Seq, so overlapping fault processes cannot
+	// resurrect a node early.
+	Seq uint64
+	// Selector carries random bits for victim resolution below node
+	// granularity (which RPE, which region) — drawn at schedule time so
+	// the engine stays RNG-free.
+	Selector uint64
+	// Factor divides link bandwidth (and multiplies latency) for
+	// KindLinkDegrade events.
+	Factor float64
+	// Partition marks a KindLinkDegrade event as a full partition: the
+	// node is unreachable rather than slow.
+	Partition bool
+}
+
+// RetryPolicy bounds task re-execution after a fault-induced abort.
+type RetryPolicy struct {
+	// MaxRetries caps re-executions per task; a task whose retry count
+	// would exceed it is declared lost. Zero means unlimited.
+	MaxRetries int
+	// BackoffSeconds is the delay before the first retry; each further
+	// retry doubles it (capped). Zero retries immediately.
+	BackoffSeconds float64
+	// BackoffCapSeconds caps the exponential growth; zero means uncapped.
+	BackoffCapSeconds float64
+}
+
+// Delay returns the backoff before retry attempt n (n = 1 is the first
+// retry): BackoffSeconds·2^(n−1), capped at BackoffCapSeconds.
+func (p RetryPolicy) Delay(attempt int) float64 {
+	if p.BackoffSeconds <= 0 || attempt <= 0 {
+		return 0
+	}
+	d := p.BackoffSeconds
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.BackoffCapSeconds > 0 && d >= p.BackoffCapSeconds {
+			return p.BackoffCapSeconds
+		}
+	}
+	if p.BackoffCapSeconds > 0 && d > p.BackoffCapSeconds {
+		return p.BackoffCapSeconds
+	}
+	return d
+}
+
+// Spec parameterizes the fault processes. Rates are Poisson intensities
+// in events per simulated second over the whole grid; the zero value
+// injects nothing.
+type Spec struct {
+	// CrashRate is the node crash intensity (crashes/second across the
+	// grid); MeanOutageSeconds the mean crash→recovery outage.
+	CrashRate         float64
+	MeanOutageSeconds float64
+	// SEURate is the intensity of single-event upsets corrupting one
+	// loaded RPE configuration (forcing reconfiguration, aborting the
+	// task using it).
+	SEURate float64
+	// LinkFaultRate is the intensity of link faults;
+	// MeanLinkFaultSeconds their mean duration; LinkDegradeFactor the
+	// bandwidth divisor while degraded; PartitionShare the fraction of
+	// link faults that are full partitions instead of slowdowns.
+	LinkFaultRate        float64
+	MeanLinkFaultSeconds float64
+	LinkDegradeFactor    float64
+	PartitionShare       float64
+	// HorizonSeconds bounds schedule generation: no fault *starts* after
+	// it (recoveries may land past it). Required when any rate is
+	// positive; RunScenario derives one from the workload when left zero.
+	HorizonSeconds float64
+	// LeaseTTLSeconds is the lease renewal interval for failure
+	// detection; zero means DefaultLeaseTTL.
+	LeaseTTLSeconds float64
+	// Retry bounds task re-execution after fault-induced aborts.
+	Retry RetryPolicy
+}
+
+// Default returns a moderately hostile spec: a crash roughly every 50
+// simulated seconds grid-wide with 30 s outages, occasional SEUs and
+// link faults, and a capped-exponential retry policy.
+func Default() Spec {
+	return Spec{
+		CrashRate:            0.02,
+		MeanOutageSeconds:    30,
+		SEURate:              0.01,
+		LinkFaultRate:        0.01,
+		MeanLinkFaultSeconds: 60,
+		LinkDegradeFactor:    10,
+		PartitionShare:       0.25,
+		LeaseTTLSeconds:      DefaultLeaseTTL,
+		Retry: RetryPolicy{
+			MaxRetries:        8,
+			BackoffSeconds:    0.5,
+			BackoffCapSeconds: 30,
+		},
+	}
+}
+
+// Enabled reports whether the spec injects any faults at all.
+func (s Spec) Enabled() bool {
+	return s.CrashRate > 0 || s.SEURate > 0 || s.LinkFaultRate > 0
+}
+
+// Validate reports impossible specs.
+func (s Spec) Validate() error {
+	if s.CrashRate < 0 || s.SEURate < 0 || s.LinkFaultRate < 0 {
+		return fmt.Errorf("faults: negative fault rate")
+	}
+	if s.CrashRate > 0 && s.MeanOutageSeconds <= 0 {
+		return fmt.Errorf("faults: crash rate without a positive mean outage")
+	}
+	if s.LinkFaultRate > 0 {
+		if s.MeanLinkFaultSeconds <= 0 {
+			return fmt.Errorf("faults: link fault rate without a positive mean duration")
+		}
+		if s.LinkDegradeFactor < 1 {
+			return fmt.Errorf("faults: link degrade factor %g < 1", s.LinkDegradeFactor)
+		}
+		if s.PartitionShare < 0 || s.PartitionShare > 1 {
+			return fmt.Errorf("faults: partition share %g outside [0,1]", s.PartitionShare)
+		}
+	}
+	if s.Enabled() && s.HorizonSeconds <= 0 {
+		return fmt.Errorf("faults: enabled spec needs a positive horizon")
+	}
+	if s.LeaseTTLSeconds < 0 {
+		return fmt.Errorf("faults: negative lease TTL")
+	}
+	if s.Retry.MaxRetries < 0 || s.Retry.BackoffSeconds < 0 || s.Retry.BackoffCapSeconds < 0 {
+		return fmt.Errorf("faults: negative retry policy field")
+	}
+	return nil
+}
+
+// Schedule generates the fault timeline for a run: three independent
+// Poisson processes (crashes, SEUs, link faults), each on its own split
+// of rng, merged into one time-sorted slice. It is a pure function of
+// its arguments — equal inputs yield equal schedules, which is what
+// makes fault runs replayable and sweep replicas worker-count
+// independent.
+func Schedule(rng *sim.RNG, spec Spec, nodeIDs []string) ([]Event, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if !spec.Enabled() || len(nodeIDs) == 0 {
+		return nil, nil
+	}
+	var events []Event
+	var seq uint64
+	next := func() uint64 { seq++; return seq }
+
+	if spec.CrashRate > 0 {
+		r := rng.Split(1)
+		for t := sim.Time(r.ExpFloat64() / spec.CrashRate); float64(t) <= spec.HorizonSeconds; t += sim.Time(r.ExpFloat64() / spec.CrashRate) {
+			id := next()
+			victim := nodeIDs[r.Intn(len(nodeIDs))]
+			outage := sim.Time(r.ExpFloat64() * spec.MeanOutageSeconds)
+			events = append(events,
+				Event{Time: t, Kind: KindNodeCrash, Node: victim, Seq: id},
+				Event{Time: t + outage, Kind: KindNodeRecover, Node: victim, Seq: id})
+		}
+	}
+	if spec.SEURate > 0 {
+		r := rng.Split(2)
+		for t := sim.Time(r.ExpFloat64() / spec.SEURate); float64(t) <= spec.HorizonSeconds; t += sim.Time(r.ExpFloat64() / spec.SEURate) {
+			events = append(events, Event{
+				Time: t, Kind: KindSEU, Seq: next(),
+				Node:     nodeIDs[r.Intn(len(nodeIDs))],
+				Selector: r.Uint64(),
+			})
+		}
+	}
+	if spec.LinkFaultRate > 0 {
+		r := rng.Split(3)
+		for t := sim.Time(r.ExpFloat64() / spec.LinkFaultRate); float64(t) <= spec.HorizonSeconds; t += sim.Time(r.ExpFloat64() / spec.LinkFaultRate) {
+			id := next()
+			victim := nodeIDs[r.Intn(len(nodeIDs))]
+			dur := sim.Time(r.ExpFloat64() * spec.MeanLinkFaultSeconds)
+			part := r.Float64() < spec.PartitionShare
+			events = append(events,
+				Event{Time: t, Kind: KindLinkDegrade, Node: victim, Seq: id, Factor: spec.LinkDegradeFactor, Partition: part},
+				Event{Time: t + dur, Kind: KindLinkRestore, Node: victim, Seq: id, Partition: part})
+		}
+	}
+
+	// Merge into one deterministic timeline. Seq is assigned in
+	// generation order, so it is a stable tie-break for simultaneous
+	// events across processes; Kind breaks the (vanishing) chance of an
+	// equal-time pair sharing a Seq (a zero-length outage's crash must
+	// precede its recovery).
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		return a.Kind < b.Kind
+	})
+	return events, nil
+}

@@ -1,0 +1,151 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+var testNodes = []string{"Node0", "Node1", "Node2", "Node3"}
+
+func testSpec() Spec {
+	s := Default()
+	s.HorizonSeconds = 500
+	return s
+}
+
+func TestScheduleIsDeterministic(t *testing.T) {
+	a, err := Schedule(sim.NewRNG(7).Split(ScheduleStream), testSpec(), testNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Schedule(sim.NewRNG(7).Split(ScheduleStream), testSpec(), testNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("expected a non-empty schedule over a 500 s horizon")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+	c, err := Schedule(sim.NewRNG(8).Split(ScheduleStream), testSpec(), testNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestScheduleSortedAndPaired(t *testing.T) {
+	evs, err := Schedule(sim.NewRNG(11).Split(ScheduleStream), testSpec(), testNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := map[uint64]Event{}
+	degrade := map[uint64]Event{}
+	for i, ev := range evs {
+		if i > 0 && ev.Time < evs[i-1].Time {
+			t.Fatalf("event %d at %v before predecessor at %v", i, ev.Time, evs[i-1].Time)
+		}
+		switch ev.Kind {
+		case KindNodeCrash:
+			crash[ev.Seq] = ev
+		case KindNodeRecover:
+			c, ok := crash[ev.Seq]
+			if !ok {
+				t.Fatalf("recovery seq %d without a crash", ev.Seq)
+			}
+			if ev.Node != c.Node || ev.Time < c.Time {
+				t.Fatalf("recovery %+v does not pair with crash %+v", ev, c)
+			}
+		case KindLinkDegrade:
+			if ev.Factor < 1 {
+				t.Fatalf("degrade with factor %g", ev.Factor)
+			}
+			degrade[ev.Seq] = ev
+		case KindLinkRestore:
+			d, ok := degrade[ev.Seq]
+			if !ok {
+				t.Fatalf("restore seq %d without a degrade", ev.Seq)
+			}
+			if ev.Node != d.Node || ev.Time < d.Time {
+				t.Fatalf("restore %+v does not pair with degrade %+v", ev, d)
+			}
+		}
+		if ev.Node == "" {
+			t.Fatalf("event %d without a victim node", i)
+		}
+	}
+	if len(crash) == 0 || len(degrade) == 0 {
+		t.Fatalf("expected crashes and link faults, got %d/%d", len(crash), len(degrade))
+	}
+}
+
+func TestScheduleDisabledOrEmpty(t *testing.T) {
+	evs, err := Schedule(sim.NewRNG(1), Spec{}, testNodes)
+	if err != nil || evs != nil {
+		t.Fatalf("zero spec: got %v, %v", evs, err)
+	}
+	evs, err = Schedule(sim.NewRNG(1), testSpec(), nil)
+	if err != nil || evs != nil {
+		t.Fatalf("no nodes: got %v, %v", evs, err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]func(*Spec){
+		"negative rate":           func(s *Spec) { s.CrashRate = -1 },
+		"crash without outage":    func(s *Spec) { s.MeanOutageSeconds = 0 },
+		"link without duration":   func(s *Spec) { s.MeanLinkFaultSeconds = 0 },
+		"degrade factor < 1":      func(s *Spec) { s.LinkDegradeFactor = 0.5 },
+		"partition share > 1":     func(s *Spec) { s.PartitionShare = 1.5 },
+		"enabled without horizon": func(s *Spec) { s.HorizonSeconds = 0 },
+		"negative TTL":            func(s *Spec) { s.LeaseTTLSeconds = -1 },
+		"negative retries":        func(s *Spec) { s.Retry.MaxRetries = -1 },
+	}
+	for name, mutate := range cases {
+		s := testSpec()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, s)
+		}
+	}
+	if err := testSpec().Validate(); err != nil {
+		t.Fatalf("default spec with horizon rejected: %v", err)
+	}
+	if err := (Spec{}).Validate(); err != nil {
+		t.Fatalf("zero spec rejected: %v", err)
+	}
+}
+
+func TestRetryDelay(t *testing.T) {
+	p := RetryPolicy{BackoffSeconds: 0.5, BackoffCapSeconds: 3}
+	want := []float64{0.5, 1, 2, 3, 3}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) = %g, want %g", i+1, got, w)
+		}
+	}
+	if got := (RetryPolicy{}).Delay(4); got != 0 {
+		t.Errorf("zero policy Delay = %g, want 0", got)
+	}
+	// Uncapped growth must not overflow into nonsense for large counts.
+	big := RetryPolicy{BackoffSeconds: 1, BackoffCapSeconds: 60}
+	if got := big.Delay(500); got != 60 {
+		t.Errorf("capped Delay(500) = %g, want 60", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNodeCrash: "node-crash", KindNodeRecover: "node-recover",
+		KindSEU: "seu", KindLinkDegrade: "link-degrade", KindLinkRestore: "link-restore",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind %d String = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

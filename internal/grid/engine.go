@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/faults"
 	"repro/internal/hdl"
 	"repro/internal/jss"
 	"repro/internal/network"
@@ -41,6 +42,12 @@ type Config struct {
 	PrewarmSynthesis bool
 	// Tracer, when non-nil, records per-task lifecycle events.
 	Tracer *Recorder
+	// Faults carries the active fault policy (retry bounds, lease TTL)
+	// for engines driven with InjectFaults; nil disables lease
+	// monitoring and gives aborted tasks unlimited immediate retries
+	// (the legacy FailElementAt behavior). RunScenario populates it from
+	// ScenarioSpec.Faults. The spec is read-only once the engine runs.
+	Faults *faults.Spec
 }
 
 // DefaultConfig uses the reconfiguration-aware strategy over a gigabit
@@ -86,6 +93,10 @@ type item struct {
 	t   *task.Task
 	enq sim.Time
 	seq int
+	// attempts counts fault-induced aborts so far; lastFail stamps the
+	// most recent one (the MTTR clock).
+	attempts int
+	lastFail sim.Time
 }
 
 // Engine drives the simulation: submissions arrive, the scheduler places
@@ -104,6 +115,17 @@ type Engine struct {
 	// running tracks in-flight executions per element, for failure
 	// injection.
 	running map[*node.Element][]*execution
+	// Fault-injection state, touched only from simulator handlers: mon
+	// is the RMS lease monitor; down maps a crashed node to the fault
+	// Seq that downed it, downNode/downSince keep the detached object
+	// and the outage start; linkFault holds the active link fault per
+	// node; retryPending counts tasks waiting out a retry backoff.
+	mon          *rms.Monitor
+	down         map[string]uint64
+	downNode     map[string]*node.Node
+	downSince    map[string]sim.Time
+	linkFault    map[string]faults.Event
+	retryPending int
 }
 
 // execution is one in-flight task placement.
@@ -111,6 +133,9 @@ type execution struct {
 	it    *item
 	lease *rms.Lease
 	ev    *sim.Event
+	// renew is the pending lease-renewal check, cancelled when the
+	// execution completes or aborts.
+	renew *sim.Event
 }
 
 // NewEngine wires a simulator around an existing registry and matchmaker.
@@ -125,13 +150,18 @@ func NewEngine(cfg Config, reg *rms.Registry, mm *rms.Matchmaker) (*Engine, erro
 	// replicas) would race, so clone it when it says it can be cloned.
 	cfg.Strategy = sched.ForEngine(cfg.Strategy)
 	return &Engine{
-		cfg:     cfg,
-		S:       sim.NewSimulator(),
-		Reg:     reg,
-		MM:      mm,
-		J:       jss.New(),
-		m:       newMetrics(cfg.Strategy.Name()),
-		running: make(map[*node.Element][]*execution),
+		cfg:       cfg,
+		S:         sim.NewSimulator(),
+		Reg:       reg,
+		MM:        mm,
+		J:         jss.New(),
+		m:         newMetrics(cfg.Strategy.Name()),
+		running:   make(map[*node.Element][]*execution),
+		mon:       rms.NewMonitor(),
+		down:      make(map[string]uint64),
+		downNode:  make(map[string]*node.Node),
+		downSince: make(map[string]sim.Time),
+		linkFault: make(map[string]faults.Event),
 	}, nil
 }
 
@@ -201,12 +231,32 @@ func (e *Engine) prewarm(gen []Generated) error {
 	return nil
 }
 
-// linkTo returns the network link for a node.
+// linkTo returns the network link for a node, with any active link
+// fault applied: a degraded link divides bandwidth and multiplies
+// latency by the fault's factor. (A partitioned node is excluded from
+// matchmaking entirely rather than slowed.)
 func (e *Engine) linkTo(nodeID string) network.Link {
+	l := network.Link{BandwidthMBps: e.cfg.LinkMBps, LatencySeconds: e.cfg.LinkLatencySeconds}
 	if e.cfg.Topology != nil {
-		return e.cfg.Topology.LinkTo(nodeID)
+		l = e.cfg.Topology.LinkTo(nodeID)
 	}
-	return network.Link{BandwidthMBps: e.cfg.LinkMBps, LatencySeconds: e.cfg.LinkLatencySeconds}
+	if f, ok := e.linkFault[nodeID]; ok && !f.Partition && f.Factor > 1 {
+		l.BandwidthMBps /= f.Factor
+		l.LatencySeconds *= f.Factor
+	}
+	return l
+}
+
+// unreachable reports whether a node cannot be talked to: crashed, or
+// cut off by a network partition. Matchmaking skips unreachable nodes
+// (degraded-mode scheduling: strategies see a shrunken option set) and
+// lease renewals against them fail.
+func (e *Engine) unreachable(nodeID string) bool {
+	if _, down := e.down[nodeID]; down {
+		return true
+	}
+	f, ok := e.linkFault[nodeID]
+	return ok && f.Partition
 }
 
 // AttachNodeAt adds a node to the grid at a virtual time — resources
@@ -279,6 +329,7 @@ func (e *Engine) enqueue(run *appRun, taskID string) {
 		return
 	}
 	e.seq++
+	e.m.Submitted++
 	e.queue = append(e.queue, &item{run: run, t: t, enq: e.S.Now(), seq: e.seq})
 	e.J.Notify(run.sub.ID, e.S.Now(), taskID, "queued")
 	e.cfg.Tracer.record(TraceEvent{Time: e.S.Now(), Kind: TraceQueued, TaskID: taskID})
@@ -331,6 +382,9 @@ func (e *Engine) dispatchOne(it *item) bool {
 	}
 	opts := make([]sched.Option, 0, len(cands))
 	for _, c := range cands {
+		if e.unreachable(c.Node.ID) {
+			continue
+		}
 		est, err := e.MM.Estimate(c, req, it.t.Work)
 		if err != nil {
 			continue
@@ -405,8 +459,13 @@ func (e *Engine) execute(it *item, opt sched.Option, lease *rms.Lease) {
 		Time: now, Kind: TraceDispatch, TaskID: it.t.ID,
 		Node: opt.Cand.Node.ID, Element: elem.ID,
 	})
+	e.superviseLease(exe)
 	exe.ev = e.S.After(sim.Time(span), "complete "+it.t.ID, func() {
 		end := e.S.Now()
+		if exe.renew != nil {
+			e.S.Cancel(exe.renew)
+		}
+		e.mon.Settle(lease)
 		e.dropRunning(elem, exe)
 		if err := lease.Release(); err != nil {
 			panic(fmt.Sprintf("grid: release failed: %v", err))
@@ -414,6 +473,9 @@ func (e *Engine) execute(it *item, opt sched.Option, lease *rms.Lease) {
 		e.m.Completed++
 		e.m.Exec.Observe(exec)
 		e.m.Turnaround.Observe(float64(end - it.enq))
+		if it.attempts > 0 {
+			e.m.MTTR.Observe(float64(end - it.lastFail))
+		}
 		e.m.busySeconds[opt.Cand.Elem.Kind] += span
 		e.m.Energy.ChargeActive(opt.Cand.Elem.Kind, span)
 		if end > e.m.Makespan {
@@ -464,10 +526,10 @@ func (e *Engine) dropRunning(elem *node.Element, exe *execution) {
 }
 
 // FailElementAt injects an element failure at a virtual time: every task
-// running on the element is aborted and re-enqueued (its original enqueue
-// time is kept, so the lost work shows up in waiting/turnaround). With
-// permanent set, the element is also removed from its node, modelling
-// hardware loss rather than a transient fault.
+// running on the element is aborted and routed through the retry policy
+// (its original enqueue time is kept, so the lost work shows up in
+// waiting/turnaround). With permanent set, the element is also removed
+// from its node, modelling hardware loss rather than a transient fault.
 func (e *Engine) FailElementAt(at sim.Time, nodeID, elemID string, permanent bool) {
 	e.S.Schedule(at, "fail "+nodeID+"/"+elemID, func() {
 		n, ok := e.Reg.Node(nodeID)
@@ -479,28 +541,75 @@ func (e *Engine) FailElementAt(at sim.Time, nodeID, elemID string, permanent boo
 			return
 		}
 		for _, exe := range append([]*execution(nil), e.running[elem]...) {
-			e.S.Cancel(exe.ev)
-			e.dropRunning(elem, exe)
-			if err := exe.lease.Release(); err != nil {
-				panic(fmt.Sprintf("grid: failure release: %v", err))
-			}
-			// A failed fabric loses its configurations: evict the region
-			// the task was using so no stale reuse happens.
-			if exe.lease.Region != nil && elem.Fabric != nil {
-				_ = elem.Fabric.Evict(exe.lease.Region)
-			}
-			e.m.Failures++
-			e.J.Notify(exe.it.run.sub.ID, e.S.Now(), exe.it.t.ID,
-				fmt.Sprintf("failed on %s/%s, requeued", nodeID, elemID))
-			e.cfg.Tracer.record(TraceEvent{
-				Time: e.S.Now(), Kind: TraceFail, TaskID: exe.it.t.ID,
-				Node: nodeID, Element: elemID,
-			})
-			e.queue = append(e.queue, exe.it)
+			e.failExecution(exe, nodeID, elemID)
 		}
 		if permanent {
 			_ = n.Remove(elemID)
 		}
+		e.tryDispatch()
+	})
+}
+
+// abortExecution tears one in-flight execution down: its completion and
+// renewal events are cancelled, the lease released, and the region it
+// configured evicted — a failed or power-cycled fabric cannot be trusted
+// to hold a valid configuration, so no stale reuse happens.
+func (e *Engine) abortExecution(exe *execution) {
+	e.S.Cancel(exe.ev)
+	if exe.renew != nil {
+		e.S.Cancel(exe.renew)
+	}
+	e.mon.Settle(exe.lease)
+	elem := exe.lease.Cand.Elem
+	e.dropRunning(elem, exe)
+	if err := exe.lease.Release(); err != nil {
+		panic(fmt.Sprintf("grid: failure release: %v", err))
+	}
+	if exe.lease.Region != nil && elem.Fabric != nil {
+		_ = elem.Fabric.Evict(exe.lease.Region)
+	}
+	exe.it.lastFail = e.S.Now()
+}
+
+// failExecution aborts one in-flight execution and routes its task
+// through the retry policy.
+func (e *Engine) failExecution(exe *execution, nodeID, elemID string) {
+	e.abortExecution(exe)
+	e.m.Failures++
+	e.J.Notify(exe.it.run.sub.ID, e.S.Now(), exe.it.t.ID,
+		fmt.Sprintf("failed on %s/%s, requeued", nodeID, elemID))
+	e.cfg.Tracer.record(TraceEvent{
+		Time: e.S.Now(), Kind: TraceFail, TaskID: exe.it.t.ID,
+		Node: nodeID, Element: elemID,
+	})
+	e.requeueOrLose(exe.it)
+}
+
+// requeueOrLose routes an aborted task through the retry policy: either
+// re-enqueue after capped exponential backoff (re-matchmaking from
+// scratch — the previous placement is gone, and the strategy sees
+// whatever options remain), or declare the task lost once its retry
+// budget is exhausted. Without an active fault policy the task retries
+// immediately and without bound, the legacy FailElementAt behavior.
+func (e *Engine) requeueOrLose(it *item) {
+	it.attempts++
+	var pol faults.RetryPolicy
+	if e.cfg.Faults != nil {
+		pol = e.cfg.Faults.Retry
+	}
+	if pol.MaxRetries > 0 && it.attempts > pol.MaxRetries {
+		e.m.TasksLost++
+		e.cfg.Tracer.record(TraceEvent{Time: e.S.Now(), Kind: TraceLost, TaskID: it.t.ID})
+		e.J.Fail(it.run.sub.ID, e.S.Now(), fmt.Sprintf("task %s lost after %d failed attempts", it.t.ID, it.attempts))
+		return
+	}
+	e.m.Retries++
+	e.retryPending++
+	e.S.After(sim.Time(pol.Delay(it.attempts)), "retry "+it.t.ID, func() {
+		e.retryPending--
+		e.queue = append(e.queue, it)
+		e.cfg.Tracer.record(TraceEvent{Time: e.S.Now(), Kind: TraceRetry, TaskID: it.t.ID})
+		e.J.Notify(it.run.sub.ID, e.S.Now(), it.t.ID, "requeued for retry")
 		e.tryDispatch()
 	})
 }
@@ -528,13 +637,30 @@ func (e *Engine) Run(ctx context.Context) (*Metrics, error) {
 	return e.m, nil
 }
 
-// finish folds end-of-run accounting into the metrics: queued tasks become
-// unfinished, their submissions fail, and idle capacity is charged.
+// finish folds end-of-run accounting into the metrics: queued tasks
+// (plus tasks waiting out a retry backoff or stranded in flight at the
+// horizon) become unfinished, their submissions fail, open outages are
+// closed, and idle capacity is charged.
 func (e *Engine) finish() {
-	e.m.Unfinished = len(e.queue)
-	for _, it := range e.queue {
-		e.J.Fail(it.run.sub.ID, e.S.Now(), fmt.Sprintf("task %s unschedulable under %s", it.t.ID, e.cfg.Strategy.Name()))
+	now := e.S.Now()
+	inflight := 0
+	for _, list := range e.running {
+		inflight += len(list)
 	}
+	e.m.Unfinished = len(e.queue) + e.retryPending + inflight
+	for _, it := range e.queue {
+		e.J.Fail(it.run.sub.ID, now, fmt.Sprintf("task %s unschedulable under %s", it.t.ID, e.cfg.Strategy.Name()))
+	}
+	ids := make([]string, 0, len(e.downSince))
+	for id := range e.downSince {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		e.m.DownSeconds += float64(now - e.downSince[id])
+	}
+	e.m.WindowSeconds = float64(now)
+	e.m.Nodes = e.Reg.Len() + len(e.down)
 	e.fillCapacity()
 }
 
@@ -583,6 +709,12 @@ type ScenarioSpec struct {
 	Trace []Generated
 	// User labels the submissions; defaults to "bench".
 	User string
+	// Faults, when non-nil and enabled, injects a deterministic fault
+	// schedule (node crashes, SEUs, link faults) derived from Seed on an
+	// independent RNG split — replaying a seed replays its faults, and
+	// sweep replicas derive independent-but-seeded schedules. A zero
+	// HorizonSeconds is defaulted from the workload's arrival window.
+	Faults *faults.Spec
 }
 
 // RunScenario is the one-call harness used by benchmarks and commands:
@@ -598,16 +730,38 @@ func RunScenario(ctx context.Context, spec ScenarioSpec) (*Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := NewEngine(spec.Config, reg, mm)
-	if err != nil {
-		return nil, err
-	}
 	gen := spec.Trace
 	if len(gen) == 0 {
 		gen, err = Generate(sim.NewRNG(spec.Seed), spec.Workload)
 		if err != nil {
 			return nil, err
 		}
+	}
+	cfg := spec.Config
+	if spec.Faults != nil {
+		f := *spec.Faults
+		if f.Enabled() && f.HorizonSeconds <= 0 {
+			f.HorizonSeconds = defaultFaultHorizon(gen)
+		}
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+		cfg.Faults = &f
+	}
+	eng, err := NewEngine(cfg, reg, mm)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		ids := make([]string, 0, reg.Len())
+		for _, n := range reg.Nodes() {
+			ids = append(ids, n.ID)
+		}
+		evs, err := faults.Schedule(sim.NewRNG(spec.Seed).Split(faults.ScheduleStream), *cfg.Faults, ids)
+		if err != nil {
+			return nil, err
+		}
+		eng.InjectFaults(evs)
 	}
 	user := spec.User
 	if user == "" {
@@ -617,6 +771,19 @@ func RunScenario(ctx context.Context, spec ScenarioSpec) (*Metrics, error) {
 		return nil, err
 	}
 	return eng.Run(ctx)
+}
+
+// defaultFaultHorizon bounds fault generation when the spec leaves it
+// open: faults keep arriving through the whole arrival window plus a
+// drain margin.
+func defaultFaultHorizon(gen []Generated) float64 {
+	var last sim.Time
+	for _, g := range gen {
+		if g.Arrival > last {
+			last = g.Arrival
+		}
+	}
+	return float64(last)*1.5 + 60
 }
 
 // DefaultToolchain returns the provider toolchain used by scenario runs.

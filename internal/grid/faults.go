@@ -1,0 +1,242 @@
+package grid
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// This file owns the engine's side of fault injection: applying a
+// deterministic fault timeline (from internal/faults) to live grid
+// state, lease-based failure detection, and node recovery. All handlers
+// run on the simulator goroutine; none of them draws randomness — every
+// choice below node granularity is resolved from the event's Selector
+// bits, so a fault schedule replays identically.
+
+// InjectFaults schedules a fault timeline (typically produced by
+// faults.Schedule) onto the engine's simulator. Call it before Run;
+// pair it with a Config.Faults spec so lease monitoring and the retry
+// policy are active.
+func (e *Engine) InjectFaults(events []faults.Event) {
+	for _, ev := range events {
+		ev := ev
+		e.S.Schedule(ev.Time, "fault "+ev.Kind.String()+" "+ev.Node, func() { e.applyFault(ev) })
+	}
+}
+
+func (e *Engine) applyFault(ev faults.Event) {
+	switch ev.Kind {
+	case faults.KindNodeCrash:
+		e.applyCrash(ev)
+	case faults.KindNodeRecover:
+		e.applyRecover(ev)
+	case faults.KindSEU:
+		e.applySEU(ev)
+	case faults.KindLinkDegrade:
+		e.applyLinkDegrade(ev)
+	case faults.KindLinkRestore:
+		e.applyLinkRestore(ev)
+	}
+}
+
+// leaseTTL returns the lease renewal interval, or 0 when no fault policy
+// is active (no monitoring).
+func (e *Engine) leaseTTL() sim.Time {
+	if e.cfg.Faults == nil {
+		return 0
+	}
+	if e.cfg.Faults.LeaseTTLSeconds > 0 {
+		return sim.Time(e.cfg.Faults.LeaseTTLSeconds)
+	}
+	return sim.Time(faults.DefaultLeaseTTL)
+}
+
+// superviseLease starts the lease renewal loop for an in-flight
+// execution: every TTL the RMS checks the hosting node, and while it
+// answers the lease's deadline moves forward. The first check that finds
+// the node unreachable expires the lease, so failure-detection latency
+// is at most one TTL. No-op without an active fault policy.
+func (e *Engine) superviseLease(exe *execution) {
+	ttl := e.leaseTTL()
+	if ttl <= 0 {
+		return
+	}
+	if err := e.mon.Grant(exe.lease, e.S.Now()+ttl); err != nil {
+		panic(fmt.Sprintf("grid: lease grant: %v", err))
+	}
+	nodeID := exe.lease.Cand.Node.ID
+	var check func()
+	check = func() {
+		if !e.mon.Active(exe.lease) {
+			return
+		}
+		if e.unreachable(nodeID) {
+			e.expireLease(exe)
+			return
+		}
+		e.mon.Renew(exe.lease, e.S.Now()+ttl)
+		exe.renew = e.S.After(ttl, "lease-renew "+exe.it.t.ID, check)
+	}
+	exe.renew = e.S.After(ttl, "lease-renew "+exe.it.t.ID, check)
+}
+
+// expireLease is failure detection firing: the monitor declares the
+// lease dead, the fabric region and element capacity it held are
+// released, the task re-enters the retry path (re-matchmaking on
+// whatever nodes remain), and — once the node has no surviving leases —
+// its registry entry is dropped so the matchmaker stops offering it.
+func (e *Engine) expireLease(exe *execution) {
+	nodeID := exe.lease.Cand.Node.ID
+	elemID := exe.lease.Cand.Elem.ID
+	e.mon.Expire(exe.lease)
+	e.m.LeaseExpiries++
+	e.cfg.Tracer.record(TraceEvent{
+		Time: e.S.Now(), Kind: TraceLeaseExpired, TaskID: exe.it.t.ID,
+		Node: nodeID, Element: elemID,
+	})
+	e.failExecution(exe, nodeID, elemID)
+	e.releaseCrashedNode(nodeID)
+}
+
+// releaseCrashedNode drops a down node's registry entry once no
+// execution still holds capacity on it. The registry refuses to remove
+// busy nodes, so a loaded node is released lease by lease as expiries
+// land; an idle one goes immediately at crash time.
+func (e *Engine) releaseCrashedNode(nodeID string) {
+	if _, down := e.down[nodeID]; !down {
+		return
+	}
+	n := e.downNode[nodeID]
+	for _, el := range n.Elements() {
+		if len(e.running[el]) > 0 {
+			return
+		}
+	}
+	_ = e.Reg.RemoveNode(nodeID)
+}
+
+// applyCrash silences a node: in-flight completions on it will never
+// arrive (their events are cancelled), but the leases stay granted until
+// the monitor notices the missed renewals — detection, not omniscience.
+func (e *Engine) applyCrash(ev faults.Event) {
+	if _, down := e.down[ev.Node]; down {
+		return // already down; this event's paired recovery will not match
+	}
+	n, ok := e.Reg.Node(ev.Node)
+	if !ok {
+		return // detached or already removed
+	}
+	e.down[ev.Node] = ev.Seq
+	e.downNode[ev.Node] = n
+	e.downSince[ev.Node] = e.S.Now()
+	e.m.NodeCrashes++
+	e.cfg.Tracer.record(TraceEvent{Time: e.S.Now(), Kind: TraceNodeDown, Node: ev.Node})
+	for _, el := range n.Elements() {
+		for _, exe := range e.running[el] {
+			e.S.Cancel(exe.ev)
+		}
+	}
+	e.releaseCrashedNode(ev.Node)
+}
+
+// applyRecover reboots a crashed node: leases that outlived the outage
+// are expired now (the reboot lost their work regardless of what the
+// monitor had seen), the fabric comes back blank — no configuration
+// survives a power cycle, so post-recovery tasks pay reconfiguration
+// again — and the node re-registers, immediately eligible for queued
+// work.
+func (e *Engine) applyRecover(ev faults.Event) {
+	seq, down := e.down[ev.Node]
+	if !down || seq != ev.Seq {
+		return // not down, or downed again by a later crash
+	}
+	n := e.downNode[ev.Node]
+	for _, el := range n.Elements() {
+		for _, exe := range append([]*execution(nil), e.running[el]...) {
+			e.expireLease(exe)
+		}
+	}
+	_ = e.Reg.RemoveNode(ev.Node)
+	for _, el := range n.RPEs() {
+		for _, r := range el.Fabric.Regions() {
+			_ = el.Fabric.Evict(r)
+		}
+	}
+	e.m.DownSeconds += float64(e.S.Now() - e.downSince[ev.Node])
+	e.m.NodeRecoveries++
+	delete(e.down, ev.Node)
+	delete(e.downNode, ev.Node)
+	delete(e.downSince, ev.Node)
+	if err := e.Reg.AddNode(n); err != nil {
+		panic(fmt.Sprintf("grid: re-adding recovered node %s: %v", ev.Node, err))
+	}
+	e.cfg.Tracer.record(TraceEvent{Time: e.S.Now(), Kind: TraceNodeUp, Node: ev.Node})
+	e.tryDispatch()
+}
+
+// applySEU corrupts one loaded RPE configuration, chosen from the
+// event's Selector bits. A busy region aborts the task using it (the
+// corrupted circuit cannot be trusted) and forces a reconfiguration on
+// retry; an idle region is evicted so no later task reuses garbage.
+// Strikes on down nodes, pure-GPP nodes, or unconfigured fabric are
+// harmless and uncounted.
+func (e *Engine) applySEU(ev faults.Event) {
+	if _, down := e.down[ev.Node]; down {
+		return
+	}
+	n, ok := e.Reg.Node(ev.Node)
+	if !ok {
+		return
+	}
+	rpes := n.RPEs()
+	if len(rpes) == 0 {
+		return
+	}
+	el := rpes[int(ev.Selector%uint64(len(rpes)))]
+	regs := el.Fabric.Regions()
+	if len(regs) == 0 {
+		return
+	}
+	r := regs[int((ev.Selector>>16)%uint64(len(regs)))]
+	e.m.SEUFaults++
+	e.cfg.Tracer.record(TraceEvent{Time: e.S.Now(), Kind: TraceSEU, Node: ev.Node, Element: el.ID})
+	if !r.Busy {
+		_ = el.Fabric.Evict(r)
+		return
+	}
+	for _, exe := range append([]*execution(nil), e.running[el]...) {
+		if exe.lease.Region == r {
+			e.failExecution(exe, ev.Node, el.ID)
+			break
+		}
+	}
+	e.tryDispatch()
+}
+
+// applyLinkDegrade installs a link fault on a node: a slowdown divides
+// the link's bandwidth (see linkTo), a partition makes the node
+// unreachable — it is skipped by matchmaking and its lease renewals
+// fail, so in-flight work on it is (correctly, from the RMS's view)
+// declared lost even though the node itself kept running.
+func (e *Engine) applyLinkDegrade(ev faults.Event) {
+	e.linkFault[ev.Node] = ev
+	e.m.LinkFaults++
+	detail := ""
+	if ev.Partition {
+		detail = "partition"
+	}
+	e.cfg.Tracer.record(TraceEvent{Time: e.S.Now(), Kind: TraceLinkDegraded, Node: ev.Node, Element: detail})
+}
+
+// applyLinkRestore clears a link fault, unless a newer fault on the same
+// link superseded it (the newer fault's own restore will clear that).
+func (e *Engine) applyLinkRestore(ev faults.Event) {
+	cur, ok := e.linkFault[ev.Node]
+	if !ok || cur.Seq != ev.Seq {
+		return
+	}
+	delete(e.linkFault, ev.Node)
+	e.cfg.Tracer.record(TraceEvent{Time: e.S.Now(), Kind: TraceLinkRestored, Node: ev.Node})
+	e.tryDispatch()
+}

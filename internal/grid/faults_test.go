@@ -1,0 +1,354 @@
+package grid
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/rms"
+	"repro/internal/sim"
+)
+
+// faultPolicy is the lease/retry policy used by crafted-event tests:
+// tight TTL so detection is fast, modest retry budget.
+func faultPolicy() *faults.Spec {
+	return &faults.Spec{
+		LeaseTTLSeconds: 2,
+		Retry:           faults.RetryPolicy{MaxRetries: 5, BackoffSeconds: 1, BackoffCapSeconds: 8},
+	}
+}
+
+// faultRig builds the failureRig grid with an active fault policy: one
+// ≈100 s hardware task dispatched shortly after t=0.
+func faultRig(t *testing.T, spec *faults.Spec, rec *Recorder) *Engine {
+	t.Helper()
+	reg, err := BuildGrid(DefaultGridSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, _ := DefaultToolchain()
+	mm, err := rms.NewMatchmaker(reg, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Faults = spec
+	cfg.Tracer = rec
+	eng, err := NewEngine(cfg, reg, mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := DefaultWorkload(1, 1)
+	ws.ShareUserHW = 1
+	ws.ShareSoftcore = 0
+	ws.WorkMI = sim.Constant{Value: 4e6}
+	gen, err := Generate(sim.NewRNG(2), ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SubmitWorkload(gen, "faults"); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	eng := faultRig(t, faultPolicy(), nil)
+	if err := eng.S.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	nodeID, _ := busyRPE(t, eng)
+	eng.InjectFaults([]faults.Event{
+		{Time: 10, Kind: faults.KindNodeCrash, Node: nodeID, Seq: 1},
+		{Time: 40, Kind: faults.KindNodeRecover, Node: nodeID, Seq: 1},
+	})
+	// Mid-outage the crashed node must be gone from the registry: its
+	// lease expires within one TTL of the crash and nothing else holds
+	// capacity on it.
+	eng.S.Schedule(20, "probe", func() {
+		if _, ok := eng.Reg.Node(nodeID); ok {
+			t.Errorf("crashed node %s still registered at t=20", nodeID)
+		}
+	})
+	m, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NodeCrashes != 1 || m.NodeRecoveries != 1 {
+		t.Errorf("crashes=%d recoveries=%d, want 1/1", m.NodeCrashes, m.NodeRecoveries)
+	}
+	if m.LeaseExpiries != 1 || m.Failures != 1 || m.Retries != 1 {
+		t.Errorf("expiries=%d failures=%d retries=%d, want 1/1/1", m.LeaseExpiries, m.Failures, m.Retries)
+	}
+	if m.Completed != 1 || m.Unfinished != 0 || m.TasksLost != 0 {
+		t.Errorf("completed=%d unfinished=%d lost=%d; retried task must finish elsewhere",
+			m.Completed, m.Unfinished, m.TasksLost)
+	}
+	if m.MTTR.N() != 1 || m.MeanMTTR() <= 0 {
+		t.Errorf("MTTR series n=%d mean=%g; one repaired task expected", m.MTTR.N(), m.MeanMTTR())
+	}
+	if m.DownSeconds < 29 || m.DownSeconds > 31 {
+		t.Errorf("down seconds = %g, want ≈30", m.DownSeconds)
+	}
+	if a := m.Availability(); a >= 1 || a <= 0 {
+		t.Errorf("availability = %g, want in (0,1)", a)
+	}
+	// The node rejoined the grid.
+	if eng.Reg.Len() != 4 {
+		t.Errorf("registry has %d nodes after recovery, want 4", eng.Reg.Len())
+	}
+	if _, ok := eng.Reg.Node(nodeID); !ok {
+		t.Errorf("recovered node %s missing from registry", nodeID)
+	}
+}
+
+func TestCrashOfIdleNodeAndSeqPairing(t *testing.T) {
+	reg, _ := BuildGrid(DefaultGridSpec())
+	mm, _ := rms.NewMatchmaker(reg, nil)
+	cfg := DefaultConfig()
+	cfg.Faults = faultPolicy()
+	eng, err := NewEngine(cfg, reg, mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.InjectFaults([]faults.Event{
+		{Time: 5, Kind: faults.KindNodeCrash, Node: "Node1", Seq: 1},
+		// A second crash of a down node is a no-op, and its paired
+		// recovery must not resurrect the node early.
+		{Time: 6, Kind: faults.KindNodeCrash, Node: "Node1", Seq: 2},
+		{Time: 7, Kind: faults.KindNodeRecover, Node: "Node1", Seq: 2},
+		{Time: 9, Kind: faults.KindNodeRecover, Node: "Node1", Seq: 1},
+		// Crashing an unknown node is harmless.
+		{Time: 10, Kind: faults.KindNodeCrash, Node: "NoSuchNode", Seq: 3},
+		{Time: 11, Kind: faults.KindNodeRecover, Node: "NoSuchNode", Seq: 3},
+	})
+	eng.S.Schedule(8, "probe", func() {
+		if _, ok := eng.Reg.Node("Node1"); ok {
+			t.Error("mismatched recovery seq resurrected Node1 at t=8")
+		}
+	})
+	m, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NodeCrashes != 1 || m.NodeRecoveries != 1 {
+		t.Errorf("crashes=%d recoveries=%d, want 1/1", m.NodeCrashes, m.NodeRecoveries)
+	}
+	if m.DownSeconds != 4 {
+		t.Errorf("down seconds = %g, want 4 (t=5→9)", m.DownSeconds)
+	}
+	if eng.Reg.Len() != 4 {
+		t.Errorf("registry has %d nodes, want 4", eng.Reg.Len())
+	}
+}
+
+// seuSelector brute-forces Selector bits that make applySEU hit a
+// specific element and region.
+func seuSelector(t *testing.T, eng *Engine, nodeID string) (uint64, string) {
+	t.Helper()
+	n, ok := eng.Reg.Node(nodeID)
+	if !ok {
+		t.Fatalf("node %s not registered", nodeID)
+	}
+	rpes := n.RPEs()
+	for _, el := range rpes {
+		for _, r := range el.Fabric.Regions() {
+			if !r.Busy {
+				continue
+			}
+			for s := uint64(0); s < 1<<22; s++ {
+				if rpes[int(s%uint64(len(rpes)))] == el &&
+					el.Fabric.Regions()[int((s>>16)%uint64(len(el.Fabric.Regions())))] == r {
+					return s, el.ID
+				}
+			}
+		}
+	}
+	t.Fatal("no busy region to target")
+	return 0, ""
+}
+
+func TestSEUAbortsTaskAndForcesReconfiguration(t *testing.T) {
+	eng := faultRig(t, faultPolicy(), nil)
+	if err := eng.S.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	nodeID, _ := busyRPE(t, eng)
+	sel, _ := seuSelector(t, eng, nodeID)
+	eng.InjectFaults([]faults.Event{
+		{Time: 10, Kind: faults.KindSEU, Node: nodeID, Seq: 1, Selector: sel},
+	})
+	m, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SEUFaults != 1 || m.Failures != 1 || m.Retries != 1 {
+		t.Errorf("seu=%d failures=%d retries=%d, want 1/1/1", m.SEUFaults, m.Failures, m.Retries)
+	}
+	if m.Completed != 1 || m.Unfinished != 0 {
+		t.Errorf("completed=%d unfinished=%d; task must survive the upset", m.Completed, m.Unfinished)
+	}
+	// The corrupted configuration was evicted, so the retry paid a
+	// second configuration load.
+	if m.Reconfigs < 2 {
+		t.Errorf("reconfigs = %d, want ≥2 (corrupted region cannot be reused)", m.Reconfigs)
+	}
+	if m.LeaseExpiries != 0 {
+		t.Errorf("lease expiries = %d; SEU aborts locally, no expiry", m.LeaseExpiries)
+	}
+}
+
+func TestPartitionExpiresLeaseAndReroutes(t *testing.T) {
+	rec := &Recorder{}
+	eng := faultRig(t, faultPolicy(), rec)
+	if err := eng.S.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	nodeID, _ := busyRPE(t, eng)
+	eng.InjectFaults([]faults.Event{
+		{Time: 8, Kind: faults.KindLinkDegrade, Node: nodeID, Seq: 1, Factor: 1, Partition: true},
+		{Time: 60, Kind: faults.KindLinkRestore, Node: nodeID, Seq: 1, Partition: true},
+	})
+	m, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LinkFaults != 1 || m.LeaseExpiries != 1 {
+		t.Errorf("linkFaults=%d expiries=%d, want 1/1", m.LinkFaults, m.LeaseExpiries)
+	}
+	if m.Completed != 1 || m.Unfinished != 0 {
+		t.Errorf("completed=%d unfinished=%d", m.Completed, m.Unfinished)
+	}
+	// The node itself never crashed: it stays registered throughout.
+	if m.NodeCrashes != 0 || eng.Reg.Len() != 4 {
+		t.Errorf("crashes=%d nodes=%d; partition must not remove the node", m.NodeCrashes, eng.Reg.Len())
+	}
+	// Degraded-mode scheduling: nothing dispatches to the partitioned
+	// node while it is cut off.
+	for _, ev := range rec.Events() {
+		if ev.Kind == TraceDispatch && ev.Node == nodeID && ev.Time >= 8 && ev.Time < 60 {
+			t.Errorf("task %s dispatched to partitioned node %s at t=%v", ev.TaskID, nodeID, ev.Time)
+		}
+	}
+}
+
+func TestLinkDegradationSlowsTransfers(t *testing.T) {
+	base := faultRig(t, faultPolicy(), nil)
+	baseM, err := base.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := faultRig(t, faultPolicy(), nil)
+	var evs []faults.Event
+	for i, id := range []string{"Node0", "Node1", "Node2", "Node3"} {
+		evs = append(evs,
+			faults.Event{Time: 0, Kind: faults.KindLinkDegrade, Node: id, Seq: uint64(i + 1), Factor: 200},
+			faults.Event{Time: 1000, Kind: faults.KindLinkRestore, Node: id, Seq: uint64(i + 1)})
+	}
+	eng.InjectFaults(evs)
+	m, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LinkFaults != 4 || m.Completed != 1 {
+		t.Fatalf("linkFaults=%d completed=%d", m.LinkFaults, m.Completed)
+	}
+	if m.MeanTurnaround() <= baseM.MeanTurnaround() {
+		t.Errorf("degraded turnaround %.3fs not above baseline %.3fs",
+			m.MeanTurnaround(), baseM.MeanTurnaround())
+	}
+}
+
+func TestRetryBudgetExhaustedLosesTask(t *testing.T) {
+	gs := DefaultGridSpec()
+	gs.GPPNodes = 0
+	gs.HybridNodes = 1
+	gs.RPEDevices = []string{"XC5VLX155T"}
+	reg, err := BuildGrid(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, _ := DefaultToolchain()
+	mm, err := rms.NewMatchmaker(reg, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Faults = &faults.Spec{
+		LeaseTTLSeconds: 2,
+		Retry:           faults.RetryPolicy{MaxRetries: 1, BackoffSeconds: 1},
+	}
+	rec := &Recorder{}
+	cfg.Tracer = rec
+	eng, err := NewEngine(cfg, reg, mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := DefaultWorkload(1, 1)
+	ws.ShareUserHW = 1
+	ws.ShareSoftcore = 0
+	ws.WorkMI = sim.Constant{Value: 4e6}
+	gen, err := Generate(sim.NewRNG(2), ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SubmitWorkload(gen, "lossy"); err != nil {
+		t.Fatal(err)
+	}
+	// Two crashes, each aborting one attempt of the only task on the
+	// only node: the second abort exceeds MaxRetries=1.
+	eng.InjectFaults([]faults.Event{
+		{Time: 10, Kind: faults.KindNodeCrash, Node: "Node0", Seq: 1},
+		{Time: 20, Kind: faults.KindNodeRecover, Node: "Node0", Seq: 1},
+		{Time: 30, Kind: faults.KindNodeCrash, Node: "Node0", Seq: 2},
+		{Time: 40, Kind: faults.KindNodeRecover, Node: "Node0", Seq: 2},
+	})
+	m, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TasksLost != 1 || m.Completed != 0 || m.Unfinished != 0 {
+		t.Errorf("lost=%d completed=%d unfinished=%d, want 1/0/0", m.TasksLost, m.Completed, m.Unfinished)
+	}
+	if m.Retries != 1 || m.Failures != 2 {
+		t.Errorf("retries=%d failures=%d, want 1/2", m.Retries, m.Failures)
+	}
+	var sawLost bool
+	for _, ev := range rec.Events() {
+		if ev.Kind == TraceLost {
+			sawLost = true
+		}
+	}
+	if !sawLost {
+		t.Error("no lost event in the trace")
+	}
+	// Task conservation: submitted == completed + unfinished + lost.
+	if got := m.Completed + m.Unfinished + m.TasksLost; got != 1 {
+		t.Errorf("conservation broken: %d accounted of 1 submitted", got)
+	}
+}
+
+func TestFaultTraceKindsRecorded(t *testing.T) {
+	rec := &Recorder{}
+	eng := faultRig(t, faultPolicy(), rec)
+	if err := eng.S.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	nodeID, _ := busyRPE(t, eng)
+	eng.InjectFaults([]faults.Event{
+		{Time: 10, Kind: faults.KindNodeCrash, Node: nodeID, Seq: 1},
+		{Time: 40, Kind: faults.KindNodeRecover, Node: nodeID, Seq: 1},
+	})
+	if _, err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[TraceKind]int{}
+	for _, ev := range rec.Events() {
+		kinds[ev.Kind]++
+	}
+	for _, want := range []TraceKind{TraceNodeDown, TraceNodeUp, TraceLeaseExpired, TraceFail, TraceRetry, TraceDispatch, TraceComplete} {
+		if kinds[want] == 0 {
+			t.Errorf("trace kind %q never recorded (got %v)", want, kinds)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package grid
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files from the current model")
+
+// goldenFaultScenario is a small, fully pinned faulty run: 8 tasks on
+// the default 5-node grid under a moderate fault spec. Every model
+// change that shifts any event time, placement, fault strike, or retry
+// shows up as a diff against the checked-in trace.
+func goldenFaultScenario(rec *Recorder) ScenarioSpec {
+	f := faults.Default()
+	f.CrashRate = 0.05
+	f.MeanOutageSeconds = 12
+	f.SEURate = 0.05
+	f.LinkFaultRate = 0.03
+	f.MeanLinkFaultSeconds = 15
+	f.LeaseTTLSeconds = 2
+	f.Retry = faults.RetryPolicy{MaxRetries: 6, BackoffSeconds: 0.5, BackoffCapSeconds: 8}
+	cfg := DefaultConfig()
+	cfg.Tracer = rec
+	return ScenarioSpec{
+		Seed:     42,
+		Config:   cfg,
+		Grid:     DefaultGridSpec(),
+		Workload: DefaultWorkload(8, 0.5),
+		Faults:   &f,
+	}
+}
+
+// TestGoldenFaultTrace replays the pinned scenario and compares the full
+// trace stream byte-for-byte against testdata/fault_trace.csv. Run with
+// -update after an intentional model change and review the diff like any
+// other code change.
+func TestGoldenFaultTrace(t *testing.T) {
+	rec := &Recorder{}
+	m, err := RunScenario(context.Background(), goldenFaultScenario(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "fault_trace.csv")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes, %d events)", path, buf.Len(), len(rec.Events()))
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden trace (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		got, exp := buf.Bytes(), want
+		line := 1
+		for i := 0; i < len(got) && i < len(exp); i++ {
+			if got[i] != exp[i] {
+				break
+			}
+			if got[i] == '\n' {
+				line++
+			}
+		}
+		t.Errorf("trace diverges from %s at line %d (got %d bytes, want %d); run with -update if intentional",
+			path, line, len(got), len(exp))
+	}
+	// The scenario must stay interesting: a refactor that silently
+	// disables fault injection would otherwise "pass" with a boring trace.
+	if m.NodeCrashes == 0 && m.SEUFaults == 0 && m.LinkFaults == 0 {
+		t.Errorf("golden scenario injected no faults: %s", m)
+	}
+	if m.Completed == 0 {
+		t.Error("golden scenario completed nothing")
+	}
+	checkConservation(t, m, m.Submitted)
+}

@@ -12,9 +12,14 @@ import (
 // Metrics aggregates one simulation run's outcomes.
 type Metrics struct {
 	Strategy string
+	// Submitted counts the tasks that entered the scheduler queue at least
+	// once. At the end of any run — drained or cut off by the horizon —
+	// Submitted == Completed + Unfinished + TasksLost (task conservation).
+	Submitted int
 	// Completed and Unfinished partition the submitted tasks; Unfinished
 	// tasks were still queued (unschedulable under the strategy, or the
-	// horizon hit) when the run ended.
+	// horizon hit), backing off before a retry, or stranded in flight when
+	// the run ended.
 	Completed  int
 	Unfinished int
 	// Wait is queueing delay (enqueue → dispatch); Turnaround is enqueue →
@@ -34,6 +39,27 @@ type Metrics struct {
 	// Failures counts task executions aborted by injected element
 	// failures (each aborted task is re-enqueued and retried).
 	Failures int
+	// Fault-injection and recovery accounting (zero unless a fault spec
+	// is active): Retries counts fault-induced re-queues, TasksLost the
+	// tasks abandoned after exhausting their retry budget, LeaseExpiries
+	// the leases the RMS monitor declared dead, and the remaining
+	// counters the injected fault events that took effect.
+	Retries        int
+	TasksLost      int
+	LeaseExpiries  int
+	NodeCrashes    int
+	NodeRecoveries int
+	SEUFaults      int
+	LinkFaults     int
+	// MTTR observes, per recovered task, the time from its last
+	// fault-induced abort to its eventual successful completion.
+	MTTR sim.Series
+	// DownSeconds accumulates node-seconds of outage; WindowSeconds is
+	// the observation window (virtual end-of-run time) and Nodes the
+	// grid size, the denominators of Availability.
+	DownSeconds   float64
+	WindowSeconds float64
+	Nodes         int
 	// Compactions counts idle regions rewritten by fabric defragmentation
 	// and CompactionSeconds their total configuration-port time.
 	Compactions       int
@@ -102,6 +128,24 @@ func (m *Metrics) Throughput() float64 {
 	return float64(m.Completed) / float64(m.Makespan)
 }
 
+// Availability returns mean node availability over the run window in
+// [0,1]: 1 − down-node-seconds / (nodes × window). A run without nodes
+// or window (nothing happened) reports 1.
+func (m *Metrics) Availability() float64 {
+	if m.Nodes <= 0 || m.WindowSeconds <= 0 {
+		return 1
+	}
+	a := 1 - m.DownSeconds/(float64(m.Nodes)*m.WindowSeconds)
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// MeanMTTR returns the average fault-to-repair time over tasks that
+// failed at least once and eventually completed.
+func (m *Metrics) MeanMTTR() float64 { return m.MTTR.Mean() }
+
 // String renders a one-line summary.
 func (m *Metrics) String() string {
 	var b strings.Builder
@@ -109,5 +153,10 @@ func (m *Metrics) String() string {
 		m.Strategy, m.Completed, m.Unfinished, m.MeanWait(), m.P95Wait(), m.MeanTurnaround(), m.Makespan)
 	fmt.Fprintf(&b, " reconfigs=%d (%.3gs, %.1f MB) reuse=%d fallback=%d", m.Reconfigs, m.ReconfigSeconds, m.BitstreamMB, m.Reuses, m.Fallbacks)
 	fmt.Fprintf(&b, " util{gpp=%.0f%% fpga=%.0f%%}", 100*m.Utilization(capability.KindGPP), 100*m.Utilization(capability.KindFPGA))
+	if m.Failures > 0 || m.NodeCrashes > 0 || m.SEUFaults > 0 || m.LinkFaults > 0 || m.TasksLost > 0 {
+		fmt.Fprintf(&b, " faults{crash=%d seu=%d link=%d expired=%d retries=%d lost=%d mttr=%.3gs avail=%.2f%%}",
+			m.NodeCrashes, m.SEUFaults, m.LinkFaults, m.LeaseExpiries, m.Retries, m.TasksLost,
+			m.MeanMTTR(), 100*m.Availability())
+	}
 	return b.String()
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/hdl"
 	"repro/internal/sim"
 )
@@ -20,6 +21,12 @@ type SweepPoint struct {
 	Config   Config
 	Grid     GridSpec
 	Workload WorkloadSpec
+	// Faults, when non-nil, injects a deterministic fault schedule into
+	// every replica of this point; each replica derives its own schedule
+	// from its own seed (see ScenarioSpec.Faults), so workers=1 and
+	// workers=N still agree byte for byte. The spec is shared read-only
+	// across replicas.
+	Faults *faults.Spec
 }
 
 // label returns the point's display name.
@@ -94,6 +101,17 @@ func (s SweepSpec) Validate() error {
 		if err := p.Workload.Validate(); err != nil {
 			return fmt.Errorf("grid: sweep point %d (%s): %w", i, p.label(), err)
 		}
+		if p.Faults != nil {
+			// A zero fault horizon is legal here: RunScenario defaults it
+			// from the replica's workload before validating for real.
+			f := *p.Faults
+			if f.HorizonSeconds <= 0 {
+				f.HorizonSeconds = 1
+			}
+			if err := f.Validate(); err != nil {
+				return fmt.Errorf("grid: sweep point %d (%s): %w", i, p.label(), err)
+			}
+		}
 	}
 	return nil
 }
@@ -138,6 +156,12 @@ type PointSummary struct {
 	Reconfigs      sim.Summary
 	Reuses         sim.Summary
 	EnergyJoules   sim.Summary
+	// Fault/recovery headline metrics (degenerate summaries when the
+	// point injects no faults).
+	Retries      sim.Summary
+	TasksLost    sim.Summary
+	MTTR         sim.Summary
+	Availability sim.Summary
 }
 
 // SweepResult is a completed (or cancelled) sweep: every replica's result
@@ -278,6 +302,7 @@ func runReplica(ctx context.Context, spec SweepSpec, r Replica) (out ReplicaResu
 		Grid:      p.Grid,
 		Workload:  p.Workload,
 		Toolchain: spec.Toolchain,
+		Faults:    p.Faults,
 	})
 	return out
 }
@@ -306,6 +331,10 @@ func summarize(points []SweepPoint, results []ReplicaResult) []PointSummary {
 		o["reconfigs"] = append(o["reconfigs"], float64(m.Reconfigs))
 		o["reuses"] = append(o["reuses"], float64(m.Reuses))
 		o["energy"] = append(o["energy"], m.EnergyJoules())
+		o["retries"] = append(o["retries"], float64(m.Retries))
+		o["lost"] = append(o["lost"], float64(m.TasksLost))
+		o["mttr"] = append(o["mttr"], m.MeanMTTR())
+		o["avail"] = append(o["avail"], m.Availability())
 	}
 	for i := range out {
 		o := obs[i]
@@ -316,6 +345,10 @@ func summarize(points []SweepPoint, results []ReplicaResult) []PointSummary {
 		out[i].Reconfigs = sim.Summarize(o["reconfigs"])
 		out[i].Reuses = sim.Summarize(o["reuses"])
 		out[i].EnergyJoules = sim.Summarize(o["energy"])
+		out[i].Retries = sim.Summarize(o["retries"])
+		out[i].TasksLost = sim.Summarize(o["lost"])
+		out[i].MTTR = sim.Summarize(o["mttr"])
+		out[i].Availability = sim.Summarize(o["avail"])
 	}
 	return out
 }

@@ -15,12 +15,24 @@ import (
 // TraceKind classifies recorder events.
 type TraceKind string
 
-// Trace event kinds.
+// Trace event kinds. The fault kinds appear only when a fault spec is
+// active: node-down/node-up bracket an outage, seu marks a configuration
+// upset, link-degraded/link-restored bracket a link fault (partitions
+// included), lease-expired records the monitor declaring a lease dead,
+// and retry/lost record a task re-queueing or exhausting its retries.
 const (
-	TraceQueued   TraceKind = "queued"
-	TraceDispatch TraceKind = "dispatch"
-	TraceComplete TraceKind = "complete"
-	TraceFail     TraceKind = "fail"
+	TraceQueued       TraceKind = "queued"
+	TraceDispatch     TraceKind = "dispatch"
+	TraceComplete     TraceKind = "complete"
+	TraceFail         TraceKind = "fail"
+	TraceNodeDown     TraceKind = "node-down"
+	TraceNodeUp       TraceKind = "node-up"
+	TraceSEU          TraceKind = "seu"
+	TraceLinkDegraded TraceKind = "link-degraded"
+	TraceLinkRestored TraceKind = "link-restored"
+	TraceLeaseExpired TraceKind = "lease-expired"
+	TraceRetry        TraceKind = "retry"
+	TraceLost         TraceKind = "lost"
 )
 
 // TraceEvent is one recorded lifecycle event.

@@ -1,0 +1,120 @@
+package rms
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// grant is one outstanding lease's monitoring record.
+type grant struct {
+	deadline sim.Time
+	seq      int
+}
+
+// Monitor implements lease-based failure detection for the RMS: every
+// live allocation is granted a lease with a deadline, the owner renews it
+// while the node keeps answering, and a lease whose node went silent is
+// expired — releasing the fabric region and, once the node drains, its
+// registry entry (the engine performs those effects; the Monitor is the
+// bookkeeping).
+//
+// A Monitor belongs to one engine and, like the simulator it follows, is
+// driven from a single goroutine; it needs no locking.
+type Monitor struct {
+	leases map[*Lease]grant
+	seq    int
+	// Granted/Settled/Expired count lease lifecycle outcomes.
+	Granted int
+	Settled int
+	Expired int
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{leases: make(map[*Lease]grant)}
+}
+
+// Grant registers a lease with its first renewal deadline.
+func (m *Monitor) Grant(l *Lease, deadline sim.Time) error {
+	if l == nil {
+		return fmt.Errorf("rms: monitor granted a nil lease")
+	}
+	if _, ok := m.leases[l]; ok {
+		return fmt.Errorf("rms: lease already monitored")
+	}
+	m.seq++
+	m.leases[l] = grant{deadline: deadline, seq: m.seq}
+	m.Granted++
+	return nil
+}
+
+// Renew extends a monitored lease's deadline; false if the lease is not
+// (or no longer) monitored.
+func (m *Monitor) Renew(l *Lease, deadline sim.Time) bool {
+	g, ok := m.leases[l]
+	if !ok {
+		return false
+	}
+	g.deadline = deadline
+	m.leases[l] = g
+	return true
+}
+
+// Active reports whether a lease is still monitored.
+func (m *Monitor) Active(l *Lease) bool {
+	_, ok := m.leases[l]
+	return ok
+}
+
+// Deadline returns a monitored lease's current deadline.
+func (m *Monitor) Deadline(l *Lease) (sim.Time, bool) {
+	g, ok := m.leases[l]
+	return g.deadline, ok
+}
+
+// Settle removes a lease that completed normally; false if unknown.
+func (m *Monitor) Settle(l *Lease) bool {
+	if _, ok := m.leases[l]; !ok {
+		return false
+	}
+	delete(m.leases, l)
+	m.Settled++
+	return true
+}
+
+// Expire removes a lease whose node was detected dead; false if unknown.
+func (m *Monitor) Expire(l *Lease) bool {
+	if _, ok := m.leases[l]; !ok {
+		return false
+	}
+	delete(m.leases, l)
+	m.Expired++
+	return true
+}
+
+// Outstanding returns the number of monitored leases.
+func (m *Monitor) Outstanding() int { return len(m.leases) }
+
+// OverdueAt returns the monitored leases whose deadline has passed at
+// now, in grant order — a deterministic sweep for callers that poll
+// instead of scheduling per-lease renewal events.
+func (m *Monitor) OverdueAt(now sim.Time) []*Lease {
+	type entry struct {
+		l *Lease
+		g grant
+	}
+	var due []entry
+	for l, g := range m.leases {
+		if g.deadline < now {
+			due = append(due, entry{l, g})
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i].g.seq < due[j].g.seq })
+	out := make([]*Lease, len(due))
+	for i, e := range due {
+		out[i] = e.l
+	}
+	return out
+}

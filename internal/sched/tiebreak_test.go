@@ -1,0 +1,229 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/capability"
+	"repro/internal/fabric"
+	"repro/internal/node"
+	"repro/internal/rms"
+)
+
+// gppOpt builds a GPP placement option with the given completion time.
+func gppOpt(t *testing.T, total float64) Option {
+	t.Helper()
+	return Option{
+		Cand:        rms.Candidate{Node: &node.Node{ID: "N"}, Elem: &node.Element{ID: "GPP", Kind: capability.KindGPP}},
+		ExecSeconds: total,
+	}
+}
+
+// fpgaOpt builds an RPE placement option on the named device.
+func fpgaOpt(t *testing.T, device string, slices int, total float64, loaded bool) Option {
+	t.Helper()
+	f, err := fabric.NewByName(device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Option{
+		Cand: rms.Candidate{
+			Node:          &node.Node{ID: "N"},
+			Elem:          &node.Element{ID: "RPE", Kind: capability.KindFPGA, Fabric: f},
+			Slices:        slices,
+			AlreadyLoaded: loaded,
+		},
+		ExecSeconds: total,
+	}
+}
+
+// TestChooseEmptyAndNil: every strategy must leave an option-less task
+// queued, never panic or return a stray index.
+func TestChooseEmptyAndNil(t *testing.T) {
+	for _, s := range All() {
+		if got := s.Choose(nil); got != -1 {
+			t.Errorf("%s.Choose(nil) = %d, want -1", s.Name(), got)
+		}
+		if got := s.Choose([]Option{}); got != -1 {
+			t.Errorf("%s.Choose(empty) = %d, want -1", s.Name(), got)
+		}
+	}
+}
+
+// TestChooseIsDeterministic: repeated calls on the same slice must agree —
+// strategies may hold no hidden state and may not consult randomness.
+func TestChooseIsDeterministic(t *testing.T) {
+	opts := []Option{
+		fpgaOpt(t, "XC5VLX110T", 4000, 10, false),
+		gppOpt(t, 10),
+		fpgaOpt(t, "XC5VLX110T", 4000, 10, true),
+		gppOpt(t, 10),
+	}
+	for _, s := range All() {
+		first := s.Choose(opts)
+		for i := 0; i < 50; i++ {
+			if got := s.Choose(opts); got != first {
+				t.Fatalf("%s.Choose flapped: %d then %d", s.Name(), first, got)
+			}
+		}
+	}
+}
+
+// TestTieBreaks pins the documented tie rule of every strategy on
+// hand-built equal-cost option sets, so a refactor that silently changes
+// placement order fails here rather than in a golden trace.
+func TestTieBreaks(t *testing.T) {
+	cases := map[string]struct {
+		strategy Strategy
+		opts     func(t *testing.T) []Option
+		want     int
+	}{
+		"first-fit takes index 0 regardless of cost": {
+			strategy: FirstFit{},
+			opts: func(t *testing.T) []Option {
+				return []Option{gppOpt(t, 99), gppOpt(t, 1)}
+			},
+			want: 0,
+		},
+		"best-fit-area: equal waste breaks to the earlier option": {
+			strategy: BestFitArea{},
+			opts: func(t *testing.T) []Option {
+				return []Option{
+					fpgaOpt(t, "XC5VLX110T", 4000, 5, false),
+					fpgaOpt(t, "XC5VLX110T", 4000, 1, false),
+				}
+			},
+			want: 0,
+		},
+		"best-fit-area: tighter device beats earlier looser one": {
+			strategy: BestFitArea{},
+			opts: func(t *testing.T) []Option {
+				return []Option{
+					fpgaOpt(t, "XC5VLX155T", 4000, 1, false), // 24320 slices: waste 20320
+					fpgaOpt(t, "XC5VLX110T", 4000, 9, false), // 17280 slices: waste 13280
+				}
+			},
+			want: 1,
+		},
+		"best-fit-area: GPP fallback only when no fabric fits": {
+			strategy: BestFitArea{},
+			opts: func(t *testing.T) []Option {
+				over := fpgaOpt(t, "XC5VLX30", 9000, 1, false) // 4800-slice device: infeasible
+				return []Option{gppOpt(t, 50), over}
+			},
+			want: 0,
+		},
+		"best-fit-area: any feasible fabric beats a GPP": {
+			strategy: BestFitArea{},
+			opts: func(t *testing.T) []Option {
+				return []Option{gppOpt(t, 1), fpgaOpt(t, "XC5VLX110T", 4000, 50, false)}
+			},
+			want: 1,
+		},
+		"reconfig-aware: equal total breaks to the earlier option": {
+			strategy: ReconfigAware{},
+			opts: func(t *testing.T) []Option {
+				return []Option{gppOpt(t, 10), gppOpt(t, 10), gppOpt(t, 10)}
+			},
+			want: 0,
+		},
+		"reconfig-aware: equal total prefers resident configuration": {
+			strategy: ReconfigAware{},
+			opts: func(t *testing.T) []Option {
+				return []Option{
+					fpgaOpt(t, "XC5VLX110T", 4000, 10, false),
+					fpgaOpt(t, "XC5VLX110T", 4000, 10, true),
+					fpgaOpt(t, "XC5VLX110T", 4000, 10, true),
+				}
+			},
+			want: 1,
+		},
+		"reconfig-aware: strictly faster beats resident": {
+			strategy: ReconfigAware{},
+			opts: func(t *testing.T) []Option {
+				return []Option{
+					fpgaOpt(t, "XC5VLX110T", 4000, 10, true),
+					fpgaOpt(t, "XC5VLX110T", 4000, 9, false),
+				}
+			},
+			want: 1,
+		},
+		"reuse-first: resident wins even when slower": {
+			strategy: ReuseFirst{},
+			opts: func(t *testing.T) []Option {
+				return []Option{
+					fpgaOpt(t, "XC5VLX110T", 4000, 1, false),
+					fpgaOpt(t, "XC5VLX110T", 4000, 50, true),
+				}
+			},
+			want: 1,
+		},
+		"reuse-first: equal resident options break to the earlier one": {
+			strategy: ReuseFirst{},
+			opts: func(t *testing.T) []Option {
+				return []Option{
+					fpgaOpt(t, "XC5VLX110T", 4000, 10, true),
+					fpgaOpt(t, "XC5VLX110T", 4000, 10, true),
+				}
+			},
+			want: 0,
+		},
+		"reuse-first: no resident option falls back to reconfig-aware": {
+			strategy: ReuseFirst{},
+			opts: func(t *testing.T) []Option {
+				return []Option{gppOpt(t, 10), gppOpt(t, 5)}
+			},
+			want: 1,
+		},
+		"gpp-only: skips faster non-GPP options": {
+			strategy: GPPOnly{},
+			opts: func(t *testing.T) []Option {
+				return []Option{fpgaOpt(t, "XC5VLX110T", 4000, 1, true), gppOpt(t, 50)}
+			},
+			want: 1,
+		},
+		"gpp-only: equal GPPs break to the earlier one": {
+			strategy: GPPOnly{},
+			opts: func(t *testing.T) []Option {
+				return []Option{gppOpt(t, 10), gppOpt(t, 10)}
+			},
+			want: 0,
+		},
+		"gpp-only: starves without a GPP option": {
+			strategy: GPPOnly{},
+			opts: func(t *testing.T) []Option {
+				return []Option{fpgaOpt(t, "XC5VLX110T", 4000, 1, true)}
+			},
+			want: -1,
+		},
+	}
+	for name, tc := range cases {
+		tc := tc
+		t.Run(name, func(t *testing.T) {
+			if got := tc.strategy.Choose(tc.opts(t)); got != tc.want {
+				t.Errorf("%s.Choose = %d, want %d", tc.strategy.Name(), got, tc.want)
+			}
+		})
+	}
+}
+
+// TestAllNamesUniqueAndResolvable guards the strategy registry: All(),
+// Names(), and ByName() must agree and collide on nothing.
+func TestAllNamesUniqueAndResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range All() {
+		name := s.Name()
+		if seen[name] {
+			t.Errorf("duplicate strategy name %q", name)
+		}
+		seen[name] = true
+		got, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		} else if got.Name() != name {
+			t.Errorf("ByName(%q) resolved to %q", name, got.Name())
+		}
+	}
+	if len(Names()) != len(All()) {
+		t.Errorf("Names() has %d entries, All() has %d", len(Names()), len(All()))
+	}
+}

@@ -1,0 +1,62 @@
+package task
+
+import (
+	"testing"
+)
+
+// FuzzParseApp throws arbitrary bytes at the application-expression
+// parser. A rejected input must return an error, never panic; an
+// accepted program must satisfy its own validity contract and render to
+// a canonical form that re-parses to the same program (round trip).
+func FuzzParseApp(f *testing.F) {
+	for _, seed := range []string{
+		"App{Seq(T2), Par(T4,T1,T7), Seq(T5,T10)}",
+		"App{Seq, (T5, T10)}", // the paper's stray-comma form
+		"{Par(a,b)}",
+		"app{seq(x)}",
+		"App{}",
+		"App{Seq()}",
+		"App{Seq(T1,T1)}",
+		"App{Seq(T1)",
+		"App{Seq(T1)} trailing",
+		"",
+		"{",
+		"App{Seq(T1),}",
+		"App{Seq(\x00)}",
+		"App{Seq(T1)Par(T2)}",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := ParseApp(src)
+		if err != nil {
+			if prog != nil {
+				t.Errorf("ParseApp(%q) returned both a program and error %v", src, err)
+			}
+			return
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("ParseApp(%q) accepted an invalid program: %v", src, err)
+		}
+		ids := prog.TaskIDs()
+		if len(ids) == 0 {
+			t.Fatalf("ParseApp(%q) accepted a program with no tasks", src)
+		}
+		planned := 0
+		for _, b := range prog.Plan() {
+			planned += len(b)
+		}
+		if planned != len(ids) {
+			t.Fatalf("ParseApp(%q): plan covers %d tasks, program has %d", src, planned, len(ids))
+		}
+		// Canonical form must round-trip exactly.
+		rendered := prog.String()
+		again, err := ParseApp(rendered)
+		if err != nil {
+			t.Fatalf("ParseApp(%q): canonical form %q does not re-parse: %v", src, rendered, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("ParseApp(%q): round trip drifted: %q -> %q", src, rendered, again.String())
+		}
+	})
+}

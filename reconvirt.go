@@ -22,6 +22,7 @@ import (
 	"repro/internal/casestudy"
 	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/grid"
 	"repro/internal/hdl"
 	"repro/internal/jss"
@@ -142,6 +143,29 @@ type (
 	// ScenarioSpec bundles one scenario run's inputs for RunScenario.
 	ScenarioSpec = grid.ScenarioSpec
 )
+
+// Fault injection and recovery (availability experiments).
+type (
+	// FaultSpec parameterizes deterministic fault injection: node
+	// crash/recovery cycles, SEU configuration upsets, and link
+	// degradation/partitions, plus the lease TTL and retry policy the
+	// recovery machinery uses. Attach one to a ScenarioSpec or SweepPoint.
+	FaultSpec = faults.Spec
+	// RetryPolicy caps and paces fault-induced task retries.
+	RetryPolicy = faults.RetryPolicy
+	// FaultEvent is one scheduled fault occurrence.
+	FaultEvent = faults.Event
+)
+
+// DefaultFaults returns a moderate fault model; adjust rates as needed
+// and set HorizonSeconds (or leave it zero to cover the workload).
+func DefaultFaults() FaultSpec { return faults.Default() }
+
+// FaultSchedule derives the deterministic fault timeline a spec produces
+// for the given nodes — useful for inspecting what a seed will inject.
+func FaultSchedule(rng *sim.RNG, spec FaultSpec, nodeIDs []string) ([]FaultEvent, error) {
+	return faults.Schedule(rng, spec, nodeIDs)
+}
 
 // Parallel experiment sweeps (the DReAMSim evaluation loop).
 type (
