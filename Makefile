@@ -1,0 +1,32 @@
+# Convenience entry points; tier-1 verify is the `verify` target.
+
+GO ?= go
+
+.PHONY: build vet lint lint-fix lint-sarif test race verify bench-lint
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/reconlint ./...
+
+lint-fix:
+	$(GO) run ./cmd/reconlint -fix ./...
+
+lint-sarif:
+	$(GO) run ./cmd/reconlint -sarif ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: build vet lint test race
+
+# Regenerate the committed linter benchmark snapshot.
+bench-lint:
+	$(GO) test -run xxx -bench BenchmarkReconlint -benchtime 1x ./cmd/reconlint | $(GO) run ./cmd/benchjson > BENCH_PR4.json

@@ -90,8 +90,13 @@ func saveTrace(path string, tasks int, rate float64, seed uint64, shareHW, share
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if err := grid.SaveWorkload(f, gen); err != nil {
+		_ = f.Close()
+		return err
+	}
+	// Close errors on a written file are real: the workload may be
+	// truncated on a full disk.
+	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %d tasks to %s\n", len(gen), path)
@@ -124,7 +129,8 @@ func run(strategyName, queueName string, tasks int, rate float64, seeds int, see
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		// Read-only close: nothing to recover, discard explicitly.
+		defer func() { _ = f.Close() }()
 		trace, err = grid.LoadWorkload(f)
 		if err != nil {
 			return err

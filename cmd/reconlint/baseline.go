@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// A baseline is a multiset of accepted findings. Keys deliberately
+// omit line and column so accepted findings survive unrelated edits
+// that shift code; a file that accumulates a *second* identical
+// finding still fails, because the multiset only absorbs as many
+// occurrences as were recorded.
+type baseline struct {
+	counts map[string]int
+}
+
+// baselineKey is the identity of a finding for baseline matching:
+// analyzer, root-relative path, message — no positions.
+func baselineKey(absDir string, d lint.Diagnostic) string {
+	return d.Analyzer + "\t" + relPath(absDir, d.Position.Filename) + "\t" + d.Message
+}
+
+// loadBaseline reads a baseline file; a missing file is an empty
+// baseline, not an error.
+func loadBaseline(path string) (*baseline, error) {
+	b := &baseline{counts: make(map[string]int)}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return b, nil
+		}
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	// Read-only close: nothing to recover, discard explicitly.
+	defer func() { _ = f.Close() }()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r\n")
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if strings.Count(text, "\t") != 2 {
+			return nil, fmt.Errorf("baseline: %s:%d: want 3 tab-separated fields (analyzer, path, message)", path, line)
+		}
+		b.counts[text]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	return b, nil
+}
+
+// filter removes baselined findings from diags, consuming one baseline
+// occurrence per match, and reports how many were suppressed.
+func (b *baseline) filter(absDir string, diags []lint.Diagnostic) ([]lint.Diagnostic, int) {
+	if len(b.counts) == 0 {
+		return diags, 0
+	}
+	remaining := make(map[string]int, len(b.counts))
+	for k, v := range b.counts {
+		remaining[k] = v
+	}
+	var kept []lint.Diagnostic
+	suppressed := 0
+	for _, d := range diags {
+		key := baselineKey(absDir, d)
+		if remaining[key] > 0 {
+			remaining[key]--
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}
+
+// writeBaselineFile records the current findings as the new baseline,
+// sorted for stable diffs.
+func writeBaselineFile(path, absDir string, diags []lint.Diagnostic) error {
+	lines := make([]string, 0, len(diags))
+	for _, d := range diags {
+		lines = append(lines, baselineKey(absDir, d))
+	}
+	sort.Strings(lines)
+	var sb strings.Builder
+	sb.WriteString("# reconlint baseline: accepted findings, one per line as\n")
+	sb.WriteString("# analyzer<TAB>path<TAB>message. Regenerate with reconlint -write-baseline.\n")
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

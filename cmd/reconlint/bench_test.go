@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// BenchmarkReconlint times the full pipeline over this repository:
+// go list, parse, type-check (stdlib via the source importer), the
+// whole-program dataflow build, and every analyzer. This is the cost
+// tier-1 pays per verify run.
+func BenchmarkReconlint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		resetGlobals()
+		var stdout bytes.Buffer
+		code := run("../..", []string{"./..."}, &stdout, io.Discard)
+		if code != 0 {
+			b.Fatalf("reconlint over the repo exited %d:\n%s", code, stdout.String())
+		}
+	}
+	resetGlobals()
+}

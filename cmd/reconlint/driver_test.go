@@ -1,0 +1,347 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/dataflow"
+	"repro/internal/lint/deprecatedshim"
+)
+
+// resetGlobals clears the cross-run registries the driver populates.
+func resetGlobals() {
+	deprecatedshim.Reset()
+	dataflow.Reset()
+}
+
+// simFixture is a minimal seed-respecting RNG package the seedflow
+// analyzer recognizes by package and type name.
+const simFixture = `package sim
+
+type RNG struct{ state uint64 }
+
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return r.state
+}
+
+func (r *RNG) SplitSeed(i uint64) uint64 {
+	return r.state ^ (i * 0xbf58476d1ce4e5b9)
+}
+`
+
+// TestSeedflowPlantedViaDriver checks the whole pipeline — loader,
+// Prepare, whole-program graph, scoping — catches a planted constant
+// seed in engine code.
+func TestSeedflowPlantedViaDriver(t *testing.T) {
+	resetGlobals()
+	defer resetGlobals()
+	dir := writeModule(t, map[string]string{
+		"go.mod":              goMod,
+		"internal/sim/sim.go": simFixture,
+		"internal/grid/engine.go": `package grid
+
+import (
+	"math/rand"
+
+	"lintvictim/internal/sim"
+)
+
+type Spec struct{ Seed uint64 }
+
+func newShuffler(seed uint64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(seed)))
+}
+
+func RunScenario(spec Spec) uint64 {
+	r := sim.NewRNG(spec.Seed) // good: spec-derived
+	bad := rand.New(rand.NewSource(42))
+	_ = newShuffler(7) // bad through a helper
+	return r.Uint64() + uint64(bad.Int63())
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run(dir, []string{"./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "constant seed reaches rand.NewSource") {
+		t.Errorf("planted rand.NewSource(42) not caught:\n%s", out)
+	}
+	if !strings.Contains(out, "newShuffler") && strings.Count(out, "seedflow") < 2 {
+		t.Errorf("interprocedural constant seed through newShuffler not caught:\n%s", out)
+	}
+	if strings.Contains(out, "engine.go:16") {
+		t.Errorf("spec-derived seed wrongly flagged:\n%s", out)
+	}
+}
+
+// fixableModule has one hotalloc Sprintf and one errflow drop, both
+// with suggested fixes.
+func fixableModule(t *testing.T) string {
+	return writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"internal/grid/hot.go": `package grid
+
+import "fmt"
+
+func helper() error { return nil }
+
+// Join is the marked hot path.
+//
+//reconlint:hotpath fixture loop
+func Join(items []string) string {
+	out := ""
+	for _, it := range items {
+		out = fmt.Sprintf("%s|%s", out, it)
+	}
+	fmt.Println(out)
+	return out
+}
+
+func RunJob() {
+	helper()
+	Join(nil)
+}
+`,
+	})
+}
+
+// TestFixRoundTrip checks -fix applies the suggested fixes in place
+// and is idempotent: the rewritten module lints clean and a second
+// -fix run applies nothing.
+func TestFixRoundTrip(t *testing.T) {
+	resetGlobals()
+	defer resetGlobals()
+	dir := fixableModule(t)
+
+	var stdout, stderr bytes.Buffer
+	code := run(dir, []string{"-fix", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("first -fix run exit = %d, want 0 (all findings fixable)\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "applied 2 suggested fix(es)") {
+		t.Errorf("expected 2 applied fixes, stderr:\n%s", stderr.String())
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "internal/grid/hot.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(src)
+	if !strings.Contains(text, `out + "|" + it`) {
+		t.Errorf("Sprintf not rewritten to concatenation:\n%s", text)
+	}
+	if !strings.Contains(text, "_ = helper()") {
+		t.Errorf("dropped error not rewritten to explicit blank assignment:\n%s", text)
+	}
+
+	// Idempotency: the rewritten module is clean, with or without -fix.
+	resetGlobals()
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(dir, []string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("post-fix lint exit = %d, want 0\nstdout:\n%s", code, stdout.String())
+	}
+	resetGlobals()
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(dir, []string{"-fix", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("second -fix run exit = %d, want 0\nstdout:\n%s", code, stdout.String())
+	}
+	if strings.Contains(stderr.String(), "applied") {
+		t.Errorf("second -fix run applied fixes again:\n%s", stderr.String())
+	}
+}
+
+// TestJSONOutput checks the -json document shape.
+func TestJSONOutput(t *testing.T) {
+	resetGlobals()
+	defer resetGlobals()
+	dir := fixableModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run(dir, []string{"-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	var doc struct {
+		Findings []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+			Fixable  bool   `json:"fixable"`
+		} `json:"findings"`
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout.String())
+	}
+	if doc.Count != len(doc.Findings) || doc.Count != 2 {
+		t.Fatalf("count = %d, findings = %d, want 2", doc.Count, len(doc.Findings))
+	}
+	for _, f := range doc.Findings {
+		if f.File != "internal/grid/hot.go" {
+			t.Errorf("finding file = %q, want root-relative slash path", f.File)
+		}
+		if f.Line == 0 || f.Analyzer == "" || f.Message == "" || !f.Fixable {
+			t.Errorf("incomplete finding record: %+v", f)
+		}
+	}
+}
+
+// TestSARIFShape validates the -sarif document against the SARIF 2.1.0
+// shape: schema/version header, tool.driver with rules, results with
+// ruleId/ruleIndex/level/message/locations.
+func TestSARIFShape(t *testing.T) {
+	resetGlobals()
+	defer resetGlobals()
+	dir := fixableModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run(dir, []string{"-sarif", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("-sarif output does not parse: %v", err)
+	}
+	if doc["$schema"] != "https://json.schemastore.org/sarif-2.1.0.json" {
+		t.Errorf("$schema = %v", doc["$schema"])
+	}
+	if doc["version"] != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", doc["version"])
+	}
+	runs, ok := doc["runs"].([]interface{})
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs = %v, want one run", doc["runs"])
+	}
+	run0 := runs[0].(map[string]interface{})
+	driver := run0["tool"].(map[string]interface{})["driver"].(map[string]interface{})
+	if driver["name"] != "reconlint" {
+		t.Errorf("driver name = %v", driver["name"])
+	}
+	rules := driver["rules"].([]interface{})
+	if len(rules) == 0 {
+		t.Fatal("driver.rules empty")
+	}
+	ruleIDs := make(map[string]int)
+	for i, r := range rules {
+		rm := r.(map[string]interface{})
+		id, _ := rm["id"].(string)
+		if id == "" {
+			t.Fatalf("rule %d has no id", i)
+		}
+		if _, ok := rm["shortDescription"].(map[string]interface{})["text"].(string); !ok {
+			t.Fatalf("rule %s has no shortDescription.text", id)
+		}
+		ruleIDs[id] = i
+	}
+	results, ok := run0["results"].([]interface{})
+	if !ok || len(results) != 2 {
+		t.Fatalf("results = %v, want 2", run0["results"])
+	}
+	for _, r := range results {
+		res := r.(map[string]interface{})
+		id := res["ruleId"].(string)
+		if idx, ok := ruleIDs[id]; !ok || float64(idx) != res["ruleIndex"].(float64) {
+			t.Errorf("result ruleId %q / ruleIndex %v inconsistent with rules", id, res["ruleIndex"])
+		}
+		if res["level"] != "error" {
+			t.Errorf("result level = %v", res["level"])
+		}
+		msg := res["message"].(map[string]interface{})
+		if msg["text"] == "" {
+			t.Error("result has empty message.text")
+		}
+		locs := res["locations"].([]interface{})
+		phys := locs[0].(map[string]interface{})["physicalLocation"].(map[string]interface{})
+		if phys["artifactLocation"].(map[string]interface{})["uri"] != "internal/grid/hot.go" {
+			t.Errorf("artifactLocation = %v", phys["artifactLocation"])
+		}
+		if phys["region"].(map[string]interface{})["startLine"].(float64) <= 0 {
+			t.Errorf("region = %v", phys["region"])
+		}
+	}
+}
+
+// TestBaselineLifecycle checks -write-baseline accepts the current
+// findings and the baseline then suppresses exactly those, while new
+// findings still fail the run.
+func TestBaselineLifecycle(t *testing.T) {
+	resetGlobals()
+	defer resetGlobals()
+	dir := fixableModule(t)
+
+	var stdout, stderr bytes.Buffer
+	if code := run(dir, []string{"-write-baseline", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline exit = %d\nstderr:\n%s", code, stderr.String())
+	}
+	base, err := os.ReadFile(filepath.Join(dir, "lint.baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(base), "hotalloc\tinternal/grid/hot.go\t") {
+		t.Errorf("baseline missing the hotalloc record:\n%s", base)
+	}
+
+	// Baselined findings suppress; exit goes clean.
+	resetGlobals()
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(dir, []string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0\nstdout:\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "2 finding(s) suppressed by baseline") {
+		t.Errorf("expected suppression note, stderr:\n%s", stderr.String())
+	}
+
+	// A new violation is NOT absorbed by the old baseline.
+	if err := os.WriteFile(filepath.Join(dir, "internal/grid/extra.go"), []byte(`package grid
+
+func RunExtra() {
+	helper()
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resetGlobals()
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(dir, []string{"./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("new-finding run exit = %d, want 1\nstdout:\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "extra.go") {
+		t.Errorf("new finding not reported:\n%s", stdout.String())
+	}
+	if strings.Contains(stdout.String(), "hot.go") {
+		t.Errorf("baselined findings leaked back into output:\n%s", stdout.String())
+	}
+}
+
+// TestBaselineMalformed checks a corrupt baseline is a hard error, not
+// a silent no-op that would unsuppress everything in CI.
+func TestBaselineMalformed(t *testing.T) {
+	resetGlobals()
+	defer resetGlobals()
+	dir := fixableModule(t)
+	if err := os.WriteFile(filepath.Join(dir, "lint.baseline"), []byte("not a baseline line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run(dir, []string{"./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2 for malformed baseline\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "tab-separated") {
+		t.Errorf("error should explain the format, stderr:\n%s", stderr.String())
+	}
+}

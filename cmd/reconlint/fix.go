@@ -1,0 +1,139 @@
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+
+	"repro/internal/lint"
+)
+
+// fileEdit is one byte-range replacement in a file, resolved from
+// token positions to offsets.
+type fileEdit struct {
+	start, end int
+	text       []byte
+}
+
+// applyFixes applies the first suggested fix of each diagnostic that
+// carries one, writing the files in place. Edits are grouped per file,
+// checked for overlap (a later conflicting fix is skipped and its
+// diagnostic kept), and applied back-to-front so earlier offsets stay
+// valid. It returns the number of fixes applied and the diagnostics
+// that remain unfixed.
+func applyFixes(fset *token.FileSet, diags []lint.Diagnostic) (int, []lint.Diagnostic, error) {
+	type plannedFix struct {
+		diag  int // index into diags
+		file  string
+		edits []fileEdit
+	}
+	var plans []plannedFix
+	var unfixed []lint.Diagnostic
+	for i, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			unfixed = append(unfixed, d)
+			continue
+		}
+		fix := d.SuggestedFixes[0]
+		plan := plannedFix{diag: i}
+		ok := true
+		for _, te := range fix.TextEdits {
+			tf := fset.File(te.Pos)
+			if tf == nil || fset.File(te.End) != tf {
+				ok = false
+				break
+			}
+			if plan.file == "" {
+				plan.file = tf.Name()
+			} else if plan.file != tf.Name() {
+				ok = false // cross-file fixes unsupported
+				break
+			}
+			plan.edits = append(plan.edits, fileEdit{
+				start: tf.Offset(te.Pos), end: tf.Offset(te.End), text: te.NewText,
+			})
+		}
+		if !ok || len(plan.edits) == 0 {
+			unfixed = append(unfixed, d)
+			continue
+		}
+		plans = append(plans, plan)
+	}
+
+	// Group plans per file; within a file, admit fixes greedily in
+	// offset order, skipping any whose edits overlap an admitted one.
+	byFile := make(map[string][]plannedFix)
+	for _, p := range plans {
+		byFile[p.file] = append(byFile[p.file], p)
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	applied := 0
+	for _, file := range files {
+		ps := byFile[file]
+		sort.Slice(ps, func(i, j int) bool { return ps[i].edits[0].start < ps[j].edits[0].start })
+		var admitted []fileEdit
+		lastEnd := -1
+		for _, p := range ps {
+			edits := append([]fileEdit(nil), p.edits...)
+			sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+			conflict := false
+			prev := lastEnd
+			for _, e := range edits {
+				if e.start < prev || e.end < e.start {
+					conflict = true
+					break
+				}
+				prev = e.end
+			}
+			if conflict {
+				unfixed = append(unfixed, diags[p.diag])
+				continue
+			}
+			admitted = append(admitted, edits...)
+			lastEnd = prev
+			applied++
+		}
+		if len(admitted) == 0 {
+			continue
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return 0, diags, fmt.Errorf("applying fixes: %w", err)
+		}
+		// Back-to-front so earlier offsets stay valid.
+		sort.Slice(admitted, func(i, j int) bool { return admitted[i].start > admitted[j].start })
+		for _, e := range admitted {
+			if e.end > len(src) {
+				return 0, diags, fmt.Errorf("applying fixes: edit past end of %s", file)
+			}
+			src = append(src[:e.start], append(append([]byte(nil), e.text...), src[e.end:]...)...)
+		}
+		info, err := os.Stat(file)
+		mode := os.FileMode(0o644)
+		if err == nil {
+			mode = info.Mode().Perm()
+		}
+		if err := os.WriteFile(file, src, mode); err != nil {
+			return 0, diags, fmt.Errorf("applying fixes: %w", err)
+		}
+	}
+
+	// Keep the remaining diagnostics in their original report order.
+	sort.SliceStable(unfixed, func(i, j int) bool {
+		a, b := unfixed[i].Position, unfixed[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return applied, unfixed, nil
+}

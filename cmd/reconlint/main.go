@@ -1,12 +1,23 @@
 // Command reconlint is the repository's determinism and concurrency
 // linter: a multichecker over the custom analyzers in internal/lint
-// (detrand, maporder, ctxflow, lockcheck, deprecatedshim). It is part
-// of tier-1 verify:
+// (detrand, maporder, ctxflow, lockcheck, deprecatedshim, seedflow,
+// errflow, hotalloc). It is part of tier-1 verify:
 //
 //	go run ./cmd/reconlint ./...
 //
-// Exit status: 0 clean, 1 findings, 2 usage/load failure. Suppress an
-// individual finding with a justified directive on or above the line:
+// Modes and output:
+//
+//	-fix            apply suggested fixes in place (idempotent: a second
+//	                run after applying reports zero fixable findings)
+//	-json           machine-readable findings on stdout
+//	-sarif          SARIF 2.1.0 on stdout (CI code-scanning upload)
+//	-baseline FILE  suppress findings recorded in FILE (default
+//	                lint.baseline in the target dir, if present)
+//	-write-baseline rewrite the baseline from the current findings
+//
+// Exit status: 0 clean (or every finding baselined/fixed), 1 findings,
+// 2 usage/load failure. Suppress an individual finding with a
+// justified directive on or above the line:
 //
 //	//reconlint:allow <analyzer> <reason>
 package main
@@ -16,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/lint"
 	"repro/internal/lint/loader"
@@ -30,9 +42,15 @@ func main() {
 func run(dir string, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("reconlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	fix := fs.Bool("fix", false, "apply suggested fixes to the source files")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON on stdout")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0 on stdout")
+	baselinePath := fs.String("baseline", "lint.baseline", "baseline file of accepted findings (relative to the target dir)")
+	writeBaseline := fs.Bool("write-baseline", false, "rewrite the baseline file from the current findings and exit 0")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: reconlint [packages]")
+		fmt.Fprintln(stderr, "usage: reconlint [flags] [packages]")
 		fmt.Fprintln(stderr, "Runs the repro determinism & concurrency analyzer suite.")
+		fs.PrintDefaults()
 		for _, sa := range lint.Suite() {
 			fmt.Fprintf(stderr, "  %-15s %s\n", sa.Name, sa.Doc)
 		}
@@ -40,18 +58,22 @@ func run(dir string, args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "reconlint: -json and -sarif are mutually exclusive")
+		return 2
+	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
-	pkgs, err := loader.Load(dir, patterns...)
+	roots, all, err := loader.LoadAll(dir, patterns...)
 	if err != nil {
 		fmt.Fprintln(stderr, "reconlint:", err)
 		return 2
 	}
 	broken := false
-	for _, pkg := range pkgs {
+	for _, pkg := range all {
 		for _, e := range pkg.TypeErrors {
 			broken = true
 			fmt.Fprintf(stderr, "reconlint: %s: %v\n", pkg.ImportPath, e)
@@ -62,23 +84,95 @@ func run(dir string, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	lint.RegisterDeprecated(pkgs)
+	lint.Prepare(all)
 	suite := lint.Suite()
-	findings := 0
-	for _, pkg := range pkgs {
-		diags, err := lint.RunPackage(pkg, suite)
+	var diags []lint.Diagnostic
+	for _, pkg := range roots {
+		ds, err := lint.RunPackage(pkg, suite)
 		if err != nil {
 			fmt.Fprintln(stderr, "reconlint:", err)
 			return 2
 		}
+		diags = append(diags, ds...)
+	}
+
+	if *fix && len(diags) > 0 {
+		var sharedFset = roots[0].Fset // one fileset spans every loaded package
+		applied, unfixed, err := applyFixes(sharedFset, diags)
+		if err != nil {
+			fmt.Fprintln(stderr, "reconlint:", err)
+			return 2
+		}
+		if applied > 0 {
+			fmt.Fprintf(stderr, "reconlint: applied %d suggested fix(es)\n", applied)
+		}
+		diags = unfixed
+	}
+
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "reconlint:", err)
+		return 2
+	}
+	// Relative baseline paths resolve against the target dir, so the
+	// test driver can run against fixture modules; absolute paths are
+	// taken as given.
+	resolvedBaseline := *baselinePath
+	if !filepath.IsAbs(resolvedBaseline) {
+		resolvedBaseline = filepath.Join(dir, resolvedBaseline)
+	}
+	if *writeBaseline {
+		path := resolvedBaseline
+		if err := writeBaselineFile(path, absDir, diags); err != nil {
+			fmt.Fprintln(stderr, "reconlint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "reconlint: wrote %d finding(s) to %s\n", len(diags), path)
+		return 0
+	}
+	base, err := loadBaseline(resolvedBaseline)
+	if err != nil {
+		fmt.Fprintln(stderr, "reconlint:", err)
+		return 2
+	}
+	diags, suppressed := base.filter(absDir, diags)
+	if suppressed > 0 {
+		fmt.Fprintf(stderr, "reconlint: %d finding(s) suppressed by baseline\n", suppressed)
+	}
+
+	switch {
+	case *jsonOut:
+		if err := writeJSON(stdout, absDir, diags); err != nil {
+			fmt.Fprintln(stderr, "reconlint:", err)
+			return 2
+		}
+	case *sarifOut:
+		if err := writeSARIF(stdout, absDir, diags, suite); err != nil {
+			fmt.Fprintln(stderr, "reconlint:", err)
+			return 2
+		}
+	default:
 		for _, d := range diags {
-			findings++
 			fmt.Fprintln(stdout, d.String())
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(stderr, "reconlint: %d finding(s)\n", findings)
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "reconlint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// relPath renders a finding path relative to the lint root for stable
+// baseline and CI output; absolute paths fall through unchanged when
+// they are outside the root.
+func relPath(absDir, filename string) string {
+	if rel, err := filepath.Rel(absDir, filename); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
 }

@@ -171,7 +171,7 @@ func Stamp() int64 {
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1\nstdout:\n%s", code, stdout.String())
 	}
-	if !strings.Contains(stdout.String(), "no reason") {
+	if !strings.Contains(stdout.String(), "empty reason") {
 		t.Errorf("expected a no-reason directive finding, got:\n%s", stdout.String())
 	}
 	if !hasFinding(stdout.String(), filepath.Join("internal", "sim", "bad.go")+":6:14", "detrand") {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/faults"
 	"repro/internal/hdl"
@@ -355,6 +356,8 @@ func (e *Engine) orderQueue() {
 // tryDispatch greedily places queued tasks until no further placement
 // succeeds (FCFS order with backfill: a blocked head does not stall
 // runnable tasks behind it).
+//
+//reconlint:hotpath runs once per dispatchable event across the whole simulation
 func (e *Engine) tryDispatch() {
 	for {
 		e.orderQueue()
@@ -450,7 +453,7 @@ func (e *Engine) execute(it *item, opt sched.Option, lease *rms.Lease) {
 
 	kind := lease.Estimator.Kind()
 	run := it.run
-	e.J.Notify(run.sub.ID, now, it.t.ID, fmt.Sprintf("dispatched to %s", opt.Cand.Label()))
+	e.J.Notify(run.sub.ID, now, it.t.ID, "dispatched to "+opt.Cand.Label())
 
 	exe := &execution{it: it, lease: lease}
 	elem := opt.Cand.Elem
@@ -577,7 +580,7 @@ func (e *Engine) failExecution(exe *execution, nodeID, elemID string) {
 	e.abortExecution(exe)
 	e.m.Failures++
 	e.J.Notify(exe.it.run.sub.ID, e.S.Now(), exe.it.t.ID,
-		fmt.Sprintf("failed on %s/%s, requeued", nodeID, elemID))
+		"failed on "+nodeID+"/"+elemID+", requeued")
 	e.cfg.Tracer.record(TraceEvent{
 		Time: e.S.Now(), Kind: TraceFail, TaskID: exe.it.t.ID,
 		Node: nodeID, Element: elemID,
@@ -600,7 +603,7 @@ func (e *Engine) requeueOrLose(it *item) {
 	if pol.MaxRetries > 0 && it.attempts > pol.MaxRetries {
 		e.m.TasksLost++
 		e.cfg.Tracer.record(TraceEvent{Time: e.S.Now(), Kind: TraceLost, TaskID: it.t.ID})
-		e.J.Fail(it.run.sub.ID, e.S.Now(), fmt.Sprintf("task %s lost after %d failed attempts", it.t.ID, it.attempts))
+		e.J.Fail(it.run.sub.ID, e.S.Now(), "task "+it.t.ID+" lost after "+strconv.Itoa(it.attempts)+" failed attempts")
 		return
 	}
 	e.m.Retries++

@@ -1,0 +1,122 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// indexFuncs creates a FuncNode for every function and method declared
+// in the package. Function literals are not independent nodes: calls
+// inside them are attributed to the enclosing declaration, which is the
+// right granularity for event-loop closures scheduled on the simulator.
+func (g *Graph) indexFuncs(p *PackageInfo) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.Funcs[fn] = &FuncNode{
+				Fn: fn, Decl: fd, Pkg: p.Pkg, Info: p.Info,
+				Callees: make(map[*types.Func][]token.Pos),
+				Callers: make(map[*types.Func]bool),
+			}
+		}
+	}
+}
+
+// concreteTypes collects every named non-interface type declared in the
+// analyzed packages, the CHA class hierarchy.
+func (g *Graph) concreteTypes() []types.Type {
+	var out []types.Type
+	for pkg := range g.pkgs {
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			out = append(out, named)
+		}
+	}
+	return out
+}
+
+// buildEdges resolves every call expression in every function body to
+// its callee set: static calls directly, interface method calls via CHA
+// (every concrete type in the analyzed packages that implements the
+// interface contributes its method).
+func (g *Graph) buildEdges() {
+	concrete := g.concreteTypes()
+	for _, node := range g.Funcs {
+		n := node
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, callee := range g.resolveCall(n.Info, call, concrete) {
+				if target := g.Funcs[callee]; target != nil {
+					n.Callees[callee] = append(n.Callees[callee], call.Pos())
+					target.Callers[n.Fn] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// resolveCall returns the possible callees of one call expression:
+// one static target, or the CHA set for an interface method call.
+func (g *Graph) resolveCall(info *types.Info, call *ast.CallExpr, concrete []types.Type) []*types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return []*types.Func{fn}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return nil
+		}
+		sel := info.Selections[fun]
+		if sel == nil || sel.Kind() != types.MethodVal {
+			return []*types.Func{fn} // package-qualified function
+		}
+		iface, ok := sel.Recv().Underlying().(*types.Interface)
+		if !ok {
+			return []*types.Func{fn} // concrete method
+		}
+		return chaTargets(iface, fn.Name(), concrete)
+	}
+	return nil // func-typed variable, builtin, or conversion
+}
+
+// chaTargets finds every concrete method that an interface method call
+// could dispatch to among the analyzed types.
+func chaTargets(iface *types.Interface, method string, concrete []types.Type) []*types.Func {
+	var out []*types.Func
+	for _, t := range concrete {
+		impl := types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+		if !impl {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, nil, method)
+		if fn, ok := obj.(*types.Func); ok {
+			out = append(out, fn)
+		}
+	}
+	return out
+}

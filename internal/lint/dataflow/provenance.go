@@ -1,0 +1,740 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Provenance classifies where a value ultimately came from. The order
+// is the join order (join = max): mixing a constant into a seed-derived
+// value stays seed-derived, mixing anything with a wall-clock or
+// global-rand value taints the result.
+type Provenance uint8
+
+const (
+	// Constant is a compile-time constant (a literal RNG seed — exactly
+	// what the determinism contract forbids outside ScenarioSpec.Seed).
+	Constant Provenance = iota
+	// Unknown carries no information; analyzers treat it as unprovable
+	// rather than wrong.
+	Unknown
+	// SeedDerived is traced to a *Seed struct field or a sim.RNG
+	// Split/SplitSeed result — the sanctioned provenance.
+	SeedDerived
+	// WallClock is traced to time.Now / time.Since / time.Until.
+	WallClock
+	// GlobalRand is traced to process-global math/rand state.
+	GlobalRand
+)
+
+func (p Provenance) String() string {
+	switch p {
+	case Constant:
+		return "constant"
+	case SeedDerived:
+		return "seed-derived"
+	case WallClock:
+		return "wall-clock-derived"
+	case GlobalRand:
+		return "global-rand-derived"
+	}
+	return "unknown"
+}
+
+// Value is one lattice element: a provenance joined with the set of
+// enclosing-function parameters (receiver first, as bit 0) that flow
+// into the value. The parameter mask is what makes summaries
+// interprocedural: a caller substitutes its own argument provenance for
+// each set bit.
+type Value struct {
+	Prov   Provenance
+	Params uint64
+}
+
+func join(a, b Value) Value {
+	p := a.Prov
+	if b.Prov > p {
+		p = b.Prov
+	}
+	return Value{Prov: p, Params: a.Params | b.Params}
+}
+
+// SeedSink is one RNG-construction seed argument reached from a
+// function: directly (Chain has one hop, the constructor) or through
+// callees (Chain lists the hops outermost-first).
+type SeedSink struct {
+	// Pos is the seed argument expression at this function's own call
+	// site — diagnostics point at the code that supplied the value.
+	Pos   token.Pos
+	Chain []string
+	Arg   Value
+}
+
+// maxChain bounds sink chains so mutual recursion cannot grow them
+// forever; deeper paths are truncated, not dropped.
+const maxChain = 6
+
+// Summary is one function's provenance summary after the fixpoint.
+type Summary struct {
+	// Results holds the provenance of each declared result, with Params
+	// referring to this function's own parameters.
+	Results []Value
+	// Sinks are the RNG seed arguments evaluated inside this function
+	// (transitively through summarized callees).
+	Sinks []SeedSink
+	// SeedParams maps a parameter index to a representative sink it
+	// reaches, the hook callers use to propagate sinks upward.
+	SeedParams map[int]SeedSink
+}
+
+// solve runs the interprocedural fixpoint: each round recomputes every
+// function's summary against the previous round's summaries and the
+// global field/channel provenance, until nothing changes.
+func (g *Graph) solve() {
+	funcs := g.SortedFuncs()
+	const maxRounds = 10
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, n := range funcs {
+			st := &funcState{g: g, n: n, env: make(map[types.Object]Value), params: paramIndex(n.Fn)}
+			sum := st.summarize()
+			if st.globalChanged || !reflect.DeepEqual(g.summaries[n.Fn], sum) {
+				changed = true
+			}
+			g.summaries[n.Fn] = sum
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// paramIndex maps each parameter object (receiver first) to its bit.
+func paramIndex(fn *types.Func) map[types.Object]int {
+	idx := make(map[types.Object]int)
+	sig := fn.Type().(*types.Signature)
+	i := 0
+	if recv := sig.Recv(); recv != nil {
+		idx[recv] = i
+		i++
+	}
+	for j := 0; j < sig.Params().Len() && i < 64; j++ {
+		idx[sig.Params().At(j)] = i
+		i++
+	}
+	return idx
+}
+
+// funcState is the per-function analysis state for one summarize call.
+type funcState struct {
+	g             *Graph
+	n             *FuncNode
+	params        map[types.Object]int
+	env           map[types.Object]Value
+	localChanged  bool
+	globalChanged bool
+}
+
+func (s *funcState) summarize() *Summary {
+	// Local fixpoint: later statements can feed earlier ones through
+	// loops, so re-walk until the environment stabilizes.
+	for i := 0; i < 8; i++ {
+		s.localChanged = false
+		ast.Inspect(s.n.Decl.Body, func(x ast.Node) bool {
+			s.processNode(x)
+			return true
+		})
+		if !s.localChanged {
+			break
+		}
+	}
+	sum := &Summary{
+		Results:    s.collectReturns(),
+		SeedParams: make(map[int]SeedSink),
+	}
+	sum.Sinks = s.collectSinks()
+	for _, sink := range sum.Sinks {
+		for i := 0; i < 64; i++ {
+			if sink.Arg.Params&(1<<i) == 0 {
+				continue
+			}
+			if _, ok := sum.SeedParams[i]; !ok {
+				sum.SeedParams[i] = sink
+			}
+		}
+	}
+	return sum
+}
+
+// envGet reads a local's value; absent means no information.
+func (s *funcState) envGet(obj types.Object) Value {
+	if v, ok := s.env[obj]; ok {
+		return v
+	}
+	return Value{Prov: Unknown}
+}
+
+// envJoin joins v into a local's value, tracking change.
+func (s *funcState) envJoin(obj types.Object, v Value) {
+	old, ok := s.env[obj]
+	if !ok {
+		// First sight: record v as-is so a lone constant write reads back
+		// as Constant, not Unknown.
+		s.env[obj] = v
+		if v != (Value{Prov: Unknown}) {
+			s.localChanged = true
+		}
+		return
+	}
+	merged := join(old, v)
+	if merged != old {
+		s.env[obj] = merged
+		s.localChanged = true
+	}
+}
+
+// joinGlobal joins p into a global provenance map (struct fields,
+// channel element types). Absence is bottom: the first write is taken
+// verbatim.
+func (s *funcState) joinGlobal(m map[string]Provenance, key string, p Provenance) {
+	old, ok := m[key]
+	if !ok {
+		m[key] = p
+		s.globalChanged = true
+		return
+	}
+	if p > old {
+		m[key] = p
+		s.globalChanged = true
+	}
+}
+
+func globalGet(m map[string]Provenance, key string) Provenance {
+	if p, ok := m[key]; ok {
+		return p
+	}
+	return Unknown
+}
+
+// processNode folds one AST node into the environment and the global
+// field/channel provenance.
+func (s *funcState) processNode(x ast.Node) {
+	switch st := x.(type) {
+	case *ast.AssignStmt:
+		if len(st.Lhs) > 1 && len(st.Rhs) == 1 {
+			vals := s.multiValues(st.Rhs[0], len(st.Lhs))
+			for i, lhs := range st.Lhs {
+				s.assign(lhs, vals[i])
+			}
+		} else if len(st.Lhs) == len(st.Rhs) {
+			for i := range st.Lhs {
+				s.assign(st.Lhs[i], s.valueOf(st.Rhs[i]))
+			}
+		}
+	case *ast.ValueSpec:
+		if len(st.Names) > 1 && len(st.Values) == 1 {
+			vals := s.multiValues(st.Values[0], len(st.Names))
+			for i, name := range st.Names {
+				s.assignIdent(name, vals[i])
+			}
+		} else if len(st.Names) == len(st.Values) {
+			for i, name := range st.Names {
+				s.assignIdent(name, s.valueOf(st.Values[i]))
+			}
+		}
+	case *ast.RangeStmt:
+		v := s.valueOf(st.X)
+		v.Params = 0 // container identity, not element flow, for params
+		if st.Key != nil {
+			s.assign(st.Key, Value{Prov: Unknown})
+		}
+		if st.Value != nil {
+			s.assign(st.Value, v)
+		}
+	case *ast.SendStmt:
+		if key := s.chanKey(st.Chan); key != "" {
+			s.joinGlobal(s.g.chanProv, key, s.valueOf(st.Value).Prov)
+		}
+	case *ast.CompositeLit:
+		s.recordCompositeFields(st)
+	}
+}
+
+// assign routes one assignment target.
+func (s *funcState) assign(lhs ast.Expr, v Value) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		s.assignIdent(lhs, v)
+	case *ast.SelectorExpr:
+		if sel, ok := s.n.Info.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+			s.joinGlobal(s.g.fieldProv, fieldKeyFromSelection(sel), v.Prov)
+		}
+	case *ast.IndexExpr:
+		// Coarse: storing into a container taints the container local.
+		if id, ok := ast.Unparen(lhs.X).(*ast.Ident); ok {
+			s.assignIdent(id, v)
+		}
+	}
+}
+
+func (s *funcState) assignIdent(id *ast.Ident, v Value) {
+	if id.Name == "_" {
+		return
+	}
+	obj := s.n.Info.Defs[id]
+	if obj == nil {
+		obj = s.n.Info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if _, isParam := s.params[obj]; isParam {
+		return // reassigned params keep their call-site provenance
+	}
+	s.envJoin(obj, v)
+}
+
+// recordCompositeFields joins each struct-literal field value into the
+// global field provenance.
+func (s *funcState) recordCompositeFields(lit *ast.CompositeLit) {
+	tv, ok := s.n.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	t := deref(tv.Type)
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		var name string
+		var valExpr ast.Expr
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			name, valExpr = key.Name, kv.Value
+		} else if i < st.NumFields() {
+			name, valExpr = st.Field(i).Name(), elt
+		} else {
+			continue
+		}
+		s.joinGlobal(s.g.fieldProv, fieldKey(t, name), s.valueOf(valExpr).Prov)
+	}
+}
+
+// valueOf computes the lattice value of an expression.
+func (s *funcState) valueOf(e ast.Expr) Value {
+	if e == nil {
+		return Value{Prov: Unknown}
+	}
+	if tv, ok := s.n.Info.Types[e]; ok && tv.Value != nil {
+		return Value{Prov: Constant}
+	}
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return Value{Prov: Constant}
+	case *ast.Ident:
+		obj := s.n.Info.Uses[e]
+		if obj == nil {
+			obj = s.n.Info.Defs[e]
+		}
+		if obj == nil {
+			return Value{Prov: Unknown}
+		}
+		if i, ok := s.params[obj]; ok {
+			return Value{Prov: Unknown, Params: 1 << i}
+		}
+		return s.envGet(obj)
+	case *ast.SelectorExpr:
+		if sel, ok := s.n.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			name := sel.Obj().Name()
+			// *Seed fields are the sanctioned provenance roots
+			// (ScenarioSpec.Seed, SweepSpec.BaseSeed, …).
+			if name == "Seed" || strings.HasSuffix(name, "Seed") {
+				return Value{Prov: SeedDerived}
+			}
+			return Value{Prov: globalGet(s.g.fieldProv, fieldKeyFromSelection(sel))}
+		}
+		return Value{Prov: Unknown}
+	case *ast.CallExpr:
+		return s.callValue(e)
+	case *ast.BinaryExpr:
+		return join(s.valueOf(e.X), s.valueOf(e.Y))
+	case *ast.ParenExpr:
+		return s.valueOf(e.X)
+	case *ast.StarExpr:
+		return s.valueOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			if key := s.chanKey(e.X); key != "" {
+				return Value{Prov: globalGet(s.g.chanProv, key)}
+			}
+			return Value{Prov: Unknown}
+		}
+		return s.valueOf(e.X)
+	case *ast.IndexExpr:
+		return s.valueOf(e.X)
+	case *ast.TypeAssertExpr:
+		return s.valueOf(e.X)
+	case *ast.CompositeLit:
+		v := Value{Prov: Unknown}
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = join(v, s.valueOf(kv.Value))
+			} else {
+				v = join(v, s.valueOf(elt))
+			}
+		}
+		return v
+	}
+	return Value{Prov: Unknown}
+}
+
+// wallClockFn mirrors the detrand wall-clock set.
+var wallClockFn = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededRandCtor are math/rand(/v2) constructors whose result's
+// determinism is decided by their arguments.
+var seededRandCtor = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// callValue computes the provenance of a call's (first) result.
+func (s *funcState) callValue(call *ast.CallExpr) Value {
+	if tv, ok := s.n.Info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: provenance passes through.
+		if len(call.Args) == 1 {
+			return s.valueOf(call.Args[0])
+		}
+		return Value{Prov: Unknown}
+	}
+	fn := staticCallee(s.n.Info, call)
+	if fn == nil {
+		return Value{Prov: Unknown}
+	}
+	sig := fn.Type().(*types.Signature)
+	if pkg := fn.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "math/rand", "math/rand/v2":
+			if sig.Recv() != nil {
+				// Draws from a local *rand.Rand are as good as its seed.
+				return s.receiverValue(call)
+			}
+			if seededRandCtor[fn.Name()] {
+				v := Value{Prov: Unknown}
+				for _, a := range call.Args {
+					v = join(v, s.valueOf(a))
+				}
+				return v
+			}
+			return Value{Prov: GlobalRand}
+		case "time":
+			if sig.Recv() != nil {
+				return s.receiverValue(call) // time.Now().UnixNano() etc.
+			}
+			if wallClockFn[fn.Name()] {
+				return Value{Prov: WallClock}
+			}
+			return Value{Prov: Unknown}
+		}
+	}
+	if isSimRNGMethod(fn) {
+		if fn.Name() == "Split" || fn.Name() == "SplitSeed" {
+			// The sanctioned derivation primitives: their results count as
+			// seed-derived by contract.
+			return Value{Prov: SeedDerived}
+		}
+		return s.receiverValue(call)
+	}
+	if sum := s.g.summaries[fn]; sum != nil && len(sum.Results) > 0 {
+		return s.applyFlow(sum.Results[0], call, fn)
+	}
+	return Value{Prov: Unknown}
+}
+
+// applyFlow substitutes this call site's argument values for the
+// callee-parameter bits in a summary value.
+func (s *funcState) applyFlow(res Value, call *ast.CallExpr, fn *types.Func) Value {
+	out := Value{Prov: res.Prov}
+	for i := 0; i < 64; i++ {
+		if res.Params&(1<<uint(i)) == 0 {
+			continue
+		}
+		out = join(out, s.valueOf(argExpr(call, fn, i)))
+	}
+	return out
+}
+
+// receiverValue returns the provenance of a method call's receiver.
+func (s *funcState) receiverValue(call *ast.CallExpr) Value {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return s.valueOf(sel.X)
+	}
+	return Value{Prov: Unknown}
+}
+
+// multiValues computes the values of a multi-assignment right side.
+func (s *funcState) multiValues(rhs ast.Expr, n int) []Value {
+	out := make([]Value, n)
+	for i := range out {
+		out[i] = Value{Prov: Unknown}
+	}
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		if fn := staticCallee(s.n.Info, e); fn != nil {
+			if sum := s.g.summaries[fn]; sum != nil {
+				for i := 0; i < n && i < len(sum.Results); i++ {
+					out[i] = s.applyFlow(sum.Results[i], e, fn)
+				}
+			}
+		}
+	case *ast.TypeAssertExpr:
+		out[0] = s.valueOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			out[0] = s.valueOf(rhs)
+		}
+	case *ast.IndexExpr:
+		out[0] = s.valueOf(e.X)
+	}
+	return out
+}
+
+// collectReturns joins the depth-0 return statements per result index.
+func (s *funcState) collectReturns() []Value {
+	sig := s.n.Fn.Type().(*types.Signature)
+	nres := sig.Results().Len()
+	if nres == 0 {
+		return nil
+	}
+	out := make([]Value, nres)
+	for i := range out {
+		out[i] = Value{Prov: Unknown}
+	}
+	// The first return is taken verbatim: Constant is the lattice bottom
+	// (rank 0), so seeding the accumulator with Unknown and joining would
+	// wrongly swallow an all-constant result.
+	first := true
+	s.walkSameFunc(s.n.Decl.Body, func(x ast.Node) {
+		ret, ok := x.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return
+		}
+		vals := make([]Value, nres)
+		for i := range vals {
+			vals[i] = Value{Prov: Unknown}
+		}
+		if len(ret.Results) == 1 && nres > 1 {
+			copy(vals, s.multiValues(ret.Results[0], nres))
+		} else {
+			for i := 0; i < len(ret.Results) && i < nres; i++ {
+				vals[i] = s.valueOf(ret.Results[i])
+			}
+		}
+		if first {
+			copy(out, vals)
+			first = false
+			return
+		}
+		for i := range out {
+			out[i] = join(out[i], vals[i])
+		}
+	})
+	return out
+}
+
+// walkSameFunc visits nodes without descending into nested function
+// literals (used where FuncLit returns must not count as the outer
+// function's).
+func (s *funcState) walkSameFunc(body ast.Node, visit func(ast.Node)) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if x != nil {
+			visit(x)
+		}
+		return true
+	})
+}
+
+// collectSinks gathers every RNG seed argument evaluated in the body,
+// including closures (event-loop handlers run on behalf of the function
+// that scheduled them) and sinks propagated from summarized callees.
+func (s *funcState) collectSinks() []SeedSink {
+	var sinks []SeedSink
+	seen := make(map[string]bool)
+	add := func(sink SeedSink) {
+		if len(sink.Chain) > maxChain {
+			sink.Chain = sink.Chain[:maxChain]
+		}
+		key := s.g.Fset.Position(sink.Pos).String() + "|" + strings.Join(sink.Chain, "<")
+		if !seen[key] {
+			seen[key] = true
+			sinks = append(sinks, sink)
+		}
+	}
+	ast.Inspect(s.n.Decl.Body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := staticCallee(s.n.Info, call)
+		if fn == nil {
+			return true
+		}
+		if idxs := primitiveSeedParams(fn); len(idxs) > 0 {
+			for _, i := range idxs {
+				if arg := argExpr(call, fn, i); arg != nil {
+					add(SeedSink{Pos: arg.Pos(), Chain: []string{displayName(fn)}, Arg: s.valueOf(arg)})
+				}
+			}
+			return true
+		}
+		if sum := s.g.summaries[fn]; sum != nil && len(sum.SeedParams) > 0 {
+			idxs := make([]int, 0, len(sum.SeedParams))
+			for i := range sum.SeedParams {
+				idxs = append(idxs, i)
+			}
+			sort.Ints(idxs)
+			for _, i := range idxs {
+				arg := argExpr(call, fn, i)
+				if arg == nil {
+					continue
+				}
+				inner := sum.SeedParams[i]
+				chain := append([]string{displayName(fn)}, inner.Chain...)
+				add(SeedSink{Pos: arg.Pos(), Chain: chain, Arg: s.valueOf(arg)})
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// primitiveSeedParams returns the parameter indices (receiver counted
+// first) that are RNG seeds for the known construction primitives:
+// math/rand(/v2) NewSource/NewPCG/Seed and sim.NewRNG.
+func primitiveSeedParams(fn *types.Func) []int {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	hasRecv := fn.Type().(*types.Signature).Recv() != nil
+	switch pkg.Path() {
+	case "math/rand", "math/rand/v2":
+		switch {
+		case fn.Name() == "NewSource" && !hasRecv:
+			return []int{0}
+		case fn.Name() == "NewPCG" && !hasRecv:
+			return []int{0, 1}
+		case fn.Name() == "Seed" && !hasRecv:
+			return []int{0}
+		case fn.Name() == "Seed" && hasRecv:
+			return []int{1}
+		}
+		return nil
+	}
+	// sim.NewRNG by package name, so fixture modules qualify too.
+	if pkg.Name() == "sim" && fn.Name() == "NewRNG" && !hasRecv {
+		return []int{0}
+	}
+	return nil
+}
+
+// isSimRNGMethod reports whether fn is a method on the sim package's
+// RNG type (matched by name so fixtures qualify).
+func isSimRNGMethod(fn *types.Func) bool {
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil || fn.Pkg() == nil || fn.Pkg().Name() != "sim" {
+		return false
+	}
+	named, ok := deref(recv.Type()).(*types.Named)
+	return ok && named.Obj().Name() == "RNG"
+}
+
+// staticCallee resolves a call's single static target, nil for
+// func-typed variables, builtins, and conversions.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// argExpr returns the expression bound to callee parameter index i at a
+// call site, receiver included as index 0 for methods.
+func argExpr(call *ast.CallExpr, fn *types.Func, i int) ast.Expr {
+	if fn.Type().(*types.Signature).Recv() != nil {
+		if i == 0 {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				return sel.X
+			}
+			return nil
+		}
+		i--
+	}
+	if i < len(call.Args) {
+		return call.Args[i]
+	}
+	return nil
+}
+
+// displayName renders a function for sink chains: pkg.Func or
+// pkg.Type.Method.
+func displayName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named, ok := deref(sig.Recv().Type()).(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// fieldKeyFromSelection keys a field by its owner type and name.
+func fieldKeyFromSelection(sel *types.Selection) string {
+	return fieldKey(deref(sel.Recv()), sel.Obj().Name())
+}
+
+func fieldKey(t types.Type, field string) string {
+	return types.TypeString(deref(t), nil) + "." + field
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// chanKey keys a channel expression by its element type.
+func (s *funcState) chanKey(e ast.Expr) string {
+	tv, ok := s.n.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return ""
+	}
+	return types.TypeString(ch.Elem(), nil)
+}

@@ -1,25 +1,38 @@
 // Package directive parses //reconlint:allow suppression comments and
-// filters analyzer diagnostics through them.
+// //reconlint:hotpath region markers, and filters analyzer diagnostics
+// through them.
 //
 // Grammar, one directive per comment line:
 //
 //	//reconlint:allow <analyzer>[,<analyzer>...] <reason>
+//	//reconlint:hotpath
 //
-// The analyzer list may be "all". The reason is mandatory: a
-// suppression without a recorded justification is itself reported as a
-// finding, so the determinism contract stays auditable. A directive
-// suppresses matching diagnostics on its own line and on the line
-// directly below it (i.e. it may trail the offending statement or sit
-// on the line above it).
+// The analyzer list may be "all". The reason is mandatory and must
+// contain at least one word character: a suppression without a recorded
+// justification is itself reported as a finding, so the determinism
+// contract stays auditable. A directive suppresses matching diagnostics
+// on its own line, on the line directly below it, and — when the line
+// below starts a statement or declaration that spans several lines —
+// on every line of that statement, so an allow above a wrapped call
+// covers the whole call.
+//
+// //reconlint:hotpath marks the function whose doc comment carries it
+// as a hot path: the hotalloc analyzer polices it (and its same-package
+// callees) for per-event allocations. A hotpath marker that is not
+// attached to a function declaration is reported as a problem.
 package directive
 
 import (
 	"go/ast"
 	"go/token"
 	"strings"
+	"unicode"
 )
 
-const prefix = "//reconlint:allow"
+const (
+	prefix        = "//reconlint:allow"
+	hotpathPrefix = "//reconlint:hotpath"
+)
 
 // Allow is one parsed directive.
 type Allow struct {
@@ -34,21 +47,39 @@ type Problem struct {
 	Message string
 }
 
+// ownDirective reports whether comment text is our directive with the
+// given prefix (and not e.g. //reconlint:allowfoo), returning the rest.
+func ownDirective(text, prefix string) (string, bool) {
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return rest, true
+}
+
+// hasWord reports whether s contains at least one letter or digit — the
+// minimum for a reason to say anything.
+func hasWord(s string) bool {
+	return strings.IndexFunc(s, func(r rune) bool {
+		return unicode.IsLetter(r) || unicode.IsDigit(r)
+	}) >= 0
+}
+
 // Parse extracts every //reconlint:allow directive from the files,
 // returning well-formed directives and the problems found in malformed
-// ones.
+// ones. A malformed directive never suppresses anything.
 func Parse(files []*ast.File) ([]Allow, []Problem) {
 	var allows []Allow
 	var probs []Problem
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, prefix) {
+				rest, ok := ownDirective(c.Text, prefix)
+				if !ok {
 					continue
-				}
-				rest := strings.TrimPrefix(c.Text, prefix)
-				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-					continue // e.g. //reconlint:allowfoo — not ours
 				}
 				fields := strings.Fields(rest)
 				if len(fields) == 0 {
@@ -56,16 +87,17 @@ func Parse(files []*ast.File) ([]Allow, []Problem) {
 						Message: "reconlint:allow directive names no analyzer"})
 					continue
 				}
-				if len(fields) < 2 {
+				reason := strings.Join(fields[1:], " ")
+				if len(fields) < 2 || !hasWord(reason) {
 					probs = append(probs, Problem{Pos: c.Pos(),
-						Message: "reconlint:allow directive has no reason; justify the suppression"})
+						Message: "reconlint:allow directive has an empty reason; justify the suppression"})
 					continue
 				}
 				names := strings.Split(strings.ToLower(fields[0]), ",")
 				allows = append(allows, Allow{
 					Pos:       c.Pos(),
 					Analyzers: names,
-					Reason:    strings.Join(fields[1:], " "),
+					Reason:    reason,
 				})
 			}
 		}
@@ -73,15 +105,83 @@ func Parse(files []*ast.File) ([]Allow, []Problem) {
 	return allows, probs
 }
 
+// Hotpaths returns the function declarations marked //reconlint:hotpath
+// via their doc comment, plus problems for markers that are attached to
+// nothing (a detached marker silently policing no function would be a
+// false sense of coverage).
+func Hotpaths(files []*ast.File) (map[*ast.FuncDecl]bool, []Problem) {
+	marked := make(map[*ast.FuncDecl]bool)
+	attached := make(map[*ast.Comment]bool)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if _, ok := ownDirective(c.Text, hotpathPrefix); ok {
+					marked[fd] = true
+					attached[c] = true
+				}
+			}
+		}
+	}
+	var probs []Problem
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if _, ok := ownDirective(c.Text, hotpathPrefix); ok && !attached[c] {
+					probs = append(probs, Problem{Pos: c.Pos(),
+						Message: "reconlint:hotpath marker is not attached to a function declaration"})
+				}
+			}
+		}
+	}
+	return marked, probs
+}
+
+// spanStarts maps "start line" -> largest "end line" over every
+// statement and declaration in the files, per filename. It lets an
+// allow directive on the line above a multi-line statement cover the
+// statement's whole span.
+func spanStarts(fset *token.FileSet, files []*ast.File) map[string]map[int]int {
+	spans := make(map[string]map[int]int)
+	note := func(n ast.Node) {
+		start := fset.Position(n.Pos())
+		end := fset.Position(n.End())
+		byLine := spans[start.Filename]
+		if byLine == nil {
+			byLine = make(map[int]int)
+			spans[start.Filename] = byLine
+		}
+		if end.Line > byLine[start.Line] {
+			byLine[start.Line] = end.Line
+		}
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case ast.Stmt, ast.Decl, *ast.Field:
+				note(n)
+			}
+			return true
+		})
+	}
+	return spans
+}
+
 // Suppresses returns a predicate reporting whether a diagnostic from
 // the named analyzer at a position is covered by an allow directive.
 // A diagnostic at line L is suppressed when a directive covering the
-// analyzer (or "all") sits at line L or line L-1 of the same file.
-// Diagnostic and directive positions must come from the same fset.
+// analyzer (or "all") sits at line L or line L-1 of the same file, or
+// when the directive sits directly above a statement whose span
+// includes L. Diagnostic and directive positions must come from the
+// same fset.
 func Suppresses(fset *token.FileSet, files []*ast.File, analyzer string) func(pos token.Pos) bool {
 	allows, _ := Parse(files)
-	suppressed := make(map[string]map[int]bool) // filename -> line set
 	name := strings.ToLower(analyzer)
+	var spans map[string]map[int]int // built lazily: most packages have no allows
+	suppressed := make(map[string]map[int]bool)
 	for _, a := range allows {
 		match := false
 		for _, n := range a.Analyzers {
@@ -93,6 +193,9 @@ func Suppresses(fset *token.FileSet, files []*ast.File, analyzer string) func(po
 		if !match {
 			continue
 		}
+		if spans == nil {
+			spans = spanStarts(fset, files)
+		}
 		p := fset.Position(a.Pos)
 		lines := suppressed[p.Filename]
 		if lines == nil {
@@ -101,6 +204,15 @@ func Suppresses(fset *token.FileSet, files []*ast.File, analyzer string) func(po
 		}
 		lines[p.Line] = true
 		lines[p.Line+1] = true
+		// A statement starting on the directive's line (trailing form) or
+		// the line below (leading form) is covered across its whole span.
+		for _, start := range []int{p.Line, p.Line + 1} {
+			if end, ok := spans[p.Filename][start]; ok {
+				for l := start; l <= end; l++ {
+					lines[l] = true
+				}
+			}
+		}
 	}
 	return func(pos token.Pos) bool {
 		p := fset.Position(pos)

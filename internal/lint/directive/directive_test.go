@@ -86,3 +86,130 @@ func TestSuppresses(t *testing.T) {
 		}
 	}
 }
+
+// parseSrc parses arbitrary fixture source.
+func parseSrc(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// TestSuppressesMultiLineStatement pins the bugfix: a directive above a
+// statement that wraps across lines must cover the statement's whole
+// span, not just the first line.
+func TestSuppressesMultiLineStatement(t *testing.T) {
+	const multi = `package p
+
+func f(a, b, c string) string { return a + b + c }
+
+func g() string {
+	//reconlint:allow detrand wrapped call is one logical statement
+	return f(
+		"one",
+		"two",
+		"three",
+	)
+}
+
+func h() string {
+	s := f( //reconlint:allow detrand trailing form covers the span too
+		"x",
+		"y",
+		"z",
+	)
+	return s
+}
+
+func unrelated() string {
+	return f(
+		"not",
+		"covered",
+		"at all",
+	)
+}
+`
+	fset, files := parseSrc(t, multi)
+	sup := directive.Suppresses(fset, files, "detrand")
+	for line := 7; line <= 11; line++ { // leading form: whole return statement
+		if !sup(lineStart(fset, line)) {
+			t.Errorf("line %d of the wrapped statement not suppressed", line)
+		}
+	}
+	for line := 15; line <= 19; line++ { // trailing form: whole assignment
+		if !sup(lineStart(fset, line)) {
+			t.Errorf("line %d of the trailing-form statement not suppressed", line)
+		}
+	}
+	if sup(lineStart(fset, 12)) {
+		t.Error("line after the wrapped statement must not be suppressed")
+	}
+	for line := 24; line <= 28; line++ {
+		if sup(lineStart(fset, line)) {
+			t.Errorf("undirected function suppressed at line %d", line)
+		}
+	}
+}
+
+// TestEmptyReasonRejected pins the other half of the bugfix: reasons
+// with no word characters are rejected with a clear error.
+func TestEmptyReasonRejected(t *testing.T) {
+	const bad = `package p
+
+func a() {
+	_ = 1 //reconlint:allow detrand
+	_ = 2 //reconlint:allow detrand ...
+	_ = 3 //reconlint:allow detrand --- !!!
+	_ = 4 //reconlint:allow detrand ok reason 42
+}
+`
+	_, files := parseSrc(t, bad)
+	allows, probs := directive.Parse(files)
+	if len(allows) != 1 {
+		t.Fatalf("got %d well-formed directives, want 1: %+v", len(allows), allows)
+	}
+	if len(probs) != 3 {
+		t.Fatalf("got %d problems, want 3: %+v", len(probs), probs)
+	}
+	for _, p := range probs {
+		if p.Message != "reconlint:allow directive has an empty reason; justify the suppression" {
+			t.Errorf("unexpected problem message %q", p.Message)
+		}
+	}
+}
+
+// TestHotpaths checks marker attachment: doc-comment markers mark their
+// function, detached markers are problems.
+func TestHotpaths(t *testing.T) {
+	const src = `package p
+
+// Hot dispatches events.
+//
+//reconlint:hotpath once per event
+func Hot() {}
+
+//reconlint:hotpath floating, attached to nothing
+
+var X = 1
+
+func Cold() {
+	//reconlint:hotpath inside a body marks nothing
+}
+`
+	_, files := parseSrc(t, src)
+	marked, probs := directive.Hotpaths(files)
+	if len(marked) != 1 {
+		t.Fatalf("got %d marked functions, want 1", len(marked))
+	}
+	for fd := range marked {
+		if fd.Name.Name != "Hot" {
+			t.Errorf("marked function is %s, want Hot", fd.Name.Name)
+		}
+	}
+	if len(probs) != 2 {
+		t.Fatalf("got %d detached-marker problems, want 2: %+v", len(probs), probs)
+	}
+}

@@ -1,0 +1,53 @@
+// Package a is the errflow golden fixture: dropped errors and
+// swallowed cancellation on Run-reachable paths.
+package a
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func two() (int, error) { return 0, errors.New("boom") }
+
+// RunAll is a reachability root (Run prefix).
+func RunAll(ctx context.Context) error {
+	mayFail()       // want `error result of mayFail silently dropped`
+	_ = mayFail()   // explicit drop: allowed
+	two()           // want `error result of two silently dropped`
+	go mayFail()    // want `error result of go mayFail silently dropped`
+	defer mayFail() // want `error result of defer mayFail silently dropped`
+	fmt.Println("print family is exempt")
+	var sb strings.Builder
+	sb.WriteString("never fails")
+	_ = ctx.Err() // want `ctx\.Err\(\) result discarded`
+	if err := helper(ctx); err != nil {
+		return err
+	}
+	return nil
+}
+
+// helper is reachable from RunAll, so its body is checked too.
+func helper(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return nil // want `cancellation observed via <-ctx\.Done\(\) but nil returned`
+	default:
+	}
+	mayFail() // want `error result of mayFail silently dropped`
+	return nil
+}
+
+// orphan is not reachable from any root: a drop here is out of scope.
+func orphan() {
+	mayFail()
+}
+
+// RunAllowed exercises the directive escape hatch.
+func RunAllowed() {
+	//reconlint:allow errflow best-effort cleanup, failure is benign here
+	mayFail()
+}

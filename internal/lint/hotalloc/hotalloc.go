@@ -1,0 +1,327 @@
+// Package hotalloc implements the reconlint analyzer that polices
+// per-event allocations in functions marked //reconlint:hotpath.
+//
+// The engine event loop and the matchmaker run once per simulated
+// event across millions of tasks; a fmt.Sprintf or a pointer
+// allocation per iteration is the difference between the simulator
+// being CPU-bound and GC-bound. A //reconlint:hotpath marker in a
+// function's doc comment opts it into the check, and the dataflow call
+// graph extends the region to the function's same-package callees
+// (marking Engine.tryDispatch covers dispatchOne and execute without
+// markers on each). Inside the region the analyzer reports:
+//
+//   - fmt.Sprint/Sprintf/Sprintln/Errorf calls anywhere in the region
+//     (reflection-driven formatting boxes every argument); a Sprintf
+//     of pure %s verbs and string arguments gets an automatic
+//     concatenation fix,
+//   - pointer-producing allocations inside loops: &T{…} literals,
+//     new(T), and make(…),
+//   - interface boxing inside loops: explicit conversions to an
+//     interface type and concrete arguments passed to ...interface{}
+//     variadics.
+//
+// Calls inside panic(...) arguments are exempt — a panicking path is
+// cold by definition. Escape hatch: //reconlint:allow hotalloc
+// <reason> for allocations that are deliberate (e.g. amortized by a
+// free list).
+package hotalloc
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/dataflow"
+	"repro/internal/lint/directive"
+)
+
+// Analyzer is the hotalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "no per-event allocations, interface boxing, or fmt formatting in //reconlint:hotpath regions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	marked, probs := directive.Hotpaths(pass.Files)
+	for _, p := range probs {
+		pass.Reportf(p.Pos, "%s", p.Message)
+	}
+	if len(marked) == 0 {
+		return nil, nil
+	}
+	g := dataflow.Resolve(pass.Fset, pass.Files, pass.Pkg, pass.TypesInfo)
+
+	// Seed the region with the marked functions, then extend it to
+	// same-package callees via the call graph.
+	region := make(map[*types.Func]string) // func -> originating hotpath mark
+	var queue []*types.Func
+	for _, node := range g.SortedFuncs() {
+		if marked[node.Decl] {
+			region[node.Fn] = node.Fn.Name()
+			queue = append(queue, node.Fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		node := g.Node(fn)
+		if node == nil {
+			continue
+		}
+		for _, callee := range node.SortedCallees() {
+			cn := g.Node(callee)
+			if cn == nil || cn.Pkg != node.Pkg {
+				continue
+			}
+			if _, ok := region[callee]; ok {
+				continue
+			}
+			region[callee] = region[fn]
+			queue = append(queue, callee)
+		}
+	}
+
+	for _, node := range g.SortedFuncs() {
+		origin, ok := region[node.Fn]
+		if !ok || node.Pkg != pass.Pkg {
+			continue
+		}
+		suffix := ""
+		if !marked[node.Decl] {
+			suffix = " (reached from hotpath " + origin + ")"
+		}
+		checkFunc(pass, node.Decl.Body, suffix)
+	}
+	return nil, nil
+}
+
+// checkFunc walks one region function, tracking lexical loop depth and
+// skipping panic(...) arguments.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, suffix string) {
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt:
+			walkChildren(n, func(c ast.Node) { walk(c, true) })
+			return
+		case *ast.RangeStmt:
+			walkChildren(n, func(c ast.Node) { walk(c, true) })
+			return
+		case *ast.CallExpr:
+			if isPanic(pass, n) {
+				return // cold path: do not descend into the arguments
+			}
+			checkCall(pass, n, inLoop, suffix)
+		case *ast.UnaryExpr:
+			if inLoop && n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&-literal allocates per iteration in hot path%s; hoist it or reuse a pooled object", suffix)
+				}
+			}
+		}
+		walkChildren(n, func(c ast.Node) { walk(c, inLoop) })
+	}
+	walk(body, false)
+}
+
+// walkChildren visits n's immediate children.
+func walkChildren(n ast.Node, visit func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			visit(c)
+		}
+		return false
+	})
+}
+
+// isPanic reports whether call is the panic builtin.
+func isPanic(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// checkCall reports fmt formatting, in-loop make/new, and in-loop
+// variadic interface boxing.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, inLoop bool, suffix string) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && inLoop {
+			if id.Name == "make" || id.Name == "new" {
+				pass.Reportf(call.Pos(), "%s allocates per iteration in hot path%s; hoist it out of the loop", id.Name, suffix)
+			}
+			return
+		}
+	}
+	// Conversion to an interface type boxes its operand.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && inLoop {
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface && len(call.Args) == 1 {
+			if argT := pass.TypeOf(call.Args[0]); argT != nil {
+				if _, argIface := argT.Underlying().(*types.Interface); !argIface {
+					pass.Reportf(call.Pos(), "conversion boxes a concrete value into an interface per iteration in hot path%s", suffix)
+				}
+			}
+		}
+		return
+	}
+	fn := pass.FuncOf(call)
+	if fn == nil {
+		return
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		switch fn.Name() {
+		case "Sprint", "Sprintf", "Sprintln", "Errorf":
+			d := analysis.Diagnostic{
+				Pos:     call.Pos(),
+				Message: "fmt." + fn.Name() + " in hot path" + suffix + " boxes its arguments and formats reflectively; build the string directly",
+			}
+			if fix, ok := sprintfConcatFix(pass, call, fn.Name()); ok {
+				d.SuggestedFixes = []analysis.SuggestedFix{fix}
+			}
+			pass.Report(d)
+		}
+		return
+	}
+	if inLoop && boxesVariadicArgs(pass, call, fn) {
+		pass.Reportf(call.Pos(), "call to %s boxes concrete arguments into ...interface{} per iteration in hot path%s", fn.Name(), suffix)
+	}
+}
+
+// boxesVariadicArgs reports whether a non-fmt call passes concrete
+// values to a ...interface{} parameter.
+func boxesVariadicArgs(pass *analysis.Pass, call *ast.CallExpr, fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !sig.Variadic() || call.Ellipsis.IsValid() {
+		return false
+	}
+	last := sig.Params().At(sig.Params().Len() - 1)
+	slice, ok := last.Type().(*types.Slice)
+	if !ok {
+		return false
+	}
+	iface, ok := slice.Elem().Underlying().(*types.Interface)
+	if !ok || !iface.Empty() {
+		return false
+	}
+	fixed := sig.Params().Len() - 1
+	if sig.Recv() == nil && fixed > len(call.Args) {
+		return false
+	}
+	for i := fixed; i < len(call.Args); i++ {
+		if t := pass.TypeOf(call.Args[i]); t != nil {
+			if _, isIface := t.Underlying().(*types.Interface); !isIface {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sprintfConcatFix builds a concatenation replacement for a Sprintf
+// whose format is a constant of pure %s verbs with string-typed
+// arguments: fmt.Sprintf("%s <-> %s", a, b) => a + " <-> " + b.
+func sprintfConcatFix(pass *analysis.Pass, call *ast.CallExpr, name string) (analysis.SuggestedFix, bool) {
+	if name != "Sprintf" || len(call.Args) < 2 {
+		return analysis.SuggestedFix{}, false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return analysis.SuggestedFix{}, false
+	}
+	format := constant.StringVal(tv.Value)
+	args := call.Args[1:]
+	for _, a := range args {
+		t := pass.TypeOf(a)
+		basic, ok := t.(*types.Basic)
+		if !ok || basic.Kind() != types.String {
+			return analysis.SuggestedFix{}, false
+		}
+	}
+	var parts []string
+	rest := format
+	argIdx := 0
+	for {
+		i := strings.IndexByte(rest, '%')
+		if i < 0 {
+			if rest != "" {
+				parts = append(parts, quote(rest))
+			}
+			break
+		}
+		if i+1 >= len(rest) || rest[i+1] != 's' {
+			return analysis.SuggestedFix{}, false // %d, %%, … not handled
+		}
+		if i > 0 {
+			parts = append(parts, quote(rest[:i]))
+		}
+		if argIdx >= len(args) {
+			return analysis.SuggestedFix{}, false
+		}
+		var buf strings.Builder
+		if err := printer.Fprint(&buf, pass.Fset, args[argIdx]); err != nil {
+			return analysis.SuggestedFix{}, false
+		}
+		argText := buf.String()
+		if needsParens(args[argIdx]) {
+			argText = "(" + argText + ")"
+		}
+		parts = append(parts, argText)
+		argIdx++
+		rest = rest[i+2:]
+	}
+	if argIdx != len(args) || len(parts) == 0 {
+		return analysis.SuggestedFix{}, false
+	}
+	return analysis.SuggestedFix{
+		Message: "replace Sprintf of %s verbs with concatenation",
+		TextEdits: []analysis.TextEdit{{
+			Pos: call.Pos(), End: call.End(),
+			NewText: []byte(strings.Join(parts, " + ")),
+		}},
+	}, true
+}
+
+// needsParens reports whether an argument expression must be wrapped
+// when spliced into a + chain.
+func needsParens(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.CallExpr, *ast.BasicLit, *ast.IndexExpr, *ast.ParenExpr:
+		return false
+	}
+	return true
+}
+
+func quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

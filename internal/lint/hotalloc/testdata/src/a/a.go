@@ -1,0 +1,53 @@
+// Package a is the hotalloc golden fixture: allocations, boxing, and
+// fmt formatting inside a //reconlint:hotpath region.
+package a
+
+import "fmt"
+
+type thing struct{ n int }
+
+func (t *thing) M() {}
+
+type boxer interface{ M() }
+
+func logAll(args ...interface{}) { _ = args }
+
+// Hot is the marked hot path.
+//
+//reconlint:hotpath fixture: runs once per simulated event
+func Hot(items []int) string {
+	total := 0
+	for _, it := range items {
+		buf := make([]int, it) // want `make allocates per iteration in hot path`
+		total += len(buf)
+		p := &thing{n: it} // want `&-literal allocates per iteration in hot path`
+		p.M()
+		var b boxer = p
+		b = boxer(p) // want `conversion boxes a concrete value into an interface per iteration`
+		b.M()
+		logAll(it) // want `call to logAll boxes concrete arguments into \.\.\.interface\{\} per iteration`
+		//reconlint:allow hotalloc pooled buffer, amortized by the free list
+		q := &thing{n: it}
+		q.M()
+	}
+	if total < 0 {
+		panic(fmt.Sprintf("impossible total %d", total)) // cold path: exempt
+	}
+	return describe(total)
+}
+
+// describe is unmarked but reached from Hot, so the region extends to
+// it.
+func describe(total int) string {
+	return fmt.Sprint(total) // want `fmt\.Sprint in hot path \(reached from hotpath Hot\)`
+}
+
+// Cold has identical allocations but no marker: out of region.
+func Cold(items []int) []*thing {
+	var out []*thing
+	for _, it := range items {
+		out = append(out, &thing{n: it})
+	}
+	_ = fmt.Sprintf("%d", len(out))
+	return out
+}

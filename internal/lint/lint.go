@@ -13,12 +13,16 @@ import (
 
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/ctxflow"
+	"repro/internal/lint/dataflow"
 	"repro/internal/lint/deprecatedshim"
 	"repro/internal/lint/detrand"
 	"repro/internal/lint/directive"
+	"repro/internal/lint/errflow"
+	"repro/internal/lint/hotalloc"
 	"repro/internal/lint/loader"
 	"repro/internal/lint/lockcheck"
 	"repro/internal/lint/maporder"
+	"repro/internal/lint/seedflow"
 )
 
 // Diagnostic is one resolved finding with its file position.
@@ -26,6 +30,8 @@ type Diagnostic struct {
 	Position token.Position
 	Analyzer string
 	Message  string
+	// SuggestedFixes carries machine-applicable repairs (driver -fix).
+	SuggestedFixes []analysis.SuggestedFix
 }
 
 func (d Diagnostic) String() string {
@@ -58,6 +64,37 @@ func simulationScope(importPath string) bool {
 
 func everywhere(string) bool { return true }
 
+// seedflowScope covers the packages whose randomness must derive from
+// the scenario seed: the simulation core and everything the engine
+// touches per event.
+func seedflowScope(importPath string) bool {
+	for _, dir := range []string{
+		"internal/sim", "internal/grid", "internal/faults",
+		"internal/sched", "internal/rms",
+	} {
+		if pathHasDir(importPath, dir) {
+			return true
+		}
+	}
+	return false
+}
+
+// errflowScope covers the engine execution paths plus the command
+// mains that drive them.
+func errflowScope(importPath string) bool {
+	if pathHasDir(importPath, "cmd") {
+		return true
+	}
+	for _, dir := range []string{
+		"internal/grid", "internal/rms", "internal/faults", "internal/sim",
+	} {
+		if pathHasDir(importPath, dir) {
+			return true
+		}
+	}
+	return false
+}
+
 // Suite returns the reconlint analyzer suite with its package scoping.
 func Suite() []ScopedAnalyzer {
 	return []ScopedAnalyzer{
@@ -66,7 +103,28 @@ func Suite() []ScopedAnalyzer {
 		{Analyzer: ctxflow.Analyzer, Applies: func(p string) bool { return pathHasDir(p, "internal/grid") }},
 		{Analyzer: lockcheck.Analyzer, Applies: everywhere},
 		{Analyzer: deprecatedshim.Analyzer, Applies: everywhere},
+		{Analyzer: seedflow.Analyzer, Applies: seedflowScope},
+		{Analyzer: errflow.Analyzer, Applies: errflowScope},
+		// hotalloc runs everywhere: it only fires inside functions that
+		// opted in with //reconlint:hotpath.
+		{Analyzer: hotalloc.Analyzer, Applies: everywhere},
 	}
+}
+
+// Prepare runs the whole-program pre-passes the per-package analyzers
+// rely on: the deprecated-function registry and the interprocedural
+// dataflow graph (call graph + provenance summaries). Pass every
+// loaded package, dependencies included — cross-package provenance is
+// only as complete as the package set handed in.
+func Prepare(pkgs []*loader.Package) {
+	RegisterDeprecated(pkgs)
+	infos := make([]*dataflow.PackageInfo, 0, len(pkgs))
+	for _, p := range pkgs {
+		infos = append(infos, &dataflow.PackageInfo{
+			Fset: p.Fset, Files: p.Syntax, Pkg: p.Types, Info: p.Info,
+		})
+	}
+	dataflow.SetProgram(dataflow.Build(infos))
 }
 
 // RegisterDeprecated pre-scans loaded packages for functions whose doc
@@ -99,8 +157,8 @@ func RegisterDeprecated(pkgs []*loader.Package) {
 func RunPackage(pkg *loader.Package, suite []ScopedAnalyzer) ([]Diagnostic, error) {
 	var out []Diagnostic
 	seen := make(map[string]bool)
-	add := func(analyzer string, pos token.Pos, msg string) {
-		d := Diagnostic{Position: pkg.Fset.Position(pos), Analyzer: analyzer, Message: msg}
+	add := func(analyzer string, pos token.Pos, msg string, fixes []analysis.SuggestedFix) {
+		d := Diagnostic{Position: pkg.Fset.Position(pos), Analyzer: analyzer, Message: msg, SuggestedFixes: fixes}
 		key := d.String()
 		if !seen[key] {
 			seen[key] = true
@@ -110,7 +168,7 @@ func RunPackage(pkg *loader.Package, suite []ScopedAnalyzer) ([]Diagnostic, erro
 
 	_, problems := directive.Parse(pkg.Syntax)
 	for _, p := range problems {
-		add("reconlint", p.Pos, p.Message)
+		add("reconlint", p.Pos, p.Message, nil)
 	}
 
 	for _, sa := range suite {
@@ -130,7 +188,7 @@ func RunPackage(pkg *loader.Package, suite []ScopedAnalyzer) ([]Diagnostic, erro
 			if suppressed(d.Pos) {
 				return
 			}
-			add(name, d.Pos, d.Message)
+			add(name, d.Pos, d.Message, d.SuggestedFixes)
 		}
 		if _, err := sa.Run(pass); err != nil {
 			return nil, fmt.Errorf("lint: %s on %s: %w", sa.Name, pkg.ImportPath, err)

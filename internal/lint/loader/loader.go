@@ -110,22 +110,32 @@ func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*ty
 // in `go list` order. Test files are not loaded: reconlint polices
 // library and command code, not tests.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	roots, _, err := LoadAll(dir, patterns...)
+	return roots, err
+}
+
+// LoadAll is Load plus the closure: it returns both the matched root
+// packages and every in-module package that was type-checked to serve
+// them (dependencies included, in dependency order). Whole-program
+// passes — the interprocedural dataflow graph in particular — need the
+// closure; per-package analyzers iterate the roots.
+func LoadAll(dir string, patterns ...string) (rootPkgs, allPkgs []*Package, err error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	roots, err := goList(dir, false, patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	all, err := goList(dir, true, patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	fset := token.NewFileSet()
 	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
 	if !ok {
-		return nil, fmt.Errorf("loader: source importer unavailable")
+		return nil, nil, fmt.Errorf("loader: source importer unavailable")
 	}
 	local := make(map[string]*types.Package)
 	imp := &chainImporter{local: local, std: std, dir: dir}
@@ -140,15 +150,16 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		pkg := checkOne(fset, imp, e)
 		local[e.ImportPath] = pkg.Types
 		checked[e.ImportPath] = pkg
+		allPkgs = append(allPkgs, pkg)
 	}
 
-	out := make([]*Package, 0, len(roots))
+	rootPkgs = make([]*Package, 0, len(roots))
 	for _, r := range roots {
 		if p, ok := checked[r.ImportPath]; ok {
-			out = append(out, p)
+			rootPkgs = append(rootPkgs, p)
 		}
 	}
-	return out, nil
+	return rootPkgs, allPkgs, nil
 }
 
 // checkOne parses and type-checks one package.

@@ -1,0 +1,106 @@
+package loader_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/loader"
+)
+
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const goMod = "module loadvictim\n\ngo 1.22\n"
+
+// TestLoadAllClosure checks LoadAll returns both the matched roots and
+// the dependency closure, dependencies first.
+func TestLoadAllClosure(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":     goMod,
+		"lib/lib.go": "package lib\n\nfunc V() int { return 1 }\n",
+		"app/app.go": "package app\n\nimport \"loadvictim/lib\"\n\nfunc Use() int { return lib.V() }\n",
+	})
+	roots, all, err := loader.LoadAll(dir, "./app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 1 || roots[0].ImportPath != "loadvictim/app" {
+		t.Fatalf("roots = %+v, want just loadvictim/app", roots)
+	}
+	var paths []string
+	for _, p := range all {
+		paths = append(paths, p.ImportPath)
+	}
+	joined := strings.Join(paths, " ")
+	if !strings.Contains(joined, "loadvictim/lib") || !strings.Contains(joined, "loadvictim/app") {
+		t.Fatalf("closure = %v, want lib and app", paths)
+	}
+	if strings.Index(joined, "loadvictim/lib") > strings.Index(joined, "loadvictim/app") {
+		t.Errorf("closure not in dependency order: %v", paths)
+	}
+	for _, p := range all {
+		if len(p.TypeErrors) != 0 {
+			t.Errorf("%s has type errors: %v", p.ImportPath, p.TypeErrors)
+		}
+	}
+}
+
+// TestImportCycle checks a cyclic module surfaces a load error rather
+// than hanging or silently analyzing half a program.
+func TestImportCycle(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"a/a.go": "package a\n\nimport \"loadvictim/b\"\n\nfunc A() int { return b.B() }\n",
+		"b/b.go": "package b\n\nimport \"loadvictim/a\"\n\nfunc B() int { return a.A() }\n",
+	})
+	_, _, err := loader.LoadAll(dir, "./...")
+	if err == nil {
+		t.Fatal("expected an import-cycle error, got nil")
+	}
+	if !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("error should mention the cycle: %v", err)
+	}
+}
+
+// TestBuildTagExcluded checks files excluded by build constraints are
+// not parsed or analyzed: `go list` GoFiles is the source of truth.
+func TestBuildTagExcluded(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":        goMod,
+		"pkg/pkg.go":    "package pkg\n\nfunc Live() int { return 1 }\n",
+		"pkg/gated.go":  "//go:build neverenabled\n\npackage pkg\n\nfunc Gated() int { return brokenReference }\n",
+		"pkg/other.txt": "not go at all",
+	})
+	roots, _, err := loader.LoadAll(dir, "./pkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(roots))
+	}
+	pkg := roots[0]
+	if len(pkg.TypeErrors) != 0 {
+		t.Errorf("excluded file leaked into type-checking: %v", pkg.TypeErrors)
+	}
+	if len(pkg.Syntax) != 1 {
+		t.Errorf("got %d parsed files, want 1 (gated.go excluded)", len(pkg.Syntax))
+	}
+	name := pkg.Fset.Position(pkg.Syntax[0].Pos()).Filename
+	if !strings.HasSuffix(name, "pkg.go") {
+		t.Errorf("parsed file = %s, want pkg.go", name)
+	}
+}

@@ -1,0 +1,74 @@
+// Package seedflow implements the reconlint analyzer that proves RNG
+// seed provenance across function boundaries.
+//
+// The determinism contract (workers=1 ≡ workers=N, byte-identical
+// traces under faults) requires every random stream in simulation code
+// to derive from the scenario seed: ScenarioSpec.Seed, SweepSpec
+// replica seeds, or a sim.RNG Split/SplitSeed of one. detrand already
+// bans *global* randomness syntactically; seedflow closes the
+// interprocedural gap: a locally-constructed RNG whose seed is a
+// constant literal, a wall-clock read, or a global-rand draw silently
+// breaks reproducibility even though every call looks innocent in
+// isolation.
+//
+// Using the dataflow layer's call graph and provenance lattice, the
+// analyzer inspects every RNG-construction seed argument reachable from
+// this package's functions — rand.NewSource / rand.NewPCG / rand.Seed /
+// sim.NewRNG directly, or any function a summary proves forwards a
+// parameter into one — and reports arguments whose provenance is
+// constant, wall-clock-derived, or global-rand-derived. Seed-derived
+// and unprovable (unknown) arguments pass: the analyzer flags what it
+// can prove wrong, not what it cannot prove right.
+//
+// Escape hatch: //reconlint:allow seedflow <reason> on or above the
+// offending line (a fixed golden-trace seed, for example).
+package seedflow
+
+import (
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/dataflow"
+)
+
+// Analyzer is the seedflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc:  "RNG seeds in simulation code must be provenance-traceable to the scenario seed (no constant, wall-clock, or global-rand seeds)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	g := dataflow.Resolve(pass.Fset, pass.Files, pass.Pkg, pass.TypesInfo)
+	for _, node := range g.SortedFuncs() {
+		if node.Pkg != pass.Pkg {
+			continue
+		}
+		sum := g.Summary(node.Fn)
+		if sum == nil {
+			continue
+		}
+		for _, sink := range sum.Sinks {
+			switch sink.Arg.Prov {
+			case dataflow.Constant, dataflow.WallClock, dataflow.GlobalRand:
+				pass.Reportf(sink.Pos,
+					"%s seed reaches %s: derive the seed from ScenarioSpec.Seed / SplitSeed so replicated runs stay reproducible",
+					sink.Arg.Prov, describeChain(sink.Chain))
+			}
+		}
+	}
+	return nil, nil
+}
+
+// describeChain renders a sink chain: "sim.NewRNG" for a direct call,
+// "sim.NewRNG (via newThing)" for one forwarded through callees.
+func describeChain(chain []string) string {
+	if len(chain) == 0 {
+		return "an RNG constructor"
+	}
+	ctor := chain[len(chain)-1]
+	if len(chain) == 1 {
+		return ctor
+	}
+	return ctor + " (via " + strings.Join(chain[:len(chain)-1], " -> ") + ")"
+}

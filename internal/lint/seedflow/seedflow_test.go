@@ -1,0 +1,12 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/seedflow"
+)
+
+func TestSeedflow(t *testing.T) {
+	analysistest.Run(t, "testdata", seedflow.Analyzer, "grid")
+}

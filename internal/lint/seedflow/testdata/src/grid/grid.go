@@ -1,0 +1,66 @@
+// Package grid is the seedflow golden fixture: every way a seed can
+// reach an RNG constructor, good and bad.
+package grid
+
+import (
+	"math/rand"
+	"time"
+
+	"sim"
+)
+
+// Spec mirrors ScenarioSpec: a Seed field is a seed-derived root.
+type Spec struct {
+	Seed uint64
+	Name string
+}
+
+// BadConstant plants the canonical violation: a literal seed.
+func BadConstant() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `constant seed reaches rand\.NewSource`
+}
+
+// BadWallClock seeds from the wall clock, so replicated runs diverge.
+func BadWallClock() *sim.RNG {
+	return sim.NewRNG(uint64(time.Now().UnixNano())) // want `wall-clock-derived seed reaches sim\.NewRNG`
+}
+
+// BadGlobalRand launders the shared global generator into a seed.
+func BadGlobalRand() *sim.RNG {
+	seed := rand.Uint64()
+	return sim.NewRNG(seed) // want `global-rand-derived seed reaches sim\.NewRNG`
+}
+
+// GoodSpecSeed threads the scenario seed: no finding.
+func GoodSpecSeed(spec Spec) *sim.RNG {
+	return sim.NewRNG(spec.Seed)
+}
+
+// GoodSplit derives per-replica seeds from a parent stream: no finding.
+func GoodSplit(spec Spec, i uint64) *sim.RNG {
+	root := sim.NewRNG(spec.Seed)
+	return sim.NewRNG(root.SplitSeed(i))
+}
+
+// newRNGFor is an interprocedural hop: its parameter is a seed sink by
+// propagation, so call sites are judged by what they pass.
+func newRNGFor(seed uint64) *sim.RNG {
+	return sim.NewRNG(seed)
+}
+
+// BadThroughHelper feeds a constant through the helper.
+func BadThroughHelper() *sim.RNG {
+	return newRNGFor(1234) // want `constant seed reaches`
+}
+
+// GoodThroughHelper feeds the spec seed through the same helper.
+func GoodThroughHelper(spec Spec) *sim.RNG {
+	return newRNGFor(spec.Seed)
+}
+
+// Allowed documents a deliberate fixed seed; the directive suppresses
+// the finding.
+func Allowed() *rand.Rand {
+	//reconlint:allow seedflow fixed seed for the docs example
+	return rand.New(rand.NewSource(7))
+}

@@ -2,6 +2,7 @@ package rms
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/capability"
 	"repro/internal/fabric"
@@ -126,7 +127,7 @@ func (m *Matchmaker) Estimate(c Candidate, req task.ExecReq, w pe.Work) (CostEst
 	switch {
 	case c.Core != nil:
 		cfg := c.Core.Config()
-		bsID = hdl.BitstreamID("softcore-"+cfg.Caps.ISA+fmt.Sprint(cfg.Caps.IssueWidth), dev.FPGACaps.Device, dev.PartialRecon)
+		bsID = hdl.BitstreamID("softcore-"+cfg.Caps.ISA+strconv.Itoa(cfg.Caps.IssueWidth), dev.FPGACaps.Device, dev.PartialRecon)
 		if dev.PartialRecon {
 			bsBytes = fabric.PartialBitstream(bsID, "x", dev, cfg.Slices()).SizeBytes
 		} else {
@@ -204,7 +205,7 @@ func (m *Matchmaker) allocateFabric(c Candidate, req task.ExecReq) (*Lease, erro
 	switch {
 	case c.Core != nil:
 		cfg := c.Core.Config()
-		id := hdl.BitstreamID("softcore-"+cfg.Caps.ISA+fmt.Sprint(cfg.Caps.IssueWidth), dev.FPGACaps.Device, dev.PartialRecon)
+		id := hdl.BitstreamID("softcore-"+cfg.Caps.ISA+strconv.Itoa(cfg.Caps.IssueWidth), dev.FPGACaps.Device, dev.PartialRecon)
 		if dev.PartialRecon {
 			var err error
 			bs, err = c.Core.Bitstream(id, dev)

@@ -2,6 +2,7 @@ package rms
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"repro/internal/capability"
@@ -31,8 +32,10 @@ type Candidate struct {
 }
 
 // Label renders the candidate in Table II notation.
+//
+//reconlint:hotpath rendered for every dispatch notification
 func (c Candidate) Label() string {
-	return fmt.Sprintf("%s <-> %s", c.Elem.ID, c.Node.ID)
+	return c.Elem.ID + " <-> " + c.Node.ID
 }
 
 // Matchmaker evaluates ExecReq predicates against registered capability
@@ -82,6 +85,8 @@ func NewMatchmaker(reg *Registry, tc *hdl.Toolchain, cores ...*softcore.Core) (*
 // Candidates returns every feasible mapping for the ExecReq in
 // deterministic (registration, installation) order. An empty result with a
 // nil error means no resource currently satisfies the requirements.
+//
+//reconlint:hotpath evaluated for every queued task on every dispatch round
 func (m *Matchmaker) Candidates(req task.ExecReq) ([]Candidate, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -99,6 +104,7 @@ func (m *Matchmaker) Candidates(req task.ExecReq) ([]Candidate, error) {
 	case pe.DeviceSpecificHW:
 		return m.deviceSpecificCandidates(req)
 	}
+	//reconlint:allow hotalloc unreachable after Validate; cold error path, never taken per dispatch
 	return nil, fmt.Errorf("rms: unhandled scenario %v", req.Scenario)
 }
 
@@ -205,7 +211,7 @@ func (m *Matchmaker) softcoreCandidates(req task.ExecReq, fallback bool) ([]Cand
 				if !ok || cfg.Slices() > dev.Slices {
 					continue
 				}
-				bsID := hdl.BitstreamID("softcore-"+cfg.Caps.ISA+fmt.Sprint(cfg.Caps.IssueWidth), dev.FPGACaps.Device, true)
+				bsID := hdl.BitstreamID("softcore-"+cfg.Caps.ISA+strconv.Itoa(cfg.Caps.IssueWidth), dev.FPGACaps.Device, true)
 				out = append(out, Candidate{
 					Node: n, Elem: e, Core: c,
 					Slices:        cfg.Slices(),
