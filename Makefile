@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: build vet lint lint-fix lint-sarif test race verify bench-lint
+.PHONY: build vet lint lint-fix lint-sarif test race verify bench-lint bench-obs cover
+
+# Minimum statement coverage enforced by `make cover`, per package.
+COVER_FLOOR_OBS  ?= 85.0
+COVER_FLOOR_GRID ?= 85.0
 
 build:
 	$(GO) build ./...
@@ -30,3 +34,21 @@ verify: build vet lint test race
 # Regenerate the committed linter benchmark snapshot.
 bench-lint:
 	$(GO) test -run xxx -bench BenchmarkReconlint -benchtime 1x ./cmd/reconlint | $(GO) run ./cmd/benchjson > BENCH_PR4.json
+
+# Regenerate the committed observability benchmark snapshot: per-sink
+# overhead plus the arrival-sweep baseline the overhead budget is
+# measured against.
+bench-obs:
+	$(GO) test -run xxx -bench 'BenchmarkSinkOverhead|BenchmarkDReAMSim_ArrivalSweep' -benchtime 3x . | $(GO) run ./cmd/benchjson > BENCH_PR5.json
+
+# Enforce statement-coverage floors on the observability and engine
+# packages. Fails if either package regresses below its floor.
+cover:
+	@$(GO) test -cover ./internal/obs ./internal/grid | awk ' \
+		/coverage:/ { \
+			split($$0, f, "coverage: "); split(f[2], p, "%"); \
+			floor = ($$2 ~ /obs/) ? $(COVER_FLOOR_OBS) : $(COVER_FLOOR_GRID); \
+			printf "%-24s %5.1f%%  (floor %.1f%%)\n", $$2, p[1], floor; \
+			if (p[1] + 0 < floor) { bad = 1 } \
+		} \
+		END { if (bad) { print "coverage below floor"; exit 1 } }'

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"testing"
 
@@ -176,6 +177,77 @@ func BenchmarkDReAMSim_ArrivalSweep(b *testing.B) {
 			})
 		}
 	}
+}
+
+// --- Observability: sink overhead on the hot path ---
+
+// BenchmarkSinkOverhead measures what tracing costs an ArrivalSweep-shaped
+// run end to end: no sink at all (the baseline every other sub-benchmark
+// is judged against), the Noop sink (pure instrumentation cost), the
+// bounded-memory streaming CSV sink, the Chrome trace-event JSON sink,
+// and the in-memory Recorder. A fresh sink is built per iteration so
+// buffer reuse inside one run — not across runs — is what gets measured.
+func BenchmarkSinkOverhead(b *testing.B) {
+	ws := grid.DefaultWorkload(200, 2)
+	ws.WorkMI = sim.LogNormal{Mu: 10, Sigma: 0.7}
+	ws.ShareUserHW = 0.7
+	ws.ShareSoftcore = 0
+	gs := grid.DefaultGridSpec()
+	gs.ReconfigMBpsOverride = 4
+	tc, err := grid.DefaultToolchain()
+	if err != nil {
+		b.Fatal(err)
+	}
+	runOnce := func(b *testing.B, sink TraceSink) {
+		cfg := DefaultSimConfig()
+		cfg.Strategy = sched.ReconfigAware{}
+		cfg.Tracer = sink
+		m, err := RunScenario(context.Background(), ScenarioSpec{Seed: 42, Config: cfg, Grid: gs, Workload: ws, Toolchain: tc})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Completed == 0 {
+			b.Fatal("run completed nothing")
+		}
+	}
+	b.Run("no-sink", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runOnce(b, nil)
+		}
+	})
+	b.Run("noop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runOnce(b, NoopSink{})
+		}
+	})
+	b.Run("streaming-csv", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink := NewStreamingCSV(io.Discard)
+			runOnce(b, sink)
+			if err := sink.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("chrome-json", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink := NewChromeTrace(io.Discard)
+			runOnce(b, sink)
+			if err := sink.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recorder", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runOnce(b, &TraceRecorder{})
+		}
+	})
 }
 
 // --- X2: hybrid vs GPP-only grid ---

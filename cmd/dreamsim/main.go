@@ -8,18 +8,23 @@
 //	dreamsim -strategy reconfig-aware -tasks 500 -rate 1.5 -seeds 5
 //	dreamsim -compare -tasks 300 -rate 0.8
 //	dreamsim -compare -faults -crash-rate 0.05 -outage 20
+//	dreamsim -tasks 200 -seeds 1 -trace-out run.json -timeline-out tl.csv -sample 1
 package main
 
 import (
 	"context"
 	"errors"
+	_ "expvar" // registers /debug/vars (runtime metrics) on the -pprof server
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof server
 	"os"
 	"strings"
 
 	"repro/internal/faults"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/rms"
 	"repro/internal/sched"
@@ -44,6 +49,12 @@ func main() {
 		compare      = flag.Bool("compare", false, "run every strategy and print a comparison table")
 		workloadIn   = flag.String("workload", "", "replay a JSON workload trace instead of generating one")
 		workloadOut  = flag.String("save-workload", "", "write the generated workload trace to this file and exit")
+
+		traceOut    = flag.String("trace-out", "", "write the run's event trace to this file: .json = Chrome trace-event JSON (Perfetto-loadable), otherwise CSV (single strategy, single seed)")
+		timelineOut = flag.String("timeline-out", "", "write the sampled gauge timeline (queue, utilization, fabric, energy) as CSV to this file (single strategy, single seed)")
+		sampleEvery = flag.Float64("sample", 0, "gauge sampling interval in virtual seconds (0 = off; defaults to 1 when -timeline-out is set)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar runtime metrics on this address (e.g. localhost:6060) during the run")
+		progress    = flag.Bool("progress", false, "print per-replica completion lines to stderr while the sweep runs")
 
 		withFaults = flag.Bool("faults", false, "inject deterministic node/SEU/link faults (see -crash-rate etc.)")
 		crashRate  = flag.Float64("crash-rate", faults.Default().CrashRate, "node crashes per node-second (with -faults)")
@@ -70,12 +81,32 @@ func main() {
 		}
 		return
 	}
+	opts := obsOpts{
+		traceOut:    *traceOut,
+		timelineOut: *timelineOut,
+		sample:      *sampleEvery,
+		pprofAddr:   *pprofAddr,
+		progress:    *progress,
+	}
 	if err := run(*strategyName, *queue, *tasks, *rate, *seeds, *seed0, *shareHW, *shareSC,
-		*gppNodes, *hybridNodes, *devices, *cfgPort, *noPR, *compare, *workloadIn, fspec); err != nil {
+		*gppNodes, *hybridNodes, *devices, *cfgPort, *noPR, *compare, *workloadIn, fspec, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "dreamsim:", err)
 		os.Exit(1)
 	}
 }
+
+// obsOpts carries the observability flags into run.
+type obsOpts struct {
+	traceOut    string
+	timelineOut string
+	sample      float64
+	pprofAddr   string
+	progress    bool
+}
+
+// capture reports whether the run records trace or timeline output,
+// which pins it to a single strategy and seed (one engine, one stream).
+func (o obsOpts) capture() bool { return o.traceOut != "" || o.timelineOut != "" }
 
 // saveTrace generates a workload and writes it as a JSON trace.
 func saveTrace(path string, tasks int, rate float64, seed uint64, shareHW, shareSC float64) error {
@@ -113,7 +144,57 @@ func names() string {
 
 func run(strategyName, queueName string, tasks int, rate float64, seeds int, seed0 uint64,
 	shareHW, shareSC float64, gppNodes, hybridNodes int, devices string, cfgPort float64,
-	noPR, compare bool, workloadIn string, fspec *faults.Spec) error {
+	noPR, compare bool, workloadIn string, fspec *faults.Spec, opts obsOpts) error {
+
+	if opts.pprofAddr != "" {
+		addr := opts.pprofAddr
+		fmt.Fprintln(os.Stderr, "dreamsim: serving pprof and expvar on http://"+addr+"/debug/")
+		go func() {
+			// The profiling server is best-effort: a bind failure must not
+			// kill the simulation, just announce itself.
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "dreamsim: pprof server:", err)
+			}
+		}()
+	}
+	if opts.capture() {
+		if compare {
+			return fmt.Errorf("-trace-out/-timeline-out record one engine's stream; drop -compare")
+		}
+		if seeds != 1 && workloadIn == "" {
+			return fmt.Errorf("-trace-out/-timeline-out record one run; use -seeds 1 (have %d)", seeds)
+		}
+		if opts.timelineOut != "" && opts.sample <= 0 {
+			opts.sample = 1
+		}
+	}
+	// Build the capture sinks up front; traceSink fans into all of them.
+	var (
+		sinks      []obs.TraceSink
+		chromeSink *obs.Chrome
+		csvSink    *obs.CSV
+		timeline   *obs.Timeline
+		traceFile  *os.File
+	)
+	if opts.traceOut != "" {
+		f, err := os.Create(opts.traceOut)
+		if err != nil {
+			return err
+		}
+		traceFile = f
+		if strings.HasSuffix(opts.traceOut, ".json") {
+			chromeSink = obs.NewChrome(f)
+			sinks = append(sinks, chromeSink)
+		} else {
+			csvSink = obs.NewCSV(f)
+			sinks = append(sinks, csvSink)
+		}
+	}
+	if opts.timelineOut != "" {
+		timeline = obs.NewTimeline()
+		sinks = append(sinks, timeline)
+	}
+	traceSink := obs.Multi(sinks...)
 
 	gs := grid.DefaultGridSpec()
 	gs.GPPNodes = gppNodes
@@ -179,6 +260,8 @@ func run(strategyName, queueName string, tasks int, rate float64, seeds int, see
 			cfg := grid.DefaultConfig()
 			cfg.Strategy = s
 			cfg.Queue = queue
+			cfg.Tracer = traceSink
+			cfg.SampleEverySeconds = opts.sample
 			reg, err := grid.BuildGrid(gs)
 			if err != nil {
 				return err
@@ -238,11 +321,27 @@ func run(strategyName, queueName string, tasks int, rate float64, seeds int, see
 			cfg := grid.DefaultConfig()
 			cfg.Strategy = s
 			cfg.Queue = queue
+			cfg.SampleEverySeconds = opts.sample
 			points[si] = grid.SweepPoint{Name: s.Name(), Config: cfg, Grid: gs, Workload: mkWorkload(), Faults: fspec}
 		}
-		res, err := grid.Sweep(context.Background(), grid.SweepSpec{
-			Points: points, Seeds: seedList, Toolchain: tc,
-		})
+		spec := grid.SweepSpec{Points: points, Seeds: seedList, Toolchain: tc}
+		total := len(points) * len(seedList)
+		if opts.progress {
+			spec.Progress = func(rr grid.ReplicaResult) {
+				status := "ok"
+				if rr.Err != nil {
+					status = rr.Err.Error()
+				}
+				fmt.Fprintf(os.Stderr, "dreamsim: replica %d/%d (%s, seed %d): %s\n",
+					rr.Replica.Index+1, total, rr.Replica.Name, rr.Replica.Seed, status)
+			}
+		}
+		if traceSink != nil {
+			// Capture mode is one strategy × one seed, so the single
+			// replica owns the whole stream.
+			spec.SinkFactory = func(grid.Replica) obs.TraceSink { return traceSink }
+		}
+		res, err := grid.Sweep(context.Background(), spec)
 		if err != nil {
 			return err
 		}
@@ -252,6 +351,40 @@ func run(strategyName, queueName string, tasks int, rate float64, seeds int, see
 			}
 			perStrategy[r.Replica.Point] = append(perStrategy[r.Replica.Point], r.Metrics)
 		}
+	}
+
+	// Finalize capture output: the Chrome document needs its closing
+	// bracket, the CSV its flush, and the timeline its own file.
+	if traceFile != nil {
+		if chromeSink != nil {
+			if err := chromeSink.Close(); err != nil {
+				return fmt.Errorf("writing %s: %w", opts.traceOut, err)
+			}
+		}
+		if csvSink != nil {
+			if err := csvSink.Close(); err != nil {
+				return fmt.Errorf("writing %s: %w", opts.traceOut, err)
+			}
+		}
+		if err := traceFile.Close(); err != nil {
+			return fmt.Errorf("closing %s: %w", opts.traceOut, err)
+		}
+		fmt.Fprintln(os.Stderr, "dreamsim: wrote trace to", opts.traceOut)
+	}
+	if timeline != nil {
+		f, err := os.Create(opts.timelineOut)
+		if err != nil {
+			return err
+		}
+		if err := timeline.WriteCSV(f); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("writing %s: %w", opts.timelineOut, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing %s: %w", opts.timelineOut, err)
+		}
+		fmt.Fprintf(os.Stderr, "dreamsim: wrote %d timeline samples to %s\n", len(timeline.Samples()), opts.timelineOut)
+		fmt.Print(timeline.Summary("Timeline (virtual-time weighted)"))
 	}
 
 	cols := []string{"Strategy", "done", "unfinished", "mean wait", "p95 wait", "turnaround",

@@ -1,0 +1,270 @@
+package grid
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// traceTally is the event-stream recomputation of the Metrics counters:
+// every counter here has exactly one emission site in the engine, so on
+// a drained run the two accountings must agree exactly. A divergence
+// means an instrumented path stopped emitting (or a counter stopped
+// counting) — the bug class this differential test exists to catch.
+type traceTally struct {
+	queued, reconfig, complete, fail, lost, retry     int
+	nodeDown, nodeUp, seu, linkDegraded, leaseExpired int
+	tasks                                             map[string]bool
+}
+
+func tallyTrace(events []obs.Event) traceTally {
+	tt := traceTally{tasks: map[string]bool{}}
+	for _, ev := range events {
+		switch ev.Kind {
+		case obs.KindQueued:
+			tt.queued++
+			tt.tasks[ev.TaskID] = true
+		case obs.KindReconfig:
+			tt.reconfig++
+		case obs.KindComplete:
+			tt.complete++
+		case obs.KindFail:
+			tt.fail++
+		case obs.KindLost:
+			tt.lost++
+		case obs.KindRetry:
+			tt.retry++
+		case obs.KindNodeDown:
+			tt.nodeDown++
+		case obs.KindNodeUp:
+			tt.nodeUp++
+		case obs.KindSEU:
+			tt.seu++
+		case obs.KindLinkDegraded:
+			tt.linkDegraded++
+		case obs.KindLeaseExpired:
+			tt.leaseExpired++
+		}
+	}
+	return tt
+}
+
+// differentialRegimes are the fault environments the trace-vs-metrics
+// property is checked under: a clean run, the golden trace's moderate
+// spec, and the determinism suite's hostile spec.
+func differentialRegimes() map[string]*faults.Spec {
+	moderate := faults.Default()
+	moderate.CrashRate = 0.05
+	moderate.MeanOutageSeconds = 12
+	moderate.SEURate = 0.05
+	moderate.LinkFaultRate = 0.03
+	moderate.MeanLinkFaultSeconds = 15
+	moderate.LeaseTTLSeconds = 2
+	moderate.Retry = faults.RetryPolicy{MaxRetries: 6, BackoffSeconds: 0.5, BackoffCapSeconds: 8}
+	return map[string]*faults.Spec{
+		"no-faults": nil,
+		"moderate":  &moderate,
+		"hostile":   hostileFaults(),
+	}
+}
+
+// TestTraceMetricsDifferential recomputes the run's headline counters
+// from the raw event stream for every strategy under every fault regime
+// and cross-checks them against the engine's own Metrics.
+func TestTraceMetricsDifferential(t *testing.T) {
+	tc, err := DefaultToolchain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tasks = 30
+	for regime, fs := range differentialRegimes() {
+		for _, strat := range sched.All() {
+			regime, fs, strat := regime, fs, strat
+			t.Run(regime+"/"+strat.Name(), func(t *testing.T) {
+				t.Parallel()
+				rec := &obs.Recorder{}
+				cfg := DefaultConfig()
+				cfg.Strategy = strat
+				cfg.SampleEverySeconds = 1
+				m, err := RunScenario(context.Background(), ScenarioSpec{
+					Seed:      4242,
+					Config:    cfg,
+					Grid:      DefaultGridSpec(),
+					Workload:  DefaultWorkload(tasks, 1),
+					Toolchain: tc,
+					Faults:    fs,
+					Sinks:     []obs.TraceSink{rec},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				tt := tallyTrace(rec.Events())
+				for _, ck := range []struct {
+					name          string
+					trace, metric int
+				}{
+					{"submitted", tt.queued, m.Submitted},
+					{"completed", tt.complete, m.Completed},
+					{"reconfigs", tt.reconfig, m.Reconfigs},
+					{"failures", tt.fail, m.Failures},
+					{"lost", tt.lost, m.TasksLost},
+					{"retries", tt.retry, m.Retries},
+					{"node crashes", tt.nodeDown, m.NodeCrashes},
+					{"node recoveries", tt.nodeUp, m.NodeRecoveries},
+					{"seu faults", tt.seu, m.SEUFaults},
+					{"link faults", tt.linkDegraded, m.LinkFaults},
+					{"lease expiries", tt.leaseExpired, m.LeaseExpiries},
+				} {
+					if ck.trace != ck.metric {
+						t.Errorf("%s: trace says %d, metrics say %d", ck.name, ck.trace, ck.metric)
+					}
+				}
+				// Structural properties of the stream itself.
+				if len(tt.tasks) != tasks {
+					t.Errorf("trace queued %d distinct tasks, workload has %d", len(tt.tasks), tasks)
+				}
+				if got := tt.queued - tt.complete - tt.lost; got != m.Unfinished {
+					t.Errorf("unfinished from trace = %d, metrics say %d", got, m.Unfinished)
+				}
+				if regime == "hostile" && tt.nodeDown+tt.seu+tt.linkDegraded == 0 {
+					t.Error("hostile regime fired no faults; the differential checked nothing")
+				}
+			})
+		}
+	}
+}
+
+// TestSamplingDoesNotPerturbRun: the sampler only reads engine state, so
+// switching it on must not move a single metric — the full fault
+// fingerprint has to match a sampler-free run bit for bit.
+func TestSamplingDoesNotPerturbRun(t *testing.T) {
+	run := func(sample float64) string {
+		cfg := DefaultConfig()
+		cfg.SampleEverySeconds = sample
+		cfg.Tracer = obs.Noop{}
+		m, err := RunScenario(context.Background(), ScenarioSpec{
+			Seed:     99,
+			Config:   cfg,
+			Grid:     DefaultGridSpec(),
+			Workload: DefaultWorkload(25, 1),
+			Faults:   hostileFaults(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return faultFingerprint(m)
+	}
+	if with, without := run(0.5), run(0); with != without {
+		t.Errorf("sampling changed the run:\nwith:\n%s\nwithout:\n%s", with, without)
+	}
+}
+
+// TestChromeTraceWorkerIndependence runs the same sweep with one worker
+// and with four, each replica streaming its Chrome trace into its own
+// buffer, and requires the documents to be byte-identical: pid/tid
+// assignment and record order must depend only on the replica's seed,
+// never on scheduling of the worker pool.
+func TestChromeTraceWorkerIndependence(t *testing.T) {
+	render := func(workers int) map[int][]byte {
+		var mu sync.Mutex
+		sinks := map[int]*obs.Chrome{}
+		bufs := map[int]*bytes.Buffer{}
+		cfgFF := DefaultConfig()
+		cfgRA := DefaultConfig()
+		if alt, err := sched.ByName("reconfig-aware"); err == nil {
+			cfgRA.Strategy = alt
+		}
+		spec := SweepSpec{
+			Points: []SweepPoint{
+				{Name: "first-fit", Config: cfgFF, Grid: DefaultGridSpec(), Workload: DefaultWorkload(15, 1), Faults: hostileFaults()},
+				{Name: "alt", Config: cfgRA, Grid: DefaultGridSpec(), Workload: DefaultWorkload(15, 1), Faults: hostileFaults()},
+			},
+			Seeds:   []uint64{11, 22},
+			Workers: workers,
+			SinkFactory: func(r Replica) obs.TraceSink {
+				var buf bytes.Buffer
+				sink := obs.NewChrome(&buf)
+				mu.Lock()
+				sinks[r.Index] = sink
+				bufs[r.Index] = &buf
+				mu.Unlock()
+				return sink
+			},
+		}
+		res, err := Sweep(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rr := range res.Replicas {
+			if rr.Err != nil {
+				t.Fatalf("replica %d: %v", rr.Replica.Index, rr.Err)
+			}
+		}
+		out := map[int][]byte{}
+		for idx, sink := range sinks {
+			if err := sink.Close(); err != nil {
+				t.Fatalf("closing replica %d sink: %v", idx, err)
+			}
+			out[idx] = bufs[idx].Bytes()
+		}
+		return out
+	}
+	serial := render(1)
+	parallel := render(4)
+	if len(serial) != len(parallel) || len(serial) == 0 {
+		t.Fatalf("replica counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for idx, want := range serial {
+		got, ok := parallel[idx]
+		if !ok {
+			t.Errorf("replica %d missing from parallel sweep", idx)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("replica %d: chrome trace differs between workers=1 (%d bytes) and workers=4 (%d bytes)",
+				idx, len(want), len(got))
+		}
+		if len(want) < 20 {
+			t.Errorf("replica %d produced a suspiciously small trace (%d bytes)", idx, len(want))
+		}
+	}
+}
+
+// TestSweepProgressCallback: the Progress hook must fire exactly once
+// per replica, with that replica's own result.
+func TestSweepProgressCallback(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]int{}
+	spec := SweepSpec{
+		Points: []SweepPoint{
+			{Name: "p", Config: DefaultConfig(), Grid: DefaultGridSpec(), Workload: DefaultWorkload(10, 1)},
+		},
+		Seeds:   []uint64{1, 2, 3},
+		Workers: 3,
+		Progress: func(rr ReplicaResult) {
+			mu.Lock()
+			seen[rr.Replica.Index]++
+			mu.Unlock()
+			if rr.Err == nil && rr.Metrics == nil {
+				t.Error("progress callback without metrics or error")
+			}
+		},
+	}
+	res, err := Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(res.Replicas) {
+		t.Fatalf("progress fired for %d of %d replicas", len(seen), len(res.Replicas))
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Errorf("replica %d reported %d times", idx, n)
+		}
+	}
+}

@@ -7,11 +7,13 @@ import (
 	"sort"
 	"strconv"
 
+	"repro/internal/capability"
 	"repro/internal/faults"
 	"repro/internal/hdl"
 	"repro/internal/jss"
 	"repro/internal/network"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/pe"
 	"repro/internal/rms"
 	"repro/internal/sched"
@@ -41,8 +43,21 @@ type Config struct {
 	// library for the workload's IP designs (the paper's OpenCores
 	// scenario): CAD time is paid offline, not on the task critical path.
 	PrewarmSynthesis bool
-	// Tracer, when non-nil, records per-task lifecycle events.
-	Tracer *Recorder
+	// Tracer, when non-nil, receives per-task lifecycle events (and gauge
+	// samples when SampleEverySeconds is set). Any obs.TraceSink works:
+	// the in-memory Recorder, the streaming CSV/Chrome sinks, a Timeline,
+	// or an obs.Multi fan-out. Events are emitted on the simulator
+	// goroutine in virtual-time order; the engine never flushes or closes
+	// the sink — its creator owns that.
+	Tracer TraceSink
+	// SampleEverySeconds, when positive, makes the engine snapshot its
+	// gauges (queue depth, per-kind utilization, fabric occupancy,
+	// outages, energy) into the Tracer's Sample method every interval of
+	// virtual time. The sampler rides the event queue and stops when the
+	// simulation drains; a final sample lands at end-of-run. Sampling
+	// reads engine state but never mutates it, so enabling it cannot
+	// change metrics or traces.
+	SampleEverySeconds float64
 	// Faults carries the active fault policy (retry bounds, lease TTL)
 	// for engines driven with InjectFaults; nil disables lease
 	// monitoring and gives aborted tasks unlimited immediate retries
@@ -73,6 +88,9 @@ func (c Config) Validate() error {
 	}
 	if c.LinkLatencySeconds < 0 {
 		return fmt.Errorf("grid: negative link latency")
+	}
+	if c.SampleEverySeconds < 0 {
+		return fmt.Errorf("grid: negative sampling interval")
 	}
 	return nil
 }
@@ -114,8 +132,14 @@ type Engine struct {
 	seq   int
 	m     *Metrics
 	// running tracks in-flight executions per element, for failure
-	// injection.
-	running map[*node.Element][]*execution
+	// injection; runningByKind counts them per element kind so the gauge
+	// sampler stays O(nodes) instead of walking every execution.
+	running       map[*node.Element][]*execution
+	runningByKind map[capability.Kind]int
+	// lastReal is the virtual time of the last traced (model) event; the
+	// end-of-run metrics window clamps to it when sampling is enabled so
+	// a trailing sampler tick cannot widen WindowSeconds/Availability.
+	lastReal sim.Time
 	// Fault-injection state, touched only from simulator handlers: mon
 	// is the RMS lease monitor; down maps a crashed node to the fault
 	// Seq that downed it, downNode/downSince keep the detached object
@@ -151,18 +175,19 @@ func NewEngine(cfg Config, reg *rms.Registry, mm *rms.Matchmaker) (*Engine, erro
 	// replicas) would race, so clone it when it says it can be cloned.
 	cfg.Strategy = sched.ForEngine(cfg.Strategy)
 	return &Engine{
-		cfg:       cfg,
-		S:         sim.NewSimulator(),
-		Reg:       reg,
-		MM:        mm,
-		J:         jss.New(),
-		m:         newMetrics(cfg.Strategy.Name()),
-		running:   make(map[*node.Element][]*execution),
-		mon:       rms.NewMonitor(),
-		down:      make(map[string]uint64),
-		downNode:  make(map[string]*node.Node),
-		downSince: make(map[string]sim.Time),
-		linkFault: make(map[string]faults.Event),
+		cfg:           cfg,
+		S:             sim.NewSimulator(),
+		Reg:           reg,
+		MM:            mm,
+		J:             jss.New(),
+		m:             newMetrics(cfg.Strategy.Name()),
+		running:       make(map[*node.Element][]*execution),
+		runningByKind: make(map[capability.Kind]int),
+		mon:           rms.NewMonitor(),
+		down:          make(map[string]uint64),
+		downNode:      make(map[string]*node.Node),
+		downSince:     make(map[string]sim.Time),
+		linkFault:     make(map[string]faults.Event),
 	}, nil
 }
 
@@ -333,7 +358,7 @@ func (e *Engine) enqueue(run *appRun, taskID string) {
 	e.m.Submitted++
 	e.queue = append(e.queue, &item{run: run, t: t, enq: e.S.Now(), seq: e.seq})
 	e.J.Notify(run.sub.ID, e.S.Now(), taskID, "queued")
-	e.cfg.Tracer.record(TraceEvent{Time: e.S.Now(), Kind: TraceQueued, TaskID: taskID})
+	e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindQueued, TaskID: taskID})
 	e.tryDispatch()
 }
 
@@ -458,10 +483,17 @@ func (e *Engine) execute(it *item, opt sched.Option, lease *rms.Lease) {
 	exe := &execution{it: it, lease: lease}
 	elem := opt.Cand.Elem
 	e.running[elem] = append(e.running[elem], exe)
-	e.cfg.Tracer.record(TraceEvent{
-		Time: now, Kind: TraceDispatch, TaskID: it.t.ID,
+	e.runningByKind[elem.Kind]++
+	e.trace(obs.Event{
+		Time: now, Kind: obs.KindDispatch, TaskID: it.t.ID,
 		Node: opt.Cand.Node.ID, Element: elem.ID,
 	})
+	if lease.ReconfigDelay > 0 {
+		e.trace(obs.Event{
+			Time: now, Kind: obs.KindReconfig, TaskID: it.t.ID,
+			Node: opt.Cand.Node.ID, Element: elem.ID,
+		})
+	}
 	e.superviseLease(exe)
 	exe.ev = e.S.After(sim.Time(span), "complete "+it.t.ID, func() {
 		end := e.S.Now()
@@ -486,8 +518,8 @@ func (e *Engine) execute(it *item, opt sched.Option, lease *rms.Lease) {
 		}
 		e.J.Charge(run.sub.ID, exec, kind)
 		e.J.Notify(run.sub.ID, end, it.t.ID, "completed")
-		e.cfg.Tracer.record(TraceEvent{
-			Time: end, Kind: TraceComplete, TaskID: it.t.ID,
+		e.trace(obs.Event{
+			Time: end, Kind: obs.KindComplete, TaskID: it.t.ID,
 			Node: opt.Cand.Node.ID, Element: elem.ID,
 		})
 		e.J.TaskDone(run.sub.ID, end)
@@ -520,12 +552,97 @@ func (e *Engine) dropRunning(elem *node.Element, exe *execution) {
 	for i, cur := range list {
 		if cur == exe {
 			e.running[elem] = append(list[:i], list[i+1:]...)
+			e.runningByKind[elem.Kind]--
 			break
 		}
 	}
 	if len(e.running[elem]) == 0 {
 		delete(e.running, elem)
 	}
+}
+
+// trace forwards one event to the configured sink, if any.
+func (e *Engine) trace(ev obs.Event) {
+	if ev.Time > e.lastReal {
+		e.lastReal = ev.Time
+	}
+	if e.cfg.Tracer != nil {
+		e.cfg.Tracer.Emit(ev)
+	}
+}
+
+// samplingEnabled reports whether the periodic gauge sampler runs.
+func (e *Engine) samplingEnabled() bool {
+	return e.cfg.Tracer != nil && e.cfg.SampleEverySeconds > 0
+}
+
+// startSampler schedules the recurring gauge snapshot: one sample now,
+// then one every SampleEverySeconds while other events remain — the
+// sampler never keeps the simulation alive on its own, so the event loop
+// still drains.
+func (e *Engine) startSampler() {
+	dt := sim.Time(e.cfg.SampleEverySeconds)
+	var tick func()
+	tick = func() {
+		e.emitSample()
+		if e.S.Pending() > 0 {
+			e.S.After(dt, "obs-sample", tick)
+		}
+	}
+	e.S.Schedule(e.S.Now(), "obs-sample", tick)
+}
+
+// emitSample snapshots the engine's gauges into one obs.Sample. It walks
+// the registry in registration order (deterministic) and reads only —
+// sampling cannot perturb the run.
+func (e *Engine) emitSample() {
+	s := obs.Sample{
+		Time:         e.S.Now(),
+		QueueDepth:   len(e.queue),
+		RetryBacklog: e.retryPending,
+		NodesDown:    len(e.down),
+		Completed:    e.m.Completed,
+		EnergyJoules: e.m.Energy.TotalJoules(),
+	}
+	var unitsGPP, unitsFPGA, unitsGPU int
+	for _, n := range e.Reg.Nodes() {
+		for _, el := range n.Elements() {
+			switch el.Kind {
+			case capability.KindGPP:
+				u := 1
+				if el.GPP != nil {
+					u = el.GPP.Caps.Cores
+				}
+				unitsGPP += u
+			case capability.KindFPGA:
+				unitsFPGA++
+				if el.Fabric != nil {
+					st := el.Fabric.State()
+					s.FabricSlicesTotal += st.TotalSlices
+					s.FabricSlicesUsed += st.TotalSlices - st.AvailableSlices
+					s.FabricRegions += len(st.Configurations)
+				}
+			case capability.KindGPU:
+				unitsGPU++
+			}
+		}
+	}
+	s.RunningGPP = e.runningByKind[capability.KindGPP]
+	s.RunningFPGA = e.runningByKind[capability.KindFPGA]
+	s.RunningGPU = e.runningByKind[capability.KindGPU]
+	s.Running = s.RunningGPP + s.RunningFPGA + s.RunningGPU
+	s.UtilGPP = unitRatio(s.RunningGPP, unitsGPP)
+	s.UtilFPGA = unitRatio(s.RunningFPGA, unitsFPGA)
+	s.UtilGPU = unitRatio(s.RunningGPU, unitsGPU)
+	e.cfg.Tracer.Sample(s)
+}
+
+// unitRatio divides occupancy by capacity, 0 when capacity is absent.
+func unitRatio(busy, units int) float64 {
+	if units <= 0 {
+		return 0
+	}
+	return float64(busy) / float64(units)
 }
 
 // FailElementAt injects an element failure at a virtual time: every task
@@ -581,8 +698,8 @@ func (e *Engine) failExecution(exe *execution, nodeID, elemID string) {
 	e.m.Failures++
 	e.J.Notify(exe.it.run.sub.ID, e.S.Now(), exe.it.t.ID,
 		"failed on "+nodeID+"/"+elemID+", requeued")
-	e.cfg.Tracer.record(TraceEvent{
-		Time: e.S.Now(), Kind: TraceFail, TaskID: exe.it.t.ID,
+	e.trace(obs.Event{
+		Time: e.S.Now(), Kind: obs.KindFail, TaskID: exe.it.t.ID,
 		Node: nodeID, Element: elemID,
 	})
 	e.requeueOrLose(exe.it)
@@ -602,7 +719,7 @@ func (e *Engine) requeueOrLose(it *item) {
 	}
 	if pol.MaxRetries > 0 && it.attempts > pol.MaxRetries {
 		e.m.TasksLost++
-		e.cfg.Tracer.record(TraceEvent{Time: e.S.Now(), Kind: TraceLost, TaskID: it.t.ID})
+		e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindLost, TaskID: it.t.ID})
 		e.J.Fail(it.run.sub.ID, e.S.Now(), "task "+it.t.ID+" lost after "+strconv.Itoa(it.attempts)+" failed attempts")
 		return
 	}
@@ -611,7 +728,7 @@ func (e *Engine) requeueOrLose(it *item) {
 	e.S.After(sim.Time(pol.Delay(it.attempts)), "retry "+it.t.ID, func() {
 		e.retryPending--
 		e.queue = append(e.queue, it)
-		e.cfg.Tracer.record(TraceEvent{Time: e.S.Now(), Kind: TraceRetry, TaskID: it.t.ID})
+		e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindRetry, TaskID: it.t.ID})
 		e.J.Notify(it.run.sub.ID, e.S.Now(), it.t.ID, "requeued for retry")
 		e.tryDispatch()
 	})
@@ -629,6 +746,9 @@ func (e *Engine) requeueOrLose(it *item) {
 // context.Background().
 func (e *Engine) Run(ctx context.Context) (*Metrics, error) {
 	e.S.Horizon = e.cfg.Horizon
+	if e.samplingEnabled() {
+		e.startSampler()
+	}
 	if err := e.S.RunContext(ctx); err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			e.finish()
@@ -646,6 +766,12 @@ func (e *Engine) Run(ctx context.Context) (*Metrics, error) {
 // closed, and idle capacity is charged.
 func (e *Engine) finish() {
 	now := e.S.Now()
+	// With sampling on, the clock may have been advanced past the last
+	// model event by a trailing sampler tick; the metrics window must
+	// not depend on whether an observer was attached.
+	if e.samplingEnabled() && e.lastReal > 0 && e.lastReal < now {
+		now = e.lastReal
+	}
 	inflight := 0
 	for _, list := range e.running {
 		inflight += len(list)
@@ -665,6 +791,11 @@ func (e *Engine) finish() {
 	e.m.WindowSeconds = float64(now)
 	e.m.Nodes = e.Reg.Len() + len(e.down)
 	e.fillCapacity()
+	// A final sample closes every timeline series at end-of-run (with
+	// idle energy now billed).
+	if e.samplingEnabled() {
+		e.emitSample()
+	}
 }
 
 // fillCapacity computes per-kind capacity-seconds over the makespan and
@@ -718,6 +849,10 @@ type ScenarioSpec struct {
 	// sweep replicas derive independent-but-seeded schedules. A zero
 	// HorizonSeconds is defaulted from the workload's arrival window.
 	Faults *faults.Spec
+	// Sinks are extra trace sinks for this run, multiplexed together with
+	// Config.Tracer via obs.Multi. The caller keeps ownership: RunScenario
+	// neither flushes nor closes them.
+	Sinks []obs.TraceSink
 }
 
 // RunScenario is the one-call harness used by benchmarks and commands:
@@ -741,6 +876,12 @@ func RunScenario(ctx context.Context, spec ScenarioSpec) (*Metrics, error) {
 		}
 	}
 	cfg := spec.Config
+	if len(spec.Sinks) > 0 {
+		all := make([]obs.TraceSink, 0, len(spec.Sinks)+1)
+		all = append(all, cfg.Tracer)
+		all = append(all, spec.Sinks...)
+		cfg.Tracer = obs.Multi(all...)
+	}
 	if spec.Faults != nil {
 		f := *spec.Faults
 		if f.Enabled() && f.HorizonSeconds <= 0 {

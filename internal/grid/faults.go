@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -91,8 +92,8 @@ func (e *Engine) expireLease(exe *execution) {
 	elemID := exe.lease.Cand.Elem.ID
 	e.mon.Expire(exe.lease)
 	e.m.LeaseExpiries++
-	e.cfg.Tracer.record(TraceEvent{
-		Time: e.S.Now(), Kind: TraceLeaseExpired, TaskID: exe.it.t.ID,
+	e.trace(obs.Event{
+		Time: e.S.Now(), Kind: obs.KindLeaseExpired, TaskID: exe.it.t.ID,
 		Node: nodeID, Element: elemID,
 	})
 	e.failExecution(exe, nodeID, elemID)
@@ -131,7 +132,7 @@ func (e *Engine) applyCrash(ev faults.Event) {
 	e.downNode[ev.Node] = n
 	e.downSince[ev.Node] = e.S.Now()
 	e.m.NodeCrashes++
-	e.cfg.Tracer.record(TraceEvent{Time: e.S.Now(), Kind: TraceNodeDown, Node: ev.Node})
+	e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindNodeDown, Node: ev.Node})
 	for _, el := range n.Elements() {
 		for _, exe := range e.running[el] {
 			e.S.Cancel(exe.ev)
@@ -171,7 +172,7 @@ func (e *Engine) applyRecover(ev faults.Event) {
 	if err := e.Reg.AddNode(n); err != nil {
 		panic(fmt.Sprintf("grid: re-adding recovered node %s: %v", ev.Node, err))
 	}
-	e.cfg.Tracer.record(TraceEvent{Time: e.S.Now(), Kind: TraceNodeUp, Node: ev.Node})
+	e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindNodeUp, Node: ev.Node})
 	e.tryDispatch()
 }
 
@@ -200,7 +201,7 @@ func (e *Engine) applySEU(ev faults.Event) {
 	}
 	r := regs[int((ev.Selector>>16)%uint64(len(regs)))]
 	e.m.SEUFaults++
-	e.cfg.Tracer.record(TraceEvent{Time: e.S.Now(), Kind: TraceSEU, Node: ev.Node, Element: el.ID})
+	e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindSEU, Node: ev.Node, Element: el.ID})
 	if !r.Busy {
 		_ = el.Fabric.Evict(r)
 		return
@@ -226,7 +227,7 @@ func (e *Engine) applyLinkDegrade(ev faults.Event) {
 	if ev.Partition {
 		detail = "partition"
 	}
-	e.cfg.Tracer.record(TraceEvent{Time: e.S.Now(), Kind: TraceLinkDegraded, Node: ev.Node, Element: detail})
+	e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindLinkDegraded, Node: ev.Node, Element: detail})
 }
 
 // applyLinkRestore clears a link fault, unless a newer fault on the same
@@ -237,6 +238,6 @@ func (e *Engine) applyLinkRestore(ev faults.Event) {
 		return
 	}
 	delete(e.linkFault, ev.Node)
-	e.cfg.Tracer.record(TraceEvent{Time: e.S.Now(), Kind: TraceLinkRestored, Node: ev.Node})
+	e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindLinkRestored, Node: ev.Node})
 	e.tryDispatch()
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/hdl"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -67,6 +68,20 @@ type SweepSpec struct {
 	// Toolchain is shared by every replica (it is immutable after
 	// construction); nil models a provider without CAD tools.
 	Toolchain *hdl.Toolchain
+	// Progress, when non-nil, is called once per finished replica, from
+	// the worker goroutine that ran it and in completion order (which is
+	// nondeterministic with Workers > 1). It must be safe for concurrent
+	// use and fast — it sits on the sweep's critical path. Replicas the
+	// sweep never started (context cancelled first) get no callback.
+	Progress func(ReplicaResult)
+	// SinkFactory, when non-nil, builds one trace sink per replica,
+	// attached for that replica's run and flushed when it finishes (a
+	// flush error surfaces as the replica's error). The factory runs on
+	// worker goroutines, so it must be safe for concurrent use; returning
+	// nil skips tracing for that replica. Closing the sinks is the
+	// caller's job — the factory's closure is the natural place to retain
+	// them.
+	SinkFactory func(Replica) obs.TraceSink
 }
 
 // seeds materializes the replication seed list.
@@ -243,6 +258,9 @@ func Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
 			defer wg.Done()
 			for i := range work {
 				results[i] = runReplica(ctx, spec, replicas[i])
+				if spec.Progress != nil {
+					spec.Progress(results[i])
+				}
 			}
 		}()
 	}
@@ -296,14 +314,26 @@ func runReplica(ctx context.Context, spec SweepSpec, r Replica) (out ReplicaResu
 		defer cancel()
 	}
 	p := spec.Points[r.Point]
-	out.Metrics, out.Err = RunScenario(rctx, ScenarioSpec{
+	scenario := ScenarioSpec{
 		Seed:      r.Seed,
 		Config:    p.Config,
 		Grid:      p.Grid,
 		Workload:  p.Workload,
 		Toolchain: spec.Toolchain,
 		Faults:    p.Faults,
-	})
+	}
+	if spec.SinkFactory != nil {
+		if sink := spec.SinkFactory(r); sink != nil {
+			scenario.Sinks = []obs.TraceSink{sink}
+			defer func() {
+				if err := sink.Flush(); err != nil && out.Err == nil {
+					out.Err = fmt.Errorf("grid: replica %d (%s, seed %#x) sink flush: %w",
+						r.Index, r.Name, r.Seed, err)
+				}
+			}()
+		}
+	}
+	out.Metrics, out.Err = RunScenario(rctx, scenario)
 	return out
 }
 

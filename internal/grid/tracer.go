@@ -1,162 +1,38 @@
 package grid
 
-import (
-	"encoding/csv"
-	"fmt"
-	"io"
-	"sort"
-	"strconv"
-	"strings"
-	"sync"
+import "repro/internal/obs"
 
-	"repro/internal/sim"
-)
+// The trace vocabulary lives in internal/obs (the observability layer);
+// these aliases keep the historical grid names working. Config.Tracer
+// accepts any obs.TraceSink — the in-memory Recorder below, the
+// streaming obs.CSV / obs.Chrome sinks, the sampling obs.Timeline, or an
+// obs.Multi fan-out.
 
-// TraceKind classifies recorder events.
-type TraceKind string
+// TraceKind classifies trace events.
+type TraceKind = obs.Kind
 
-// Trace event kinds. The fault kinds appear only when a fault spec is
-// active: node-down/node-up bracket an outage, seu marks a configuration
-// upset, link-degraded/link-restored bracket a link fault (partitions
-// included), lease-expired records the monitor declaring a lease dead,
-// and retry/lost record a task re-queueing or exhausting its retries.
+// Trace event kinds; see the obs package for their semantics.
 const (
-	TraceQueued       TraceKind = "queued"
-	TraceDispatch     TraceKind = "dispatch"
-	TraceComplete     TraceKind = "complete"
-	TraceFail         TraceKind = "fail"
-	TraceNodeDown     TraceKind = "node-down"
-	TraceNodeUp       TraceKind = "node-up"
-	TraceSEU          TraceKind = "seu"
-	TraceLinkDegraded TraceKind = "link-degraded"
-	TraceLinkRestored TraceKind = "link-restored"
-	TraceLeaseExpired TraceKind = "lease-expired"
-	TraceRetry        TraceKind = "retry"
-	TraceLost         TraceKind = "lost"
+	TraceQueued       = obs.KindQueued
+	TraceDispatch     = obs.KindDispatch
+	TraceReconfig     = obs.KindReconfig
+	TraceComplete     = obs.KindComplete
+	TraceFail         = obs.KindFail
+	TraceNodeDown     = obs.KindNodeDown
+	TraceNodeUp       = obs.KindNodeUp
+	TraceSEU          = obs.KindSEU
+	TraceLinkDegraded = obs.KindLinkDegraded
+	TraceLinkRestored = obs.KindLinkRestored
+	TraceLeaseExpired = obs.KindLeaseExpired
+	TraceRetry        = obs.KindRetry
+	TraceLost         = obs.KindLost
 )
 
 // TraceEvent is one recorded lifecycle event.
-type TraceEvent struct {
-	Time    sim.Time
-	Kind    TraceKind
-	TaskID  string
-	Node    string
-	Element string
-}
+type TraceEvent = obs.Event
 
-// Recorder captures per-task lifecycle events for post-hoc analysis. Attach
-// one via Config.Tracer. The zero value is ready to use. A Recorder is safe
-// to share across engines running on different goroutines (events from
-// concurrent sweep replicas interleave; within one engine they stay in
-// virtual-time order).
-type Recorder struct {
-	mu     sync.Mutex
-	events []TraceEvent // guarded by mu
-}
+// TraceSink consumes engine events and samples; see obs.TraceSink.
+type TraceSink = obs.TraceSink
 
-func (r *Recorder) record(ev TraceEvent) {
-	if r == nil {
-		return
-	}
-	r.mu.Lock()
-	r.events = append(r.events, ev)
-	r.mu.Unlock()
-}
-
-// Events returns the recorded events in emission order.
-func (r *Recorder) Events() []TraceEvent {
-	if r == nil {
-		return nil
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return append([]TraceEvent(nil), r.events...)
-}
-
-// WriteCSV emits the trace as CSV (time_s,kind,task,node,element).
-func (r *Recorder) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"time_s", "kind", "task", "node", "element"}); err != nil {
-		return err
-	}
-	for _, ev := range r.Events() {
-		rec := []string{
-			strconv.FormatFloat(float64(ev.Time), 'g', -1, 64),
-			string(ev.Kind), ev.TaskID, ev.Node, ev.Element,
-		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
-}
-
-// span is one task's occupancy of an element.
-type span struct {
-	task       string
-	start, end sim.Time
-}
-
-// Gantt renders an ASCII Gantt chart: one lane per processing element,
-// bars spanning dispatch→complete, scaled to width columns.
-func (r *Recorder) Gantt(w io.Writer, width int) error {
-	if width < 10 {
-		return fmt.Errorf("grid: gantt width %d too small", width)
-	}
-	open := map[string]TraceEvent{} // task → dispatch event
-	lanes := map[string][]span{}
-	var maxT sim.Time
-	for _, ev := range r.Events() {
-		switch ev.Kind {
-		case TraceDispatch:
-			open[ev.TaskID] = ev
-		case TraceComplete, TraceFail:
-			d, ok := open[ev.TaskID]
-			if !ok {
-				continue
-			}
-			delete(open, ev.TaskID)
-			lane := d.Node + "/" + d.Element
-			lanes[lane] = append(lanes[lane], span{task: ev.TaskID, start: d.Time, end: ev.Time})
-			if ev.Time > maxT {
-				maxT = ev.Time
-			}
-		}
-	}
-	if maxT <= 0 || len(lanes) == 0 {
-		_, err := fmt.Fprintln(w, "(no completed spans)")
-		return err
-	}
-	names := make([]string, 0, len(lanes))
-	nameWidth := 0
-	for name := range lanes {
-		names = append(names, name)
-		if len(name) > nameWidth {
-			nameWidth = len(name)
-		}
-	}
-	sort.Strings(names)
-	scale := float64(width) / float64(maxT)
-	for _, name := range names {
-		row := make([]byte, width)
-		for i := range row {
-			row[i] = '.'
-		}
-		for _, sp := range lanes[name] {
-			lo := int(float64(sp.start) * scale)
-			hi := int(float64(sp.end) * scale)
-			if hi >= width {
-				hi = width - 1
-			}
-			for i := lo; i <= hi && i < width; i++ {
-				row[i] = '#'
-			}
-		}
-		if _, err := fmt.Fprintf(w, "%-*s |%s|\n", nameWidth, name, row); err != nil {
-			return err
-		}
-	}
-	_, err := fmt.Fprintf(w, "%-*s  0%s%s\n", nameWidth, "", strings.Repeat(" ", width-len(maxT.String())), maxT)
-	return err
-}
+// Recorder is the in-memory trace sink; see obs.Recorder.
+type Recorder = obs.Recorder

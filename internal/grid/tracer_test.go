@@ -104,7 +104,7 @@ func TestRecorderGantt(t *testing.T) {
 
 func TestRecorderNilSafe(t *testing.T) {
 	var rec *Recorder
-	rec.record(TraceEvent{}) // must not panic
+	rec.Emit(TraceEvent{}) // must not panic
 	if rec.Events() != nil {
 		t.Error("nil recorder should have no events")
 	}
@@ -116,7 +116,7 @@ func TestRecorderEmptyGantt(t *testing.T) {
 	if err := rec.Gantt(&buf, 40); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "no completed spans") {
+	if !strings.Contains(buf.String(), "no spans") {
 		t.Errorf("empty gantt = %q", buf.String())
 	}
 }

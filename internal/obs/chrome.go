@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Chrome is a streaming Chrome trace-event JSON sink. The output is a
+// JSON-object-format trace document ({"traceEvents":[...]}) loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing:
+//
+//   - one "process" per grid node (plus pid 0, the scheduler) and one
+//     "thread" per processing element, named via metadata events;
+//   - a B/E duration span per dispatch→complete (or →fail) pair, so each
+//     element's track shows its task occupancy;
+//   - instant events for queue/retry/lost activity (scheduler track) and
+//     for faults: SEUs, reconfigurations, lease expiries on the element
+//     track, node-down/up and link faults on the node track;
+//   - counter events ("C") for every gauge Sample, on the scheduler
+//     process.
+//
+// Timestamps are virtual time in microseconds (the format's unit).
+// pids/tids are assigned in first-appearance order, which is
+// deterministic for a single engine: equal seeds give byte-identical
+// documents. Writes stream through a buffered writer; Close finalizes
+// the document. Construct with NewChrome; a zero Chrome is a no-op sink.
+type Chrome struct {
+	mu      sync.Mutex
+	w       *bufio.Writer  // guarded by mu
+	err     error          // guarded by mu; first write error, latched
+	opened  bool           // guarded by mu
+	closed  bool           // guarded by mu
+	first   bool           // guarded by mu; next record needs no separator
+	pids    map[string]int // guarded by mu; node → pid ("" = scheduler)
+	nextPid int            // guarded by mu
+	tids    map[string]int // guarded by mu; node+"\x00"+element → tid
+	nextTid map[int]int    // guarded by mu; per-pid tid allocator
+	buf     []byte         // guarded by mu; reused per record
+}
+
+// NewChrome returns a Chrome trace-event sink over w. Call Close to
+// finalize the JSON document.
+func NewChrome(w io.Writer) *Chrome {
+	return &Chrome{
+		w:       bufio.NewWriter(w),
+		pids:    map[string]int{},
+		tids:    map[string]int{},
+		nextTid: map[int]int{},
+	}
+}
+
+// Emit converts one engine event into trace-event records.
+func (c *Chrome) Emit(ev Event) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.openLocked() {
+		return
+	}
+	switch ev.Kind {
+	case KindQueued, KindRetry, KindLost:
+		pid := c.pidLocked("")
+		tid := c.tidLocked(pid, "", "")
+		c.recordLocked(string(ev.Kind), "i", ev.Time, pid, tid, `"s":"t","args":{"task":`+strconv.Quote(ev.TaskID)+`}`)
+	case KindDispatch:
+		pid := c.pidLocked(ev.Node)
+		tid := c.tidLocked(pid, ev.Node, ev.Element)
+		c.recordLocked(ev.TaskID, "B", ev.Time, pid, tid, "")
+	case KindComplete:
+		pid := c.pidLocked(ev.Node)
+		tid := c.tidLocked(pid, ev.Node, ev.Element)
+		c.recordLocked(ev.TaskID, "E", ev.Time, pid, tid, `"args":{"outcome":"complete"}`)
+	case KindFail:
+		pid := c.pidLocked(ev.Node)
+		tid := c.tidLocked(pid, ev.Node, ev.Element)
+		c.recordLocked(ev.TaskID, "E", ev.Time, pid, tid, `"args":{"outcome":"fail"}`)
+	case KindReconfig, KindSEU, KindLeaseExpired:
+		pid := c.pidLocked(ev.Node)
+		tid := c.tidLocked(pid, ev.Node, ev.Element)
+		c.recordLocked(string(ev.Kind), "i", ev.Time, pid, tid, `"s":"t","args":{"task":`+strconv.Quote(ev.TaskID)+`}`)
+	case KindNodeDown, KindNodeUp:
+		pid := c.pidLocked(ev.Node)
+		tid := c.tidLocked(pid, ev.Node, "")
+		c.recordLocked(string(ev.Kind), "i", ev.Time, pid, tid, `"s":"p"`)
+	case KindLinkDegraded, KindLinkRestored:
+		// For link events Element carries the fault detail, not a track.
+		pid := c.pidLocked(ev.Node)
+		tid := c.tidLocked(pid, ev.Node, "")
+		c.recordLocked(string(ev.Kind), "i", ev.Time, pid, tid, `"s":"t","args":{"detail":`+strconv.Quote(ev.Element)+`}`)
+	default:
+		pid := c.pidLocked(ev.Node)
+		tid := c.tidLocked(pid, ev.Node, ev.Element)
+		c.recordLocked(string(ev.Kind), "i", ev.Time, pid, tid, `"s":"t"`)
+	}
+}
+
+// Sample renders one gauge snapshot as counter tracks on the scheduler
+// process.
+func (c *Chrome) Sample(s Sample) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.openLocked() {
+		return
+	}
+	pid := c.pidLocked("")
+	tid := c.tidLocked(pid, "", "")
+	c.recordLocked("queue", "C", s.Time, pid, tid,
+		`"args":{"waiting":`+strconv.Itoa(s.QueueDepth)+`,"retry-backlog":`+strconv.Itoa(s.RetryBacklog)+`}`)
+	c.recordLocked("running", "C", s.Time, pid, tid,
+		`"args":{"gpp":`+strconv.Itoa(s.RunningGPP)+`,"fpga":`+strconv.Itoa(s.RunningFPGA)+`,"gpu":`+strconv.Itoa(s.RunningGPU)+`}`)
+	c.recordLocked("fabric-slices", "C", s.Time, pid, tid,
+		`"args":{"used":`+strconv.Itoa(s.FabricSlicesUsed)+`}`)
+	c.recordLocked("nodes-down", "C", s.Time, pid, tid,
+		`"args":{"down":`+strconv.Itoa(s.NodesDown)+`}`)
+	c.recordLocked("energy-joules", "C", s.Time, pid, tid,
+		`"args":{"joules":`+strconv.FormatFloat(s.EnergyJoules, 'f', 3, 64)+`}`)
+}
+
+// Flush pushes buffered records down to the writer. The document is only
+// well-formed JSON after Close.
+func (c *Chrome) Flush() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.w == nil || c.err != nil {
+		return c.err
+	}
+	if err := c.w.Flush(); err != nil {
+		c.err = err
+	}
+	return c.err
+}
+
+// Close terminates the JSON document and flushes it; later Emits are
+// no-ops. An event-free sink still produces a valid empty document.
+// Close is idempotent and keeps returning the latched error.
+func (c *Chrome) Close() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return c.err
+	}
+	if c.w == nil {
+		c.closed = true
+		return nil
+	}
+	c.openLocked() // before closed is set: an empty doc still needs its preamble
+	c.closed = true
+	if c.err == nil {
+		if _, err := c.w.WriteString("\n]}\n"); err != nil {
+			c.err = err
+		}
+	}
+	if err := c.w.Flush(); err != nil && c.err == nil {
+		c.err = err
+	}
+	return c.err
+}
+
+// Err returns the latched write error, if any.
+func (c *Chrome) Err() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// openLocked writes the document preamble on first use; false when the
+// sink cannot accept records.
+func (c *Chrome) openLocked() bool {
+	if c.w == nil || c.closed || c.err != nil {
+		return false
+	}
+	if !c.opened {
+		c.opened = true
+		c.first = true
+		if _, err := c.w.WriteString("{\"traceEvents\":[\n"); err != nil {
+			c.err = err
+			return false
+		}
+	}
+	return true
+}
+
+// pidLocked returns the pid for a node, assigning one (and emitting its
+// process_name metadata) on first appearance. "" is the scheduler.
+func (c *Chrome) pidLocked(node string) int {
+	if pid, ok := c.pids[node]; ok {
+		return pid
+	}
+	pid := c.nextPid
+	c.nextPid++
+	c.pids[node] = pid
+	name := node
+	if name == "" {
+		name = "scheduler"
+	}
+	c.recordLocked("process_name", "M", 0, pid, 0, `"args":{"name":`+strconv.Quote(name)+`}`)
+	return pid
+}
+
+// tidLocked returns the tid for an element within a node's process,
+// assigning one (with thread_name metadata) on first appearance.
+func (c *Chrome) tidLocked(pid int, node, elem string) int {
+	key := node + "\x00" + elem
+	if tid, ok := c.tids[key]; ok {
+		return tid
+	}
+	tid := c.nextTid[pid]
+	c.nextTid[pid] = tid + 1
+	c.tids[key] = tid
+	name := elem
+	if name == "" {
+		if node == "" {
+			name = "queue"
+		} else {
+			name = "node"
+		}
+	}
+	c.recordLocked("thread_name", "M", 0, pid, tid, `"args":{"name":`+strconv.Quote(name)+`}`)
+	return tid
+}
+
+// recordLocked writes one trace-event object carrying the fields Perfetto
+// requires (name, ph, ts, pid, tid); extra is raw JSON appended after
+// them (without a leading comma).
+func (c *Chrome) recordLocked(name, ph string, ts sim.Time, pid, tid int, extra string) {
+	if c.err != nil {
+		return
+	}
+	b := c.buf[:0]
+	if c.first {
+		c.first = false
+	} else {
+		b = append(b, ',', '\n')
+	}
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, name)
+	b = append(b, `,"ph":"`...)
+	b = append(b, ph...)
+	b = append(b, `","ts":`...)
+	b = strconv.AppendFloat(b, float64(ts)*1e6, 'f', -1, 64)
+	b = append(b, `,"pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	if extra != "" {
+		b = append(b, ',')
+		b = append(b, extra...)
+	}
+	b = append(b, '}')
+	c.buf = b
+	if _, err := c.w.Write(b); err != nil {
+		c.err = err
+	}
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// chromeDoc mirrors the JSON-object trace format for shape validation.
+type chromeDoc struct {
+	TraceEvents []map[string]any `json:"traceEvents"`
+}
+
+// chromeFixtureEvents exercises every Emit arm: scheduler instants,
+// dispatch/complete and dispatch/fail span pairs, element- and
+// node-track fault instants, and a link event carrying detail.
+func chromeFixtureEvents() []Event {
+	return []Event{
+		{Time: 0, Kind: KindQueued, TaskID: "t1"},
+		{Time: 0.5, Kind: KindDispatch, TaskID: "t1", Node: "Node0", Element: "GPP0"},
+		{Time: 1, Kind: KindQueued, TaskID: "t2"},
+		{Time: 1.5, Kind: KindDispatch, TaskID: "t2", Node: "Node1", Element: "RPE0"},
+		{Time: 1.5, Kind: KindReconfig, TaskID: "t2", Node: "Node1", Element: "RPE0"},
+		{Time: 2, Kind: KindSEU, TaskID: "t2", Node: "Node1", Element: "RPE0"},
+		{Time: 2.5, Kind: KindFail, TaskID: "t2", Node: "Node1", Element: "RPE0"},
+		{Time: 2.5, Kind: KindRetry, TaskID: "t2"},
+		{Time: 3, Kind: KindNodeDown, Node: "Node1"},
+		{Time: 3.5, Kind: KindLinkDegraded, Node: "Node0", Element: "partition"},
+		{Time: 4, Kind: KindComplete, TaskID: "t1", Node: "Node0", Element: "GPP0"},
+		{Time: 5, Kind: KindLeaseExpired, TaskID: "t2", Node: "Node1", Element: "RPE0"},
+		{Time: 6, Kind: KindLinkRestored, Node: "Node0", Element: ""},
+		{Time: 7, Kind: KindNodeUp, Node: "Node1"},
+		{Time: 8, Kind: KindLost, TaskID: "t2"},
+	}
+}
+
+// TestChromeTraceShape validates the document a Chrome sink writes:
+// parseable JSON in the object format, every record carrying the fields
+// Perfetto requires (name, ph, ts, pid, tid), spans balanced, counters
+// and track metadata present.
+func TestChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewChrome(&buf)
+	for _, ev := range chromeFixtureEvents() {
+		c.Emit(ev)
+	}
+	c.Sample(Sample{Time: 9, QueueDepth: 1, RunningGPP: 1, FabricSlicesUsed: 2, NodesDown: 1, EnergyJoules: 12.5})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+	phases := map[string]int{}
+	openSpans := 0
+	names := map[string]bool{}
+	for i, rec := range doc.TraceEvents {
+		for _, field := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := rec[field]; !ok {
+				t.Fatalf("record %d missing %q: %v", i, field, rec)
+			}
+		}
+		ph, _ := rec["ph"].(string)
+		phases[ph]++
+		switch ph {
+		case "B":
+			openSpans++
+		case "E":
+			openSpans--
+		case "i":
+			if s, _ := rec["s"].(string); s != "t" && s != "p" && s != "g" {
+				t.Errorf("instant record %d has scope %q", i, s)
+			}
+		}
+		if ts, ok := rec["ts"].(float64); !ok || ts < 0 {
+			t.Errorf("record %d ts = %v", i, rec["ts"])
+		}
+		if name, _ := rec["name"].(string); name != "" {
+			names[name] = true
+		}
+		// Track names for metadata records live in args.name.
+		if ph == "M" {
+			args, _ := rec["args"].(map[string]any)
+			if track, _ := args["name"].(string); track != "" {
+				names[track] = true
+			} else {
+				t.Errorf("metadata record %d without args.name: %v", i, rec)
+			}
+		}
+	}
+	if openSpans != 0 {
+		t.Errorf("unbalanced B/E spans: %d left open", openSpans)
+	}
+	if phases["B"] != 2 || phases["E"] != 2 {
+		t.Errorf("span records B=%d E=%d, want 2 each", phases["B"], phases["E"])
+	}
+	if phases["M"] == 0 {
+		t.Error("no track metadata records")
+	}
+	if phases["C"] != 5 {
+		t.Errorf("counter records = %d, want 5 per sample", phases["C"])
+	}
+	for _, want := range []string{"scheduler", "Node0", "Node1", "GPP0", "RPE0",
+		"seu", "reconfig", "node-down", "lease-expired", "energy-joules"} {
+		if !names[want] {
+			t.Errorf("expected record name %q missing", want)
+		}
+	}
+	// Dispatch at t=0.5 must surface as 500000 µs.
+	found := false
+	for _, rec := range doc.TraceEvents {
+		if rec["name"] == "t1" && rec["ph"] == "B" {
+			found = true
+			if ts := rec["ts"].(float64); ts != 500000 {
+				t.Errorf("dispatch ts = %v µs, want 500000", ts)
+			}
+		}
+	}
+	if !found {
+		t.Error("dispatch span for t1 missing")
+	}
+}
+
+// TestChromeDeterministicBytes: the same event sequence must produce
+// byte-identical documents — the property the worker-independence
+// differential test in internal/grid builds on.
+func TestChromeDeterministicBytes(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		c := NewChrome(&buf)
+		for _, ev := range chromeFixtureEvents() {
+			c.Emit(ev)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := render()
+	for i := 0; i < 10; i++ {
+		if got := render(); got != first {
+			t.Fatalf("render %d differs", i)
+		}
+	}
+}
+
+// TestChromeEmptyDocument: a sink closed without traffic still yields a
+// valid, loadable document.
+func TestChromeEmptyDocument(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewChrome(&buf)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty document invalid: %v\n%q", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Errorf("empty sink produced %d records", len(doc.TraceEvents))
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Errorf("document missing traceEvents key: %q", buf.String())
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// span is one task's occupancy of an element.
+type span struct {
+	task       string
+	start, end sim.Time
+	glyph      byte
+}
+
+// Gantt glyphs: a span closed by a completion, a span closed by a
+// fault-induced abort, and a span still in flight when the run ended
+// (horizon cutoff or a crashed node whose lease never expired).
+const (
+	ganttComplete = '#'
+	ganttFailed   = 'x'
+	ganttOpen     = '>'
+)
+
+// Gantt renders an ASCII Gantt chart: one lane per processing element,
+// bars spanning dispatch→completion. Spans that ended in a fault abort
+// render as 'x', and tasks dispatched but never closed — cut off by the
+// horizon or stranded on a dead node — render as '>' through end-of-run
+// instead of being dropped.
+func (r *Recorder) Gantt(w io.Writer, width int) error {
+	if width < 10 {
+		return fmt.Errorf("obs: gantt width %d too small", width)
+	}
+	open := map[string]Event{} // task → dispatch event
+	lanes := map[string][]span{}
+	var maxT sim.Time
+	for _, ev := range r.Events() {
+		if ev.Time > maxT {
+			maxT = ev.Time
+		}
+		switch ev.Kind {
+		case KindDispatch:
+			open[ev.TaskID] = ev
+		case KindComplete, KindFail:
+			d, ok := open[ev.TaskID]
+			if !ok {
+				continue
+			}
+			delete(open, ev.TaskID)
+			glyph := byte(ganttComplete)
+			if ev.Kind == KindFail {
+				glyph = ganttFailed
+			}
+			lane := d.Node + "/" + d.Element
+			lanes[lane] = append(lanes[lane], span{task: ev.TaskID, start: d.Time, end: ev.Time, glyph: glyph})
+		}
+	}
+	// In-flight at end-of-run: extend to the last event time, in sorted
+	// task order so overlapping draws stay deterministic.
+	openIDs := make([]string, 0, len(open))
+	for id := range open {
+		openIDs = append(openIDs, id)
+	}
+	sort.Strings(openIDs)
+	for _, id := range openIDs {
+		d := open[id]
+		lane := d.Node + "/" + d.Element
+		lanes[lane] = append(lanes[lane], span{task: id, start: d.Time, end: maxT, glyph: ganttOpen})
+	}
+	if maxT <= 0 || len(lanes) == 0 {
+		_, err := fmt.Fprintln(w, "(no spans)")
+		return err
+	}
+	names := make([]string, 0, len(lanes))
+	nameWidth := 0
+	for name := range lanes {
+		names = append(names, name)
+		if len(name) > nameWidth {
+			nameWidth = len(name)
+		}
+	}
+	sort.Strings(names)
+	scale := float64(width) / float64(maxT)
+	for _, name := range names {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, sp := range lanes[name] {
+			lo := int(float64(sp.start) * scale)
+			hi := int(float64(sp.end) * scale)
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi && i < width; i++ {
+				row[i] = sp.glyph
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s|\n", nameWidth, name, row); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  0%s%s\n", nameWidth, "", strings.Repeat(" ", width-len(maxT.String())), maxT); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%-*s  %c complete  %c failed  %c in flight at end\n",
+		nameWidth, "", ganttComplete, ganttFailed, ganttOpen)
+	return err
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// ganttFixture builds a recorder holding one lane with a completed span,
+// a failed span, and a span left open at end-of-run, plus a later event
+// that establishes the run's end time.
+func ganttFixture() *Recorder {
+	rec := &Recorder{}
+	for _, ev := range []Event{
+		{Time: 0, Kind: KindQueued, TaskID: "done"},
+		{Time: 1, Kind: KindDispatch, TaskID: "done", Node: "Node0", Element: "GPP0"},
+		{Time: 4, Kind: KindComplete, TaskID: "done", Node: "Node0", Element: "GPP0"},
+		{Time: 5, Kind: KindDispatch, TaskID: "aborted", Node: "Node0", Element: "GPP0"},
+		{Time: 7, Kind: KindFail, TaskID: "aborted", Node: "Node0", Element: "GPP0"},
+		{Time: 8, Kind: KindDispatch, TaskID: "stranded", Node: "Node1", Element: "RPE0"},
+		// The run keeps going after the stranded dispatch; its bar must
+		// extend to this last event, not vanish.
+		{Time: 20, Kind: KindNodeDown, Node: "Node1"},
+	} {
+		rec.Emit(ev)
+	}
+	return rec
+}
+
+func ganttLane(t *testing.T, out, lane string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, lane) {
+			return line
+		}
+	}
+	t.Fatalf("lane %q missing in:\n%s", lane, out)
+	return ""
+}
+
+// TestGanttRendersOpenAndFailedSpans is the regression test for the
+// dropped-span bug: dispatches never closed by complete/fail used to
+// disappear from the chart entirely, and fault aborts drew like normal
+// completions.
+func TestGanttRendersOpenAndFailedSpans(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ganttFixture().Gantt(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	gpp := ganttLane(t, out, "Node0/GPP0")
+	if !strings.ContainsRune(gpp, ganttComplete) {
+		t.Errorf("completed span missing %q glyph: %s", ganttComplete, gpp)
+	}
+	if !strings.ContainsRune(gpp, ganttFailed) {
+		t.Errorf("failed span missing %q glyph: %s", ganttFailed, gpp)
+	}
+	rpe := ganttLane(t, out, "Node1/RPE0")
+	if !strings.ContainsRune(rpe, ganttOpen) {
+		t.Errorf("in-flight span missing %q glyph: %s", ganttOpen, rpe)
+	}
+	// The open span runs from dispatch (t=8) to end-of-run (t=20): at 40
+	// columns over 20s that is columns 16..39, so the bar must reach the
+	// lane's final column.
+	bar := rpe[strings.IndexByte(rpe, '|')+1:]
+	bar = bar[:strings.IndexByte(bar, '|')]
+	if bar[len(bar)-1] != ganttOpen {
+		t.Errorf("open span does not extend to end-of-run: %q", bar)
+	}
+	if !strings.Contains(out, "in flight at end") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestGanttDeterministicOverlap(t *testing.T) {
+	// Two open spans on one lane: rendering must be stable across runs
+	// (sorted task order), so repeated renders are byte-identical.
+	rec := &Recorder{}
+	rec.Emit(Event{Time: 1, Kind: KindDispatch, TaskID: "b", Node: "N", Element: "E"})
+	rec.Emit(Event{Time: 2, Kind: KindDispatch, TaskID: "a", Node: "N", Element: "E"})
+	rec.Emit(Event{Time: 10, Kind: KindNodeDown, Node: "N"})
+	var first bytes.Buffer
+	if err := rec.Gantt(&first, 30); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		var again bytes.Buffer
+		if err := rec.Gantt(&again, 30); err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != first.String() {
+			t.Fatalf("render %d differs:\n%s\nvs\n%s", i, again.String(), first.String())
+		}
+	}
+}
+
+func TestGanttWidthValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ganttFixture().Gantt(&buf, 9); err == nil {
+		t.Error("width 9 accepted")
+	}
+	if err := ganttFixture().Gantt(&buf, 10); err != nil {
+		t.Errorf("width 10 rejected: %v", err)
+	}
+}

@@ -1,0 +1,191 @@
+// Package obs is the simulation's observability layer: a pluggable
+// TraceSink contract the grid engine emits per-task lifecycle events and
+// periodic gauge samples through, plus the stock sink implementations —
+// the in-memory Recorder, a bounded-memory streaming CSV sink, a
+// Chrome/Perfetto trace-event JSON sink, and a Timeline sink that folds
+// samples into virtual-time series. It mirrors the paper's monitoring
+// user service (Fig. 9): the RMS exposes runtime state, consumers decide
+// what to retain.
+//
+// Sink contract:
+//
+//   - Emit and Sample are called on the engine's (simulator) goroutine in
+//     non-decreasing virtual-time order within one engine. Concurrent
+//     engines — sweep replicas sharing one sink — interleave their calls,
+//     so implementations must be safe for concurrent use.
+//   - Emit must be cheap and must not block: it sits on the simulation's
+//     hot path. Heavy encoding belongs behind buffered writers.
+//   - Flush forces buffered output down to the underlying writer and
+//     reports the first write error the sink has seen (errors are
+//     latched: once a write fails the sink stops writing and keeps
+//     returning that error).
+//   - Close flushes and finalizes the output format; streaming sinks
+//     treat every later Emit/Sample as a no-op, while the in-memory
+//     sinks (Recorder, Timeline) keep their contents readable and keep
+//     recording. Close is idempotent. The creator of a sink owns its
+//     lifecycle; the engine never closes sinks it was given.
+//   - All implementations in this package are nil-receiver safe, so an
+//     optional sink can be threaded through without guards.
+package obs
+
+import "repro/internal/sim"
+
+// Kind classifies trace events.
+type Kind string
+
+// Trace event kinds. The fault kinds appear only when a fault spec is
+// active: node-down/node-up bracket an outage, seu marks a configuration
+// upset, link-degraded/link-restored bracket a link fault (partitions
+// included), lease-expired records the monitor declaring a lease dead,
+// and retry/lost record a task re-queueing or exhausting its retries.
+// reconfig marks a dispatch that paid a fabric reconfiguration.
+const (
+	KindQueued       Kind = "queued"
+	KindDispatch     Kind = "dispatch"
+	KindReconfig     Kind = "reconfig"
+	KindComplete     Kind = "complete"
+	KindFail         Kind = "fail"
+	KindNodeDown     Kind = "node-down"
+	KindNodeUp       Kind = "node-up"
+	KindSEU          Kind = "seu"
+	KindLinkDegraded Kind = "link-degraded"
+	KindLinkRestored Kind = "link-restored"
+	KindLeaseExpired Kind = "lease-expired"
+	KindRetry        Kind = "retry"
+	KindLost         Kind = "lost"
+)
+
+// Event is one engine lifecycle event.
+type Event struct {
+	Time   sim.Time
+	Kind   Kind
+	TaskID string
+	Node   string
+	// Element is the processing element involved; for link events it
+	// instead carries the fault detail ("partition" or empty).
+	Element string
+}
+
+// Sample is one periodic gauge snapshot, taken every
+// Config.SampleEverySeconds of virtual time when sampling is enabled.
+type Sample struct {
+	Time sim.Time
+	// QueueDepth counts tasks waiting for dispatch; RetryBacklog tasks
+	// waiting out a retry backoff.
+	QueueDepth   int
+	RetryBacklog int
+	// Running counts in-flight executions, also split per element kind.
+	Running     int
+	RunningGPP  int
+	RunningFPGA int
+	RunningGPU  int
+	// UtilGPP is running GPP executions per GPP core; UtilFPGA and
+	// UtilGPU are executions per element (UtilFPGA can exceed 1 when
+	// partial reconfiguration runs several regions on one fabric).
+	UtilGPP  float64
+	UtilFPGA float64
+	UtilGPU  float64
+	// Fabric occupancy across every reachable RPE: loaded configurations
+	// and slice usage.
+	FabricRegions     int
+	FabricSlicesUsed  int
+	FabricSlicesTotal int
+	// NodesDown counts nodes currently in a crash outage.
+	NodesDown int
+	// Completed is the tasks finished so far; EnergyJoules the energy
+	// drawn so far (active charges only until end-of-run idle billing).
+	Completed    int
+	EnergyJoules float64
+}
+
+// FabricOccupancy returns used/total fabric slices, or 0 without fabric.
+func (s Sample) FabricOccupancy() float64 {
+	if s.FabricSlicesTotal == 0 {
+		return 0
+	}
+	return float64(s.FabricSlicesUsed) / float64(s.FabricSlicesTotal)
+}
+
+// TraceSink consumes engine events and samples. See the package comment
+// for the full contract.
+type TraceSink interface {
+	Emit(ev Event)
+	Sample(s Sample)
+	Flush() error
+	Close() error
+}
+
+// Noop is a TraceSink that discards everything; it measures the pure
+// instrumentation cost in benchmarks and stands in where a sink is
+// required but nothing should be kept.
+type Noop struct{}
+
+// Emit discards the event.
+func (Noop) Emit(Event) {}
+
+// Sample discards the sample.
+func (Noop) Sample(Sample) {}
+
+// Flush reports no error.
+func (Noop) Flush() error { return nil }
+
+// Close reports no error.
+func (Noop) Close() error { return nil }
+
+// multi fans every call out to each member in order.
+type multi []TraceSink
+
+// Multi combines sinks into one fan-out TraceSink. Nil members are
+// dropped; with no (non-nil) members Multi returns nil, and with exactly
+// one it returns that sink unwrapped.
+func Multi(sinks ...TraceSink) TraceSink {
+	out := make(multi, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+// Emit forwards the event to every member.
+func (m multi) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}
+
+// Sample forwards the sample to every member.
+func (m multi) Sample(sa Sample) {
+	for _, s := range m {
+		s.Sample(sa)
+	}
+}
+
+// Flush flushes every member and returns the first error.
+func (m multi) Flush() error {
+	var first error
+	for _, s := range m {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close closes every member and returns the first error.
+func (m multi) Close() error {
+	var first error
+	for _, s := range m {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

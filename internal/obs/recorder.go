@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Recorder is the in-memory TraceSink: it retains every event and sample
+// for post-hoc analysis (CSV dumps, Gantt charts, differential checks).
+// Memory grows with the run — for production-scale sweeps prefer the
+// streaming sinks. The zero value is ready to use, and a Recorder is safe
+// to share across engines running on different goroutines (events from
+// concurrent sweep replicas interleave; within one engine they stay in
+// virtual-time order).
+type Recorder struct {
+	mu      sync.Mutex
+	events  []Event  // guarded by mu
+	samples []Sample // guarded by mu
+}
+
+// Emit retains one event.
+func (r *Recorder) Emit(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Sample retains one gauge snapshot.
+func (r *Recorder) Sample(s Sample) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.samples = append(r.samples, s)
+	r.mu.Unlock()
+}
+
+// Flush is a no-op: a Recorder holds everything in memory.
+func (r *Recorder) Flush() error { return nil }
+
+// Close is a no-op; the recorder's contents stay readable.
+func (r *Recorder) Close() error { return nil }
+
+// Events returns the recorded events in emission order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Samples returns the recorded gauge snapshots in emission order.
+func (r *Recorder) Samples() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Sample(nil), r.samples...)
+}
+
+// WriteCSV emits the trace as CSV (time_s,kind,task,node,element), the
+// same encoding the streaming CSV sink produces incrementally.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "kind", "task", "node", "element"}); err != nil {
+		return err
+	}
+	for _, ev := range r.Events() {
+		rec := []string{
+			strconv.FormatFloat(float64(ev.Time), 'g', -1, 64),
+			string(ev.Kind), ev.TaskID, ev.Node, ev.Element,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -16,6 +16,7 @@ package reconvirt
 
 import (
 	"context"
+	"io"
 
 	"repro/internal/bio"
 	"repro/internal/capability"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/hdl"
 	"repro/internal/jss"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/pe"
 	"repro/internal/profiler"
 	"repro/internal/quipu"
@@ -143,6 +145,47 @@ type (
 	// ScenarioSpec bundles one scenario run's inputs for RunScenario.
 	ScenarioSpec = grid.ScenarioSpec
 )
+
+// Observability (pluggable trace sinks and timeline metrics). The
+// engine emits lifecycle events and periodic gauge samples through any
+// TraceSink wired into SimConfig.Tracer or ScenarioSpec.Sinks; see the
+// obs package comment for the full sink contract.
+type (
+	// TraceSink consumes engine lifecycle events and gauge samples.
+	TraceSink = obs.TraceSink
+	// TraceEvent is one engine lifecycle event.
+	TraceEvent = obs.Event
+	// TraceSample is one periodic gauge snapshot (enable via
+	// SimConfig.SampleEverySeconds).
+	TraceSample = obs.Sample
+	// TraceRecorder retains the full stream in memory for post-hoc
+	// analysis: CSV dumps, Gantt charts, differential checks.
+	TraceRecorder = obs.Recorder
+	// ChromeTrace streams a Chrome trace-event JSON document
+	// (Perfetto-loadable); Close finalizes it.
+	ChromeTrace = obs.Chrome
+	// StreamingCSV streams events as CSV with O(1) memory, byte-identical
+	// to TraceRecorder.WriteCSV output.
+	StreamingCSV = obs.CSV
+	// TimelineSink folds gauge samples into virtual-time series and
+	// report tables.
+	TimelineSink = obs.Timeline
+	// NoopSink discards everything (instrumentation-cost baseline).
+	NoopSink = obs.Noop
+)
+
+// NewChromeTrace returns a Chrome trace-event sink writing to w.
+func NewChromeTrace(w io.Writer) *ChromeTrace { return obs.NewChrome(w) }
+
+// NewStreamingCSV returns a bounded-memory CSV event sink writing to w.
+func NewStreamingCSV(w io.Writer) *StreamingCSV { return obs.NewCSV(w) }
+
+// NewTimeline returns an empty timeline sink.
+func NewTimeline() *TimelineSink { return obs.NewTimeline() }
+
+// MultiSink fans one engine's stream out to several sinks; nil members
+// are dropped.
+func MultiSink(sinks ...TraceSink) TraceSink { return obs.Multi(sinks...) }
 
 // Fault injection and recovery (availability experiments).
 type (
