@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint lint-fix lint-sarif test race verify bench-lint bench-obs cover
+.PHONY: build vet lint lint-fix lint-sarif test race verify bench-lint bench-obs bench-queue cover
 
 # Minimum statement coverage enforced by `make cover`, per package.
 COVER_FLOOR_OBS  ?= 85.0
@@ -29,6 +29,10 @@ test:
 race:
 	$(GO) test -race ./...
 
+# verify is tier-1 plus the migration gate: reconlint's deprecatedshim
+# analyzer fails the lint step if any deprecated alias (sim.EventQueue,
+# reconvirt.SimConfig, DefaultSimConfig, ...) gains a new call site —
+# the committed tree carries zero, so any use is new.
 verify: build vet lint test race
 
 # Regenerate the committed linter benchmark snapshot.
@@ -40,6 +44,13 @@ bench-lint:
 # measured against.
 bench-obs:
 	$(GO) test -run xxx -bench 'BenchmarkSinkOverhead|BenchmarkDReAMSim_ArrivalSweep' -benchtime 3x . | $(GO) run ./cmd/benchjson > BENCH_PR5.json
+
+# Regenerate the committed event-core benchmark snapshot: the scheduler
+# hold model (heap vs wheel at 10^3/10^5/10^6 pending events) plus the
+# DReAMSim sweep points BENCH_PR5.json holds the pre-redesign numbers
+# for.
+bench-queue:
+	$(GO) test -run xxx -bench 'BenchmarkQueue|BenchmarkDReAMSim_ArrivalSweep' -benchtime 200x . | $(GO) run ./cmd/benchjson > BENCH_PR6.json
 
 # Enforce statement-coverage floors on the observability and engine
 # packages. Fails if either package regresses below its floor.

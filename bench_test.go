@@ -94,7 +94,7 @@ func BenchmarkFig8_SeqPar(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		eng, err := NewEngine(DefaultSimConfig(), reg, mm)
+		eng, err := NewEngine(DefaultEngineConfig(), reg, mm)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -155,7 +155,7 @@ func BenchmarkDReAMSim_ArrivalSweep(b *testing.B) {
 		for _, rate := range []float64{0.5, 2, 5} {
 			name := fmt.Sprintf("%s/lambda=%.1f", strategy.Name(), rate)
 			b.Run(name, func(b *testing.B) {
-				cfg := DefaultSimConfig()
+				cfg := DefaultEngineConfig()
 				cfg.Strategy = strategy
 				tc, err := grid.DefaultToolchain()
 				if err != nil {
@@ -199,7 +199,7 @@ func BenchmarkSinkOverhead(b *testing.B) {
 		b.Fatal(err)
 	}
 	runOnce := func(b *testing.B, sink TraceSink) {
-		cfg := DefaultSimConfig()
+		cfg := DefaultEngineConfig()
 		cfg.Strategy = sched.ReconfigAware{}
 		cfg.Tracer = sink
 		m, err := RunScenario(context.Background(), ScenarioSpec{Seed: 42, Config: cfg, Grid: gs, Workload: ws, Toolchain: tc})
@@ -263,7 +263,7 @@ func BenchmarkDReAMSim_HybridVsGPP(b *testing.B) {
 		tc, _ := grid.DefaultToolchain()
 		var last *Metrics
 		for i := 0; i < b.N; i++ {
-			m, err := RunScenario(context.Background(), ScenarioSpec{Seed: 11, Config: DefaultSimConfig(), Grid: grid.DefaultGridSpec(), Workload: ws, Toolchain: tc})
+			m, err := RunScenario(context.Background(), ScenarioSpec{Seed: 11, Config: DefaultEngineConfig(), Grid: grid.DefaultGridSpec(), Workload: ws, Toolchain: tc})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -291,7 +291,7 @@ func BenchmarkDReAMSim_HybridVsGPP(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			eng, err := NewEngine(DefaultSimConfig(), reg, mm)
+			eng, err := NewEngine(DefaultEngineConfig(), reg, mm)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -323,7 +323,7 @@ func BenchmarkDReAMSim_ReconfigSweep(b *testing.B) {
 			tc, _ := grid.DefaultToolchain()
 			var last *Metrics
 			for i := 0; i < b.N; i++ {
-				m, err := RunScenario(context.Background(), ScenarioSpec{Seed: 17, Config: DefaultSimConfig(), Grid: gs, Workload: ws, Toolchain: tc})
+				m, err := RunScenario(context.Background(), ScenarioSpec{Seed: 17, Config: DefaultEngineConfig(), Grid: gs, Workload: ws, Toolchain: tc})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -355,7 +355,7 @@ func BenchmarkDReAMSim_PartialReconfig(b *testing.B) {
 			tc, _ := grid.DefaultToolchain()
 			var last *Metrics
 			for i := 0; i < b.N; i++ {
-				m, err := RunScenario(context.Background(), ScenarioSpec{Seed: 23, Config: DefaultSimConfig(), Grid: gs, Workload: ws, Toolchain: tc})
+				m, err := RunScenario(context.Background(), ScenarioSpec{Seed: 23, Config: DefaultEngineConfig(), Grid: gs, Workload: ws, Toolchain: tc})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -377,7 +377,7 @@ func BenchmarkDReAMSim_PartialReconfig(b *testing.B) {
 func BenchmarkAblate_MatchOrdering(b *testing.B) {
 	for _, strategy := range []sched.Strategy{sched.FirstFit{}, sched.BestFitArea{}} {
 		b.Run(strategy.Name(), func(b *testing.B) {
-			cfg := DefaultSimConfig()
+			cfg := DefaultEngineConfig()
 			cfg.Strategy = strategy
 			tc, _ := grid.DefaultToolchain()
 			var last *Metrics
@@ -407,7 +407,7 @@ func BenchmarkAblate_ConfigReuse(b *testing.B) {
 	gs.ReconfigMBpsOverride = 4
 	for _, strategy := range []sched.Strategy{sched.ReuseFirst{}, sched.FirstFit{}} {
 		b.Run(strategy.Name(), func(b *testing.B) {
-			cfg := DefaultSimConfig()
+			cfg := DefaultEngineConfig()
 			cfg.Strategy = strategy
 			tc, _ := grid.DefaultToolchain()
 			var last *Metrics
@@ -494,6 +494,42 @@ func BenchmarkAblate_EventQueue(b *testing.B) {
 	})
 }
 
+// BenchmarkQueue is the scheduler-seam hold benchmark: with N events
+// pending, one operation pops the earliest and pushes a replacement a
+// random near-future distance out (the classic DES hold model). It
+// compares the binary heap against the timing wheel at three pending-set
+// sizes; steady state is allocation-free on both.
+func BenchmarkQueue(b *testing.B) {
+	impls := []struct {
+		name string
+		mk   func() EventScheduler
+	}{
+		{"heap", func() EventScheduler { return NewHeapQueue() }},
+		{"wheel", func() EventScheduler { return NewWheelQueue() }},
+	}
+	for _, size := range []int{1_000, 100_000, 1_000_000} {
+		for _, impl := range impls {
+			b.Run(fmt.Sprintf("%s/pending=%d", impl.name, size), func(b *testing.B) {
+				rng := sim.NewRNG(uint64(size))
+				holds := make([]sim.Time, 4096)
+				for i := range holds {
+					holds[i] = sim.Time(rng.Float64() * 2)
+				}
+				q := impl.mk()
+				for i := 0; i < size; i++ {
+					q.Push(sim.Time(rng.Float64()*2), 0, "e", nil)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e := q.Pop()
+					q.Push(e.Time+holds[i&4095], 0, "e", nil)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblate_GuideTree compares neighbour-joining against UPGMA for
 // guide-tree construction and the resulting alignment quality.
 func BenchmarkAblate_GuideTree(b *testing.B) {
@@ -533,7 +569,7 @@ func sweepBenchSpec(workers int) SweepSpec {
 	ws.ShareSoftcore = 0
 	gs := grid.DefaultGridSpec()
 	gs.ReconfigMBpsOverride = 4
-	cfg := DefaultSimConfig()
+	cfg := DefaultEngineConfig()
 	cfg.Strategy = sched.ReconfigAware{}
 	return SweepSpec{
 		Points:       []SweepPoint{{Config: cfg, Grid: gs, Workload: ws}},
@@ -611,7 +647,7 @@ func BenchmarkDReAMSim_FaultSweep(b *testing.B) {
 				f.Retry = RetryPolicy{MaxRetries: 6, BackoffSeconds: 0.5, BackoffCapSeconds: 15}
 				fs = &f
 			}
-			cfg := DefaultSimConfig()
+			cfg := DefaultEngineConfig()
 			cfg.Strategy = sched.ReconfigAware{}
 			spec := SweepSpec{
 				Points: []SweepPoint{{
@@ -754,7 +790,7 @@ func BenchmarkAblate_Compaction(b *testing.B) {
 					b.Fatal(err)
 				}
 				mm.DisableCompaction = disable
-				eng, err := NewEngine(DefaultSimConfig(), reg, mm)
+				eng, err := NewEngine(DefaultEngineConfig(), reg, mm)
 				if err != nil {
 					b.Fatal(err)
 				}

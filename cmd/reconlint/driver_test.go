@@ -116,8 +116,8 @@ func RunJob() {
 }
 
 // TestFixRoundTrip checks -fix applies the suggested fixes in place
-// and is idempotent: the rewritten module lints clean and a second
-// -fix run applies nothing.
+// and converges: a second -fix run applies nothing further, and the
+// only findings left are ones with no mechanical repair.
 func TestFixRoundTrip(t *testing.T) {
 	resetGlobals()
 	defer resetGlobals()
@@ -144,18 +144,25 @@ func TestFixRoundTrip(t *testing.T) {
 		t.Errorf("dropped error not rewritten to explicit blank assignment:\n%s", text)
 	}
 
-	// Idempotency: the rewritten module is clean, with or without -fix.
+	// Idempotency with escalation: the Sprintf rewrite removes the
+	// reflective formatting, but the resulting concatenation is itself a
+	// (lesser, unfixable) hotalloc finding — interning or gating is a
+	// human decision. A second -fix run reports that residual and
+	// applies nothing further.
 	resetGlobals()
 	stdout.Reset()
 	stderr.Reset()
-	if code := run(dir, []string{"./..."}, &stdout, &stderr); code != 0 {
-		t.Fatalf("post-fix lint exit = %d, want 0\nstdout:\n%s", code, stdout.String())
+	if code := run(dir, []string{"./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("post-fix lint exit = %d, want 1 (residual concat finding)\nstdout:\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "string concatenation builds a new string per event") {
+		t.Errorf("post-fix lint should surface the residual concatenation finding:\n%s", stdout.String())
 	}
 	resetGlobals()
 	stdout.Reset()
 	stderr.Reset()
-	if code := run(dir, []string{"-fix", "./..."}, &stdout, &stderr); code != 0 {
-		t.Fatalf("second -fix run exit = %d, want 0\nstdout:\n%s", code, stdout.String())
+	if code := run(dir, []string{"-fix", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("second -fix run exit = %d, want 1 (residual is unfixable)\nstdout:\n%s", code, stdout.String())
 	}
 	if strings.Contains(stderr.String(), "applied") {
 		t.Errorf("second -fix run applied fixes again:\n%s", stderr.String())

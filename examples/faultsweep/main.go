@@ -59,7 +59,7 @@ func run() error {
 				f.Retry = reconvirt.RetryPolicy{MaxRetries: 6, BackoffSeconds: 0.5, BackoffCapSeconds: 15}
 				fs = &f
 			}
-			cfg := reconvirt.DefaultSimConfig()
+			cfg := reconvirt.DefaultEngineConfig()
 			cfg.Strategy = strategy
 			points = append(points, reconvirt.SweepPoint{
 				Name:     fmt.Sprintf("%s/%s", strategy.Name(), reg.name),

@@ -47,7 +47,7 @@ func run() error {
 			ws.ShareUserHW = 0.7
 			ws.ShareSoftcore = 0
 
-			cfg := reconvirt.DefaultSimConfig()
+			cfg := reconvirt.DefaultEngineConfig()
 			cfg.Strategy = strategy
 			points = append(points, reconvirt.SweepPoint{
 				Name:     fmt.Sprintf("%s@%.1f", strategy.Name(), rate),

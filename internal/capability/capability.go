@@ -142,7 +142,7 @@ func (v Value) Compare(u Value) (int, error) {
 		}
 		return 0, nil
 	case TypeText:
-		return strings.Compare(strings.ToLower(v.txt), strings.ToLower(u.txt)), nil
+		return foldCompare(v.txt, u.txt), nil
 	default:
 		switch {
 		case !v.b && u.b:
@@ -197,4 +197,40 @@ func (s Set) String() string {
 		fmt.Fprintf(&b, "%s=%s", k, s[k])
 	}
 	return b.String()
+}
+
+// foldCompare orders two strings case-insensitively without allocating
+// the lowered copies (text capability values are compared on every
+// matchmaking pass). ASCII letters fold in place; any non-ASCII byte
+// falls back to the allocating path for correct Unicode folding.
+func foldCompare(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		ca, cb := a[i], b[i]
+		if ca >= 0x80 || cb >= 0x80 {
+			return strings.Compare(strings.ToLower(a[i:]), strings.ToLower(b[i:]))
+		}
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		switch {
+		case ca < cb:
+			return -1
+		case ca > cb:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
 }

@@ -62,9 +62,13 @@ func (s State) String() string {
 // happens on the single event-loop goroutine, and the RMS serializes
 // external access.
 type Fabric struct {
-	dev              Device
-	alloc            *Allocator
-	regions          map[int]*Region
+	dev   Device
+	alloc *Allocator
+	// regions is kept sorted by ID: IDs are assigned in increasing order
+	// and appends preserve that, so reuse lookups (FindLoaded — one call
+	// per candidate per dispatch round) scan in deterministic order with
+	// no per-call allocation or sort.
+	regions          []*Region
 	nextID           int
 	policy           AllocPolicy
 	reconfigurations int
@@ -89,9 +93,8 @@ const (
 // New creates an idle, unconfigured fabric for a catalog device.
 func New(dev Device) *Fabric {
 	return &Fabric{
-		dev:     dev,
-		alloc:   NewAllocator(dev.Slices),
-		regions: make(map[int]*Region),
+		dev:   dev,
+		alloc: NewAllocator(dev.Slices),
 	}
 }
 
@@ -140,20 +143,32 @@ func (f *Fabric) State() State {
 
 // FindLoaded returns a loaded, idle region holding the given bitstream ID,
 // or nil. A hit lets the scheduler skip reconfiguration entirely
-// (configuration reuse).
+// (configuration reuse). Regions are examined in ID order.
 func (f *Fabric) FindLoaded(bitstreamID string) *Region {
-	ids := make([]int, 0, len(f.regions))
-	for id := range f.regions {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		r := f.regions[id]
-		if r.Bitstream.ID == bitstreamID && !r.Busy {
+	for _, r := range f.regions {
+		if !r.Busy && r.Bitstream.ID == bitstreamID {
 			return r
 		}
 	}
 	return nil
+}
+
+// findResident locates a region in the ID-sorted resident list, returning
+// its index or -1 when the exact region object is not resident.
+func (f *Fabric) findResident(r *Region) int {
+	lo, hi := 0, len(f.regions)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if f.regions[mid].ID < r.ID {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(f.regions) && f.regions[lo] == r {
+		return lo
+	}
+	return -1
 }
 
 // checkTarget validates that a bitstream targets this exact device.
@@ -199,7 +214,7 @@ func (f *Fabric) ConfigureFull(bs *Bitstream) (*Region, sim.Time, error) {
 			return nil, 0, fmt.Errorf("fabric: full reconfiguration with busy region %d", r.ID)
 		}
 	}
-	f.regions = make(map[int]*Region)
+	f.regions = f.regions[:0]
 	f.alloc.Reset()
 	f.usedBRAMKb, f.usedDSP = 0, 0
 	if err := f.checkSecondary(bs); err != nil {
@@ -211,7 +226,7 @@ func (f *Fabric) ConfigureFull(bs *Bitstream) (*Region, sim.Time, error) {
 	}
 	f.nextID++
 	r := &Region{ID: f.nextID, Start: start, Slices: bs.Slices, Bitstream: bs}
-	f.regions[r.ID] = r
+	f.regions = append(f.regions, r)
 	f.usedBRAMKb += bs.BRAMKb
 	f.usedDSP += bs.DSPSlices
 	delay := ConfigDelay(bs.SizeBytes, f.dev.ReconfigMBps)
@@ -248,7 +263,7 @@ func (f *Fabric) ConfigurePartial(bs *Bitstream) (*Region, sim.Time, error) {
 	}
 	f.nextID++
 	r := &Region{ID: f.nextID, Start: start, Slices: bs.Slices, Bitstream: bs}
-	f.regions[r.ID] = r
+	f.regions = append(f.regions, r)
 	f.usedBRAMKb += bs.BRAMKb
 	f.usedDSP += bs.DSPSlices
 	delay := ConfigDelay(bs.SizeBytes, f.dev.ReconfigMBps)
@@ -259,8 +274,8 @@ func (f *Fabric) ConfigurePartial(bs *Bitstream) (*Region, sim.Time, error) {
 
 // Evict removes an idle region, freeing its area for future configurations.
 func (f *Fabric) Evict(r *Region) error {
-	cur, ok := f.regions[r.ID]
-	if !ok || cur != r {
+	idx := f.findResident(r)
+	if idx < 0 {
 		return fmt.Errorf("fabric: region %d is not resident", r.ID)
 	}
 	if r.Busy {
@@ -269,7 +284,7 @@ func (f *Fabric) Evict(r *Region) error {
 	if err := f.alloc.Release(r.Start, r.Slices); err != nil {
 		return err
 	}
-	delete(f.regions, r.ID)
+	f.regions = append(f.regions[:idx], f.regions[idx+1:]...)
 	f.usedBRAMKb -= r.Bitstream.BRAMKb
 	f.usedDSP -= r.Bitstream.DSPSlices
 	return nil
@@ -277,8 +292,7 @@ func (f *Fabric) Evict(r *Region) error {
 
 // Acquire marks a region busy for task execution.
 func (f *Fabric) Acquire(r *Region) error {
-	cur, ok := f.regions[r.ID]
-	if !ok || cur != r {
+	if f.findResident(r) < 0 {
 		return fmt.Errorf("fabric: region %d is not resident", r.ID)
 	}
 	if r.Busy {
@@ -291,8 +305,7 @@ func (f *Fabric) Acquire(r *Region) error {
 // ReleaseRegion marks a busy region idle again; the configuration stays
 // loaded so a later task needing the same bitstream can reuse it.
 func (f *Fabric) ReleaseRegion(r *Region) error {
-	cur, ok := f.regions[r.ID]
-	if !ok || cur != r {
+	if f.findResident(r) < 0 {
 		return fmt.Errorf("fabric: region %d is not resident", r.ID)
 	}
 	if !r.Busy {
@@ -341,12 +354,9 @@ func (f *Fabric) Compact() (moved int, delay sim.Time, err error) {
 	return moved, delay, nil
 }
 
-// Regions returns resident regions sorted by ID.
+// Regions returns a copy of the resident regions sorted by ID.
 func (f *Fabric) Regions() []*Region {
-	out := make([]*Region, 0, len(f.regions))
-	for _, r := range f.regions {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	out := make([]*Region, len(f.regions))
+	copy(out, f.regions)
 	return out
 }

@@ -3,6 +3,7 @@ package grid
 import (
 	"fmt"
 
+	"repro/internal/capability"
 	"repro/internal/jss"
 	"repro/internal/sim"
 	"repro/internal/task"
@@ -53,6 +54,12 @@ func GenerateApps(rng *sim.RNG, spec AppSpec) ([]GeneratedApp, error) {
 		return nil, err
 	}
 	out := make([]GeneratedApp, 0, spec.Apps)
+	reqs := specReqs{
+		userHW:   task.FPGAFamily(spec.Base.Family, 1),
+		softcore: capability.Requirements{}.Min(capability.ParamSoftIssueWidth, 2),
+		gpu:      capability.Requirements{}.Min(capability.ParamGPUShaderCores, 64),
+		software: task.GPPOnly(spec.Base.MinMIPS, spec.Base.MinRAMMB),
+	}
 	var now sim.Time
 	for a := 0; a < spec.Apps; a++ {
 		now += sim.Time(spec.Base.Interarrival.Sample(rng))
@@ -65,7 +72,7 @@ func GenerateApps(rng *sim.RNG, spec AppSpec) ([]GeneratedApp, error) {
 		for i := 0; i < n; i++ {
 			id := fmt.Sprintf("app%03d-t%02d", a, i)
 			ids[i] = id
-			t, err := randomTask(rng, spec.Base, id)
+			t, err := randomTask(rng, spec.Base, id, reqs)
 			if err != nil {
 				return nil, err
 			}

@@ -100,9 +100,9 @@ func TestSubmitAppsRunsAllTasksRespectingDeps(t *testing.T) {
 	for _, ev := range rec.Events() {
 		switch ev.Kind {
 		case TraceComplete:
-			completeAt[ev.TaskID] = ev.Time
+			completeAt[ev.TaskID.String()] = ev.Time
 		case TraceDispatch:
-			dispatchAt[ev.TaskID] = ev.Time
+			dispatchAt[ev.TaskID.String()] = ev.Time
 		}
 	}
 	for _, app := range apps {

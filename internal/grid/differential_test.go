@@ -3,12 +3,14 @@ package grid
 import (
 	"bytes"
 	"context"
+	"reflect"
 	"sync"
 	"testing"
 
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/sim"
 )
 
 // traceTally is the event-stream recomputation of the Metrics counters:
@@ -28,7 +30,7 @@ func tallyTrace(events []obs.Event) traceTally {
 		switch ev.Kind {
 		case obs.KindQueued:
 			tt.queued++
-			tt.tasks[ev.TaskID] = true
+			tt.tasks[ev.TaskID.String()] = true
 		case obs.KindReconfig:
 			tt.reconfig++
 		case obs.KindComplete:
@@ -266,5 +268,53 @@ func TestSweepProgressCallback(t *testing.T) {
 		if n != 1 {
 			t.Errorf("replica %d reported %d times", idx, n)
 		}
+	}
+}
+
+// TestSchedulerDifferentialGolden swaps the simulator's pending-event
+// set under the pinned golden fault scenario: the heap and the timing
+// wheel implement the same (Time, Priority, seq) total order, so every
+// recorded event, every gauge sample, and the full metrics fingerprint
+// must match exactly — the queue is a performance seam, never a
+// semantics seam.
+func TestSchedulerDifferentialGolden(t *testing.T) {
+	run := func(mk func() sim.Scheduler) (*Metrics, []obs.Event, []obs.Sample) {
+		rec := &obs.Recorder{}
+		spec := goldenFaultScenario(rec)
+		spec.Config.Scheduler = mk
+		m, err := RunScenario(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, rec.Events(), rec.Samples()
+	}
+	hm, hev, hsa := run(func() sim.Scheduler { return sim.NewHeapQueue() })
+	wm, wev, wsa := run(func() sim.Scheduler { return sim.NewWheelQueue() })
+	if !reflect.DeepEqual(hm, wm) {
+		t.Errorf("metrics diverge across schedulers:\nheap:  %+v\nwheel: %+v", hm, wm)
+	}
+	if len(hev) != len(wev) {
+		t.Fatalf("event counts diverge: heap %d, wheel %d", len(hev), len(wev))
+	}
+	for i := range hev {
+		if hev[i] != wev[i] {
+			t.Fatalf("event %d diverges:\nheap:  %+v\nwheel: %+v", i, hev[i], wev[i])
+		}
+	}
+	if !reflect.DeepEqual(hsa, wsa) {
+		t.Error("gauge samples diverge across schedulers")
+	}
+	// A default-config run (scheduler unset) must match too: the default
+	// is one of the two, not a third behavior.
+	rec := &obs.Recorder{}
+	m, err := RunScenario(context.Background(), goldenFaultScenario(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, wm) {
+		t.Error("default-scheduler metrics diverge from the explicit wheel run")
+	}
+	if !reflect.DeepEqual(rec.Events(), wev) {
+		t.Error("default-scheduler events diverge from the explicit wheel run")
 	}
 }

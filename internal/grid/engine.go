@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 
@@ -64,6 +65,12 @@ type Config struct {
 	// (the legacy FailElementAt behavior). RunScenario populates it from
 	// ScenarioSpec.Faults. The spec is read-only once the engine runs.
 	Faults *faults.Spec
+	// Scheduler, when non-nil, constructs the simulator's pending-event
+	// set (one call per engine, so sweep replicas never share one). Nil
+	// uses the sim package default (the timing wheel). Any conforming
+	// sim.Scheduler yields bit-identical runs; this is a performance
+	// knob and the seam the heap-vs-wheel differential tests swap.
+	Scheduler func() sim.Scheduler
 }
 
 // DefaultConfig uses the reconfiguration-aware strategy over a gigabit
@@ -110,6 +117,9 @@ type appRun struct {
 type item struct {
 	run *appRun
 	t   *task.Task
+	// tid is the task ID interned once at enqueue; every later trace of
+	// this task passes the handle instead of re-hashing the string.
+	tid obs.Name
 	enq sim.Time
 	seq int
 	// attempts counts fault-induced aborts so far; lastFail stamps the
@@ -129,8 +139,16 @@ type Engine struct {
 	J   *jss.JSS
 
 	queue []*item
-	seq   int
-	m     *Metrics
+	// queueDirty marks the waiting queue out of policy order. FCFS appends
+	// of fresh items (monotone seq) keep the queue sorted, so the common
+	// dispatch path skips sorting entirely; SJF appends and retry re-queues
+	// (stale seq) mark it dirty and the next orderQueue re-sorts once.
+	queueDirty bool
+	seq        int
+	// optsBuf is the scratch option slice dispatchOne reuses across calls,
+	// so candidate evaluation allocates nothing in steady state.
+	optsBuf []sched.Option
+	m       *Metrics
 	// running tracks in-flight executions per element, for failure
 	// injection; runningByKind counts them per element kind so the gauge
 	// sampler stays O(nodes) instead of walking every execution.
@@ -145,6 +163,10 @@ type Engine struct {
 	// Seq that downed it, downNode/downSince keep the detached object
 	// and the outage start; linkFault holds the active link fault per
 	// node; retryPending counts tasks waiting out a retry backoff.
+	// nodeNames/elemNames cache the interned obs handle per live object:
+	// tracing an event hashes a pointer, not an ID string.
+	nodeNames    map[*node.Node]obs.Name
+	elemNames    map[*node.Element]obs.Name
 	mon          *rms.Monitor
 	down         map[string]uint64
 	downNode     map[string]*node.Node
@@ -153,14 +175,25 @@ type Engine struct {
 	retryPending int
 }
 
-// execution is one in-flight task placement.
+// execution is one in-flight task placement. The event handles are refs,
+// not pointers: events are pooled, and a ref that outlives its event (a
+// crash cancels the completion, then a lease expiry tries again) degrades
+// to a harmless no-op instead of touching a recycled event.
 type execution struct {
 	it    *item
 	lease *rms.Lease
-	ev    *sim.Event
+	opt   sched.Option
+	// exec is the pure execution time, span the full charged timeline
+	// (transfer + synthesis + reconfiguration + execution). Stored here so
+	// the completion handler closes over just the execution record instead
+	// of a dozen locals — one small closure per dispatch, not ten boxes.
+	exec float64
+	span float64
+	kind capability.Kind
+	ev   sim.EventRef
 	// renew is the pending lease-renewal check, cancelled when the
 	// execution completes or aborts.
-	renew *sim.Event
+	renew sim.EventRef
 }
 
 // NewEngine wires a simulator around an existing registry and matchmaker.
@@ -174,15 +207,21 @@ func NewEngine(cfg Config, reg *rms.Registry, mm *rms.Matchmaker) (*Engine, erro
 	// Own the strategy: a stateful strategy shared across engines (sweep
 	// replicas) would race, so clone it when it says it can be cloned.
 	cfg.Strategy = sched.ForEngine(cfg.Strategy)
+	var simOpts []sim.Option
+	if cfg.Scheduler != nil {
+		simOpts = append(simOpts, sim.WithScheduler(cfg.Scheduler()))
+	}
 	return &Engine{
 		cfg:           cfg,
-		S:             sim.NewSimulator(),
+		S:             sim.NewSimulator(simOpts...),
 		Reg:           reg,
 		MM:            mm,
 		J:             jss.New(),
 		m:             newMetrics(cfg.Strategy.Name()),
 		running:       make(map[*node.Element][]*execution),
 		runningByKind: make(map[capability.Kind]int),
+		nodeNames:     make(map[*node.Node]obs.Name),
+		elemNames:     make(map[*node.Element]obs.Name),
 		mon:           rms.NewMonitor(),
 		down:          make(map[string]uint64),
 		downNode:      make(map[string]*node.Node),
@@ -323,18 +362,25 @@ func (e *Engine) start(run *appRun) {
 		e.startBatch(run)
 		return
 	}
-	run.waiting = make(map[string]int)
-	for _, id := range run.sub.Graph.IDs() {
+	// waiting only tracks tasks still blocked on dependencies; the
+	// map stays nil for dependency-free graphs (the whole many-task
+	// workload model), and advance only ever looks up dependents,
+	// which by definition were blocked.
+	for _, id := range run.sub.Graph.Order() {
 		deps := 0
 		for _, dep := range run.sub.Graph.Dependencies(id) {
 			if _, ok := run.sub.Graph.Get(dep); ok {
 				deps++
 			}
 		}
-		run.waiting[id] = deps
 		if deps == 0 {
 			e.enqueue(run, id)
+			continue
 		}
+		if run.waiting == nil {
+			run.waiting = make(map[string]int)
+		}
+		run.waiting[id] = deps
 	}
 }
 
@@ -356,25 +402,55 @@ func (e *Engine) enqueue(run *appRun, taskID string) {
 	}
 	e.seq++
 	e.m.Submitted++
-	e.queue = append(e.queue, &item{run: run, t: t, enq: e.S.Now(), seq: e.seq})
-	e.J.Notify(run.sub.ID, e.S.Now(), taskID, "queued")
-	e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindQueued, TaskID: taskID})
+	it := &item{run: run, t: t, tid: obs.Str(taskID), enq: e.S.Now(), seq: e.seq}
+	e.pushQueue(it, true)
+	e.J.NotifyFor(run.sub, e.S.Now(), taskID, "queued")
+	e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindQueued, TaskID: it.tid})
 	e.tryDispatch()
 }
 
-// orderQueue sorts the waiting items per the queue policy.
+// pushQueue appends a waiting item. fresh means the item carries the
+// current maximal seq (a first enqueue, not a retry), in which case an
+// FCFS queue stays sorted and no dirty mark is needed.
+func (e *Engine) pushQueue(it *item, fresh bool) {
+	if e.cfg.Queue == sched.SJF || !fresh {
+		e.queueDirty = true
+	}
+	e.queue = append(e.queue, it)
+}
+
+// orderQueue sorts the waiting items per the queue policy, if anything
+// disturbed the order since the last sort.
 func (e *Engine) orderQueue() {
+	if !e.queueDirty {
+		return
+	}
+	e.queueDirty = false
 	switch e.cfg.Queue {
 	case sched.SJF:
-		sort.SliceStable(e.queue, func(i, j int) bool {
-			a, b := e.queue[i], e.queue[j]
-			if a.t.EstimatedSeconds != b.t.EstimatedSeconds {
-				return a.t.EstimatedSeconds < b.t.EstimatedSeconds
+		slices.SortStableFunc(e.queue, func(a, b *item) int {
+			switch {
+			case a.t.EstimatedSeconds < b.t.EstimatedSeconds:
+				return -1
+			case a.t.EstimatedSeconds > b.t.EstimatedSeconds:
+				return 1
+			case a.seq < b.seq:
+				return -1
+			case a.seq > b.seq:
+				return 1
 			}
-			return a.seq < b.seq
+			return 0
 		})
 	default: // FCFS
-		sort.SliceStable(e.queue, func(i, j int) bool { return e.queue[i].seq < e.queue[j].seq })
+		slices.SortStableFunc(e.queue, func(a, b *item) int {
+			switch {
+			case a.seq < b.seq:
+				return -1
+			case a.seq > b.seq:
+				return 1
+			}
+			return 0
+		})
 	}
 }
 
@@ -408,7 +484,7 @@ func (e *Engine) dispatchOne(it *item) bool {
 	if err != nil || len(cands) == 0 {
 		return false
 	}
-	opts := make([]sched.Option, 0, len(cands))
+	opts := e.optsBuf[:0]
 	for _, c := range cands {
 		if e.unreachable(c.Node.ID) {
 			continue
@@ -426,10 +502,11 @@ func (e *Engine) dispatchOne(it *item) bool {
 			SynthesisSeconds: est.SynthesisSeconds,
 		})
 	}
+	placed := false
 	for len(opts) > 0 {
 		idx := e.cfg.Strategy.Choose(opts)
 		if idx < 0 {
-			return false
+			break
 		}
 		opt := opts[idx]
 		lease, err := e.MM.Allocate(opt.Cand, req)
@@ -439,9 +516,13 @@ func (e *Engine) dispatchOne(it *item) bool {
 			continue
 		}
 		e.execute(it, opt, lease)
-		return true
+		placed = true
+		break
 	}
-	return false
+	// Keep the grown backing array for the next call; Option values are
+	// copied out before execute, so nothing aliases the buffer.
+	e.optsBuf = opts[:0]
+	return placed
 }
 
 // execute charges the placement's timeline and schedules completion.
@@ -476,56 +557,68 @@ func (e *Engine) execute(it *item, opt sched.Option, lease *rms.Lease) {
 	}
 	e.m.SynthesisSeconds += lease.SynthesisSeconds
 
-	kind := lease.Estimator.Kind()
 	run := it.run
-	e.J.Notify(run.sub.ID, now, it.t.ID, "dispatched to "+opt.Cand.Label())
+	if run.sub.QoS.Monitor {
+		// Gate before NotifyFor: the label string is only built when the
+		// user actually subscribed to progress events.
+		//reconlint:allow hotalloc gated behind QoS.Monitor; rendered only for monitored submissions
+		e.J.NotifyFor(run.sub, now, it.t.ID, "dispatched to "+opt.Cand.Label())
+	}
 
-	exe := &execution{it: it, lease: lease}
+	exe := &execution{
+		it: it, lease: lease, opt: opt,
+		exec: exec, span: span, kind: lease.Estimator.Kind(),
+	}
 	elem := opt.Cand.Elem
 	e.running[elem] = append(e.running[elem], exe)
 	e.runningByKind[elem.Kind]++
 	e.trace(obs.Event{
-		Time: now, Kind: obs.KindDispatch, TaskID: it.t.ID,
-		Node: opt.Cand.Node.ID, Element: elem.ID,
+		Time: now, Kind: obs.KindDispatch, TaskID: it.tid,
+		Node: e.nodeName(opt.Cand.Node), Element: e.elemName(elem),
 	})
 	if lease.ReconfigDelay > 0 {
 		e.trace(obs.Event{
-			Time: now, Kind: obs.KindReconfig, TaskID: it.t.ID,
-			Node: opt.Cand.Node.ID, Element: elem.ID,
+			Time: now, Kind: obs.KindReconfig, TaskID: it.tid,
+			Node: e.nodeName(opt.Cand.Node), Element: e.elemName(elem),
 		})
 	}
 	e.superviseLease(exe)
-	exe.ev = e.S.After(sim.Time(span), "complete "+it.t.ID, func() {
-		end := e.S.Now()
-		if exe.renew != nil {
-			e.S.Cancel(exe.renew)
-		}
-		e.mon.Settle(lease)
-		e.dropRunning(elem, exe)
-		if err := lease.Release(); err != nil {
-			panic(fmt.Sprintf("grid: release failed: %v", err))
-		}
-		e.m.Completed++
-		e.m.Exec.Observe(exec)
-		e.m.Turnaround.Observe(float64(end - it.enq))
-		if it.attempts > 0 {
-			e.m.MTTR.Observe(float64(end - it.lastFail))
-		}
-		e.m.busySeconds[opt.Cand.Elem.Kind] += span
-		e.m.Energy.ChargeActive(opt.Cand.Elem.Kind, span)
-		if end > e.m.Makespan {
-			e.m.Makespan = end
-		}
-		e.J.Charge(run.sub.ID, exec, kind)
-		e.J.Notify(run.sub.ID, end, it.t.ID, "completed")
-		e.trace(obs.Event{
-			Time: end, Kind: obs.KindComplete, TaskID: it.t.ID,
-			Node: opt.Cand.Node.ID, Element: elem.ID,
-		})
-		e.J.TaskDone(run.sub.ID, end)
-		e.advance(run, it.t.ID)
-		e.tryDispatch()
+	exe.ev = e.S.After(sim.Time(span), "complete", func() { e.complete(exe) })
+}
+
+// complete is the completion handler for one execution: settle the lease,
+// fold the timeline into the metrics, report to the JSS, and unlock
+// whatever the finished task was blocking.
+func (e *Engine) complete(exe *execution) {
+	it, lease, run := exe.it, exe.lease, exe.it.run
+	elem := exe.opt.Cand.Elem
+	end := e.S.Now()
+	e.S.Cancel(exe.renew)
+	e.mon.Settle(lease)
+	e.dropRunning(elem, exe)
+	if err := lease.Release(); err != nil {
+		panic(fmt.Sprintf("grid: release failed: %v", err))
+	}
+	e.m.Completed++
+	e.m.Exec.Observe(exe.exec)
+	e.m.Turnaround.Observe(float64(end - it.enq))
+	if it.attempts > 0 {
+		e.m.MTTR.Observe(float64(end - it.lastFail))
+	}
+	e.m.busySeconds[elem.Kind] += exe.span
+	e.m.Energy.ChargeActive(elem.Kind, exe.span)
+	if end > e.m.Makespan {
+		e.m.Makespan = end
+	}
+	e.J.ChargeFor(run.sub, exe.exec, exe.kind)
+	e.J.NotifyFor(run.sub, end, it.t.ID, "completed")
+	e.trace(obs.Event{
+		Time: end, Kind: obs.KindComplete, TaskID: it.tid,
+		Node: e.nodeName(exe.opt.Cand.Node), Element: e.elemName(elem),
 	})
+	e.J.TaskDoneFor(run.sub, end)
+	e.advance(run, it.t.ID)
+	e.tryDispatch()
 }
 
 // advance unlocks the tasks enabled by a completion.
@@ -556,9 +649,9 @@ func (e *Engine) dropRunning(elem *node.Element, exe *execution) {
 			break
 		}
 	}
-	if len(e.running[elem]) == 0 {
-		delete(e.running, elem)
-	}
+	// Keep the empty entry: every reader checks len, and retaining the
+	// backing array means the next dispatch to this element appends
+	// without reallocating.
 }
 
 // trace forwards one event to the configured sink, if any.
@@ -569,6 +662,26 @@ func (e *Engine) trace(ev obs.Event) {
 	if e.cfg.Tracer != nil {
 		e.cfg.Tracer.Emit(ev)
 	}
+}
+
+// nodeName returns the node's interned trace handle, caching per object.
+func (e *Engine) nodeName(n *node.Node) obs.Name {
+	if nm, ok := e.nodeNames[n]; ok {
+		return nm
+	}
+	nm := obs.Str(n.ID)
+	e.nodeNames[n] = nm
+	return nm
+}
+
+// elemName returns the element's interned trace handle, caching per object.
+func (e *Engine) elemName(el *node.Element) obs.Name {
+	if nm, ok := e.elemNames[el]; ok {
+		return nm
+	}
+	nm := obs.Str(el.ID)
+	e.elemNames[el] = nm
+	return nm
 }
 
 // samplingEnabled reports whether the periodic gauge sampler runs.
@@ -676,9 +789,7 @@ func (e *Engine) FailElementAt(at sim.Time, nodeID, elemID string, permanent boo
 // to hold a valid configuration, so no stale reuse happens.
 func (e *Engine) abortExecution(exe *execution) {
 	e.S.Cancel(exe.ev)
-	if exe.renew != nil {
-		e.S.Cancel(exe.renew)
-	}
+	e.S.Cancel(exe.renew)
 	e.mon.Settle(exe.lease)
 	elem := exe.lease.Cand.Elem
 	e.dropRunning(elem, exe)
@@ -696,11 +807,14 @@ func (e *Engine) abortExecution(exe *execution) {
 func (e *Engine) failExecution(exe *execution, nodeID, elemID string) {
 	e.abortExecution(exe)
 	e.m.Failures++
-	e.J.Notify(exe.it.run.sub.ID, e.S.Now(), exe.it.t.ID,
-		"failed on "+nodeID+"/"+elemID+", requeued")
+	if exe.it.run.sub.QoS.Monitor {
+		//reconlint:allow hotalloc gated behind QoS.Monitor on a failure path; cold by construction
+		e.J.NotifyFor(exe.it.run.sub, e.S.Now(), exe.it.t.ID,
+			"failed on "+nodeID+"/"+elemID+", requeued")
+	}
 	e.trace(obs.Event{
-		Time: e.S.Now(), Kind: obs.KindFail, TaskID: exe.it.t.ID,
-		Node: nodeID, Element: elemID,
+		Time: e.S.Now(), Kind: obs.KindFail, TaskID: exe.it.tid,
+		Node: e.nodeName(exe.lease.Cand.Node), Element: e.elemName(exe.lease.Cand.Elem),
 	})
 	e.requeueOrLose(exe.it)
 }
@@ -719,17 +833,18 @@ func (e *Engine) requeueOrLose(it *item) {
 	}
 	if pol.MaxRetries > 0 && it.attempts > pol.MaxRetries {
 		e.m.TasksLost++
-		e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindLost, TaskID: it.t.ID})
+		e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindLost, TaskID: it.tid})
+		//reconlint:allow hotalloc terminal path: rendered once per task lost, never per event
 		e.J.Fail(it.run.sub.ID, e.S.Now(), "task "+it.t.ID+" lost after "+strconv.Itoa(it.attempts)+" failed attempts")
 		return
 	}
 	e.m.Retries++
 	e.retryPending++
-	e.S.After(sim.Time(pol.Delay(it.attempts)), "retry "+it.t.ID, func() {
+	e.S.After(sim.Time(pol.Delay(it.attempts)), "retry", func() {
 		e.retryPending--
-		e.queue = append(e.queue, it)
-		e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindRetry, TaskID: it.t.ID})
-		e.J.Notify(it.run.sub.ID, e.S.Now(), it.t.ID, "requeued for retry")
+		e.pushQueue(it, false)
+		e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindRetry, TaskID: it.tid})
+		e.J.NotifyFor(it.run.sub, e.S.Now(), it.t.ID, "requeued for retry")
 		e.tryDispatch()
 	})
 }

@@ -77,9 +77,9 @@ func (e *Engine) superviseLease(exe *execution) {
 			return
 		}
 		e.mon.Renew(exe.lease, e.S.Now()+ttl)
-		exe.renew = e.S.After(ttl, "lease-renew "+exe.it.t.ID, check)
+		exe.renew = e.S.After(ttl, "lease-renew", check)
 	}
-	exe.renew = e.S.After(ttl, "lease-renew "+exe.it.t.ID, check)
+	exe.renew = e.S.After(ttl, "lease-renew", check)
 }
 
 // expireLease is failure detection firing: the monitor declares the
@@ -93,8 +93,8 @@ func (e *Engine) expireLease(exe *execution) {
 	e.mon.Expire(exe.lease)
 	e.m.LeaseExpiries++
 	e.trace(obs.Event{
-		Time: e.S.Now(), Kind: obs.KindLeaseExpired, TaskID: exe.it.t.ID,
-		Node: nodeID, Element: elemID,
+		Time: e.S.Now(), Kind: obs.KindLeaseExpired, TaskID: exe.it.tid,
+		Node: e.nodeName(exe.lease.Cand.Node), Element: e.elemName(exe.lease.Cand.Elem),
 	})
 	e.failExecution(exe, nodeID, elemID)
 	e.releaseCrashedNode(nodeID)
@@ -132,7 +132,7 @@ func (e *Engine) applyCrash(ev faults.Event) {
 	e.downNode[ev.Node] = n
 	e.downSince[ev.Node] = e.S.Now()
 	e.m.NodeCrashes++
-	e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindNodeDown, Node: ev.Node})
+	e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindNodeDown, Node: e.nodeName(n)})
 	for _, el := range n.Elements() {
 		for _, exe := range e.running[el] {
 			e.S.Cancel(exe.ev)
@@ -172,7 +172,7 @@ func (e *Engine) applyRecover(ev faults.Event) {
 	if err := e.Reg.AddNode(n); err != nil {
 		panic(fmt.Sprintf("grid: re-adding recovered node %s: %v", ev.Node, err))
 	}
-	e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindNodeUp, Node: ev.Node})
+	e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindNodeUp, Node: e.nodeName(n)})
 	e.tryDispatch()
 }
 
@@ -201,7 +201,7 @@ func (e *Engine) applySEU(ev faults.Event) {
 	}
 	r := regs[int((ev.Selector>>16)%uint64(len(regs)))]
 	e.m.SEUFaults++
-	e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindSEU, Node: ev.Node, Element: el.ID})
+	e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindSEU, Node: e.nodeName(n), Element: e.elemName(el)})
 	if !r.Busy {
 		_ = el.Fabric.Evict(r)
 		return
@@ -227,7 +227,7 @@ func (e *Engine) applyLinkDegrade(ev faults.Event) {
 	if ev.Partition {
 		detail = "partition"
 	}
-	e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindLinkDegraded, Node: ev.Node, Element: detail})
+	e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindLinkDegraded, Node: obs.Str(ev.Node), Element: obs.Str(detail)})
 }
 
 // applyLinkRestore clears a link fault, unless a newer fault on the same
@@ -238,6 +238,6 @@ func (e *Engine) applyLinkRestore(ev faults.Event) {
 		return
 	}
 	delete(e.linkFault, ev.Node)
-	e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindLinkRestored, Node: ev.Node})
+	e.trace(obs.Event{Time: e.S.Now(), Kind: obs.KindLinkRestored, Node: obs.Str(ev.Node)})
 	e.tryDispatch()
 }

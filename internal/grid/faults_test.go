@@ -226,7 +226,7 @@ func TestPartitionExpiresLeaseAndReroutes(t *testing.T) {
 	// Degraded-mode scheduling: nothing dispatches to the partitioned
 	// node while it is cut off.
 	for _, ev := range rec.Events() {
-		if ev.Kind == TraceDispatch && ev.Node == nodeID && ev.Time >= 8 && ev.Time < 60 {
+		if ev.Kind == TraceDispatch && ev.Node.String() == nodeID && ev.Time >= 8 && ev.Time < 60 {
 			t.Errorf("task %s dispatched to partitioned node %s at t=%v", ev.TaskID, nodeID, ev.Time)
 		}
 	}

@@ -215,10 +215,18 @@ func Generate(rng *sim.RNG, spec WorkloadSpec) ([]Generated, error) {
 		return nil, err
 	}
 	out := make([]Generated, 0, spec.Tasks)
+	// The capability predicates depend only on the spec, so build each
+	// variant once and share the (read-only) slices across all tasks.
+	reqs := specReqs{
+		userHW:   task.FPGAFamily(spec.Family, 1),
+		softcore: capability.Requirements{}.Min(capability.ParamSoftIssueWidth, 2),
+		gpu:      capability.Requirements{}.Min(capability.ParamGPUShaderCores, 64),
+		software: task.GPPOnly(spec.MinMIPS, spec.MinRAMMB),
+	}
 	var now sim.Time
 	for i := 0; i < spec.Tasks; i++ {
 		now += sim.Time(spec.Interarrival.Sample(rng))
-		t, err := randomTask(rng, spec, fmt.Sprintf("wl-%05d", i))
+		t, err := randomTask(rng, spec, fmt.Sprintf("wl-%05d", i), reqs)
 		if err != nil {
 			return nil, err
 		}
@@ -227,8 +235,14 @@ func Generate(rng *sim.RNG, spec WorkloadSpec) ([]Generated, error) {
 	return out, nil
 }
 
+// specReqs holds the per-scenario requirement lists shared by every task
+// Generate draws from one spec.
+type specReqs struct {
+	userHW, softcore, gpu, software capability.Requirements
+}
+
 // randomTask draws one task from the spec's distributions and scenario mix.
-func randomTask(rng *sim.RNG, spec WorkloadSpec, id string) (*task.Task, error) {
+func randomTask(rng *sim.RNG, spec WorkloadSpec, id string, reqs specReqs) (*task.Task, error) {
 	par := spec.Parallel.Sample(rng)
 	if par < 0 {
 		par = 0
@@ -257,7 +271,7 @@ func randomTask(rng *sim.RNG, spec WorkloadSpec, id string) (*task.Task, error) 
 		}
 		t.ExecReq = task.ExecReq{
 			Scenario:     pe.UserDefinedHW,
-			Requirements: task.FPGAFamily(spec.Family, 1),
+			Requirements: reqs.userHW,
 			Design:       d,
 		}
 		t.Work.HWSpeedup = d.AccelFactor
@@ -265,12 +279,12 @@ func randomTask(rng *sim.RNG, spec WorkloadSpec, id string) (*task.Task, error) 
 		t.ExecReq = task.ExecReq{
 			Scenario:     pe.PredeterminedHW,
 			SoftcoreISA:  "rvex-vliw",
-			Requirements: capability.Requirements{}.Min(capability.ParamSoftIssueWidth, 2),
+			Requirements: reqs.softcore,
 		}
 	case r < spec.ShareUserHW+spec.ShareSoftcore+spec.ShareGPU:
 		t.ExecReq = task.ExecReq{
 			Scenario:     pe.PredeterminedHW,
-			Requirements: capability.Requirements{}.Min(capability.ParamGPUShaderCores, 64),
+			Requirements: reqs.gpu,
 		}
 		// GPU tasks skew highly parallel or they are not worth routing.
 		if t.Work.ParallelFraction < 0.9 {
@@ -279,7 +293,7 @@ func randomTask(rng *sim.RNG, spec WorkloadSpec, id string) (*task.Task, error) 
 	default:
 		t.ExecReq = task.ExecReq{
 			Scenario:     pe.SoftwareOnly,
-			Requirements: task.GPPOnly(spec.MinMIPS, spec.MinRAMMB),
+			Requirements: reqs.software,
 		}
 	}
 	// t_estimated: the reference-GPP time.

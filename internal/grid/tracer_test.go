@@ -55,14 +55,14 @@ func TestRecorderCapturesLifecycle(t *testing.T) {
 	for _, ev := range events {
 		switch ev.Kind {
 		case TraceQueued:
-			queued[ev.TaskID] = ev.Time
+			queued[ev.TaskID.String()] = ev.Time
 		case TraceDispatch:
-			dispatch[ev.TaskID] = ev.Time
-			if ev.Node == "" || ev.Element == "" {
+			dispatch[ev.TaskID.String()] = ev.Time
+			if ev.Node.IsZero() || ev.Element.IsZero() {
 				t.Error("dispatch without placement info")
 			}
 		case TraceComplete:
-			if ev.Time < dispatch[ev.TaskID] || dispatch[ev.TaskID] < queued[ev.TaskID] {
+			if ev.Time < dispatch[ev.TaskID.String()] || dispatch[ev.TaskID.String()] < queued[ev.TaskID.String()] {
 				t.Errorf("causality violated for %s", ev.TaskID)
 			}
 		}

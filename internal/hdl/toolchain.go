@@ -3,6 +3,7 @@ package hdl
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/fabric"
 	"repro/internal/quipu"
@@ -34,8 +35,18 @@ func NewToolchain(vendor string, families ...string) (*Toolchain, error) {
 }
 
 // Supports reports whether the toolchain can target a device family.
+// Matched case-insensitively without lowering the query: this runs per
+// estimate on the dispatch path.
 func (tc *Toolchain) Supports(family string) bool {
-	return tc.families[strings.ToLower(family)]
+	if tc.families[family] {
+		return true
+	}
+	for f := range tc.families {
+		if strings.EqualFold(f, family) {
+			return true
+		}
+	}
+	return false
 }
 
 // SynthesisResult is the output of one synthesis run.
@@ -51,6 +62,13 @@ type SynthesisResult struct {
 	// ToolSeconds is the CAD runtime consumed (synthesis is minutes, not
 	// milliseconds — a real cost in the user-defined scenario).
 	ToolSeconds float64
+
+	// accel memoizes the Estimator wrapper handed to the scheduler:
+	// candidate probing asks for it once per candidate per dispatch
+	// round, always for the design this result was synthesized from.
+	// Atomic because cached results are shared through the matchmaker's
+	// synthesis cache.
+	accel atomic.Pointer[Accelerator]
 }
 
 // EstimateArea runs only the area-prediction stage, which the RMS uses to
@@ -123,14 +141,27 @@ func (tc *Toolchain) Synthesize(d *Design, dev fabric.Device, partial bool) (*Sy
 // BitstreamID is the deterministic identifier for a design/device/kind
 // combination, letting nodes recognize already-loaded configurations.
 func BitstreamID(design, device string, partial bool) string {
-	kind := "full"
+	kind := "#full"
 	if partial {
-		kind = "part"
+		kind = "#part"
 	}
-	return fmt.Sprintf("%s@%s#%s", strings.ToLower(design), strings.ToUpper(device), kind)
+	var b strings.Builder
+	b.Grow(len(design) + 1 + len(device) + len(kind))
+	b.WriteString(strings.ToLower(design))
+	b.WriteByte('@')
+	b.WriteString(strings.ToUpper(device))
+	b.WriteString(kind)
+	return b.String()
 }
 
 // Accelerate wraps a synthesis result as a pe.Estimator for the scheduler.
+// The wrapper is immutable and memoized per design, so the hot candidate
+// paths get the same value back instead of a fresh allocation.
 func (r *SynthesisResult) Accelerate(d *Design) *Accelerator {
-	return &Accelerator{Design: d, ClockMHz: r.ClockMHz}
+	if a := r.accel.Load(); a != nil && a.Design == d {
+		return a
+	}
+	a := &Accelerator{Design: d, ClockMHz: r.ClockMHz}
+	r.accel.Store(a)
+	return a
 }

@@ -9,6 +9,7 @@ package jss
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/capability"
 	"repro/internal/sim"
@@ -108,7 +109,7 @@ func CostRate(kind capability.Kind) float64 {
 // requested element kinds.
 func QuoteCost(g *task.Graph) float64 {
 	var total float64
-	for _, id := range g.IDs() {
+	for _, id := range g.Order() {
 		t, _ := g.Get(id)
 		total += t.EstimatedSeconds * CostRate(t.ExecReq.Requirements.Kind())
 	}
@@ -136,7 +137,7 @@ func (j *JSS) Submit(user string, g *task.Graph, prog *task.Program, qos QoS, no
 	j.nextID++
 	j.nextSeq++
 	sub := &Submission{
-		ID:          fmt.Sprintf("sub-%04d", j.nextID),
+		ID:          subID(j.nextID),
 		User:        user,
 		Graph:       g,
 		Program:     prog,
@@ -145,45 +146,66 @@ func (j *JSS) Submit(user string, g *task.Graph, prog *task.Program, qos QoS, no
 		Status:      StatusQueued,
 		seq:         j.nextSeq,
 	}
-	reject := func(reason string) (*Submission, error) {
-		sub.Status = StatusRejected
-		sub.FailureReason = reason
-		j.all[sub.ID] = sub
-		return sub, fmt.Errorf("jss: %s", reason)
-	}
 	if user == "" {
-		return reject("submission without a user")
+		return j.reject(sub, "submission without a user")
 	}
 	if g == nil || g.Len() == 0 {
-		return reject("submission without tasks")
+		return j.reject(sub, "submission without tasks")
 	}
 	if err := g.Validate(); err != nil {
-		return reject(err.Error())
+		return j.reject(sub, err.Error())
 	}
 	if prog != nil {
 		if err := prog.Validate(); err != nil {
-			return reject(err.Error())
+			return j.reject(sub, err.Error())
 		}
 		for _, id := range prog.TaskIDs() {
 			if _, ok := g.Get(id); !ok {
-				return reject(fmt.Sprintf("program references unknown task %s", id))
+				return j.reject(sub, fmt.Sprintf("program references unknown task %s", id))
 			}
 		}
 	}
-	for _, id := range g.IDs() {
+	for _, id := range g.Order() {
 		t, _ := g.Get(id)
 		if d := t.ExecReq.Design; d != nil && d.Streaming {
-			return reject(fmt.Sprintf("task %s uses a streaming design; streaming applications are future work", id))
+			return j.reject(sub, fmt.Sprintf("task %s uses a streaming design; streaming applications are future work", id))
 		}
 	}
 	sub.QuotedCost = QuoteCost(g)
 	if qos.MaxCostUnits > 0 && sub.QuotedCost > qos.MaxCostUnits {
-		return reject(fmt.Sprintf("quote %.2f exceeds cost cap %.2f", sub.QuotedCost, qos.MaxCostUnits))
+		return j.reject(sub, fmt.Sprintf("quote %.2f exceeds cost cap %.2f", sub.QuotedCost, qos.MaxCostUnits))
 	}
 	sub.remaining = g.Len()
 	j.queue = append(j.queue, sub)
 	j.all[sub.ID] = sub
 	return sub, nil
+}
+
+// reject records a refused submission and returns it with the error the
+// caller reports. A named method rather than a closure inside Submit so
+// the accept path does not allocate a closure it never calls.
+func (j *JSS) reject(sub *Submission, reason string) (*Submission, error) {
+	sub.Status = StatusRejected
+	sub.FailureReason = reason
+	j.all[sub.ID] = sub
+	return sub, fmt.Errorf("jss: %s", reason)
+}
+
+// subID renders "sub-%04d" without fmt: one submission per task in the
+// many-task workload model makes this a measurable allocation site.
+func subID(n int) string {
+	var buf [24]byte
+	s := strconv.AppendInt(buf[:0], int64(n), 10)
+	pad := 4 - len(s)
+	if pad < 0 {
+		pad = 0
+	}
+	b := make([]byte, 0, 4+pad+len(s))
+	b = append(b, "sub-"...)
+	for ; pad > 0; pad-- {
+		b = append(b, '0')
+	}
+	return string(append(b, s...))
 }
 
 // Dequeue removes and returns the highest-priority queued submission
@@ -227,8 +249,16 @@ func (j *JSS) Submissions() []*Submission {
 // Notify records a monitoring event for a submission (no-op unless the
 // user requested monitoring).
 func (j *JSS) Notify(subID string, now sim.Time, taskID, what string) {
-	s, ok := j.all[subID]
-	if !ok || !s.QoS.Monitor {
+	if s, ok := j.all[subID]; ok {
+		j.NotifyFor(s, now, taskID, what)
+	}
+}
+
+// NotifyFor is Notify for a caller already holding the submission — the
+// engine reports progress once per simulated event, so the hot path skips
+// the ID lookup.
+func (j *JSS) NotifyFor(s *Submission, now sim.Time, taskID, what string) {
+	if !s.QoS.Monitor {
 		return
 	}
 	s.Events = append(s.Events, Event{Time: now, TaskID: taskID, What: what})
@@ -237,15 +267,26 @@ func (j *JSS) Notify(subID string, now sim.Time, taskID, what string) {
 // Charge adds actual cost for executed work.
 func (j *JSS) Charge(subID string, seconds float64, kind capability.Kind) {
 	if s, ok := j.all[subID]; ok {
-		s.FinalCost += seconds * CostRate(kind)
+		j.ChargeFor(s, seconds, kind)
 	}
+}
+
+// ChargeFor is Charge for a caller already holding the submission.
+func (j *JSS) ChargeFor(s *Submission, seconds float64, kind capability.Kind) {
+	s.FinalCost += seconds * CostRate(kind)
 }
 
 // TaskDone marks one of the submission's tasks complete; when the last one
 // finishes the submission completes and the deadline outcome is recorded.
 func (j *JSS) TaskDone(subID string, now sim.Time) {
-	s, ok := j.all[subID]
-	if !ok || s.Status != StatusRunning {
+	if s, ok := j.all[subID]; ok {
+		j.TaskDoneFor(s, now)
+	}
+}
+
+// TaskDoneFor is TaskDone for a caller already holding the submission.
+func (j *JSS) TaskDoneFor(s *Submission, now sim.Time) {
+	if s.Status != StatusRunning {
 		return
 	}
 	s.remaining--

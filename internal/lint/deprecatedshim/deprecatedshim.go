@@ -1,19 +1,26 @@
 // Package deprecatedshim implements the reconlint analyzer that flags
-// calls to this module's deprecated functions, so compatibility shims
-// (like the late grid.RunScenarioArgs) cannot quietly accrete callers
-// while awaiting deletion.
+// uses of this module's deprecated functions and types, so
+// compatibility shims (like the late grid.RunScenarioArgs, or the
+// sim.EventQueue alias) cannot quietly accrete callers while awaiting
+// deletion.
 //
-// A function is deprecated when its doc comment contains a paragraph
+// A symbol is deprecated when its doc comment contains a paragraph
 // beginning "Deprecated:" (the standard Go convention). Same-package
 // declarations are discovered from the package's own syntax; for
-// cross-package calls the driver pre-scans every loaded module package
-// and registers the deprecated symbols with Register before analyzers
-// run. Standard-library deprecations are deliberately out of scope —
-// this reporter polices the module's own migration debt.
+// cross-package uses the driver pre-scans every loaded module package
+// and registers the deprecated symbols with Register/RegisterType
+// before analyzers run. Standard-library deprecations are deliberately
+// out of scope — this reporter polices the module's own migration debt.
+//
+// Uses inside deprecated declarations are exempt: a deprecated alias
+// may mention the shim it forwards to, and one shim may be implemented
+// in terms of another, without tripping the reporter.
 package deprecatedshim
 
 import (
 	"go/ast"
+	"go/token"
+	"go/types"
 	"strings"
 
 	"repro/internal/lint/analysis"
@@ -22,21 +29,32 @@ import (
 // Analyzer is the deprecated-shim analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "deprecatedshim",
-	Doc:  "flag calls to the module's own deprecated functions; migrate callers instead of accreting new ones",
+	Doc:  "flag uses of the module's own deprecated functions and types; migrate callers instead of accreting new ones",
 	Run:  run,
 }
 
 // registry maps types.Func.FullName() of known-deprecated module
-// functions to the first line of their deprecation note.
-var registry = map[string]string{}
+// functions to the first line of their deprecation note; typeRegistry
+// does the same for type names, keyed "pkgpath.TypeName".
+var (
+	registry     = map[string]string{}
+	typeRegistry = map[string]string{}
+)
 
 // Register records a deprecated function by its types.Func.FullName()
 // (e.g. "repro/internal/grid.RunScenarioArgs"). The driver calls this
 // during its pre-scan; tests may call it directly.
 func Register(fullName, note string) { registry[fullName] = note }
 
-// Reset clears the registry (test isolation).
-func Reset() { registry = map[string]string{} }
+// RegisterType records a deprecated type by "pkgpath.TypeName"
+// (e.g. "repro/internal/sim.EventQueue").
+func RegisterType(fullName, note string) { typeRegistry[fullName] = note }
+
+// Reset clears both registries (test isolation).
+func Reset() {
+	registry = map[string]string{}
+	typeRegistry = map[string]string{}
+}
 
 // DeprecationNote returns the first line of the "Deprecated:" paragraph
 // in a doc comment, or "" when the doc carries none.
@@ -53,42 +71,85 @@ func DeprecationNote(doc *ast.CommentGroup) string {
 	return ""
 }
 
+// TypeSpecNote returns the deprecation note for one type spec inside a
+// declaration: the spec's own doc wins, then a single-spec declaration
+// inherits the GenDecl doc.
+func TypeSpecNote(decl *ast.GenDecl, spec *ast.TypeSpec) string {
+	if note := DeprecationNote(spec.Doc); note != "" {
+		return note
+	}
+	if len(decl.Specs) == 1 {
+		return DeprecationNote(decl.Doc)
+	}
+	return ""
+}
+
+// typeFullName renders a *types.TypeName as "pkgpath.Name", matching
+// types.Func.FullName() for package-level symbols.
+func typeFullName(tn *types.TypeName) string {
+	if tn.Pkg() == nil {
+		return tn.Name()
+	}
+	return tn.Pkg().Path() + "." + tn.Name()
+}
+
+// span is a source range whose contents are exempt from reporting.
+type span struct{ lo, hi token.Pos }
+
 func run(pass *analysis.Pass) (interface{}, error) {
-	// Same-package deprecated declarations, and their positions so the
-	// declaration body itself is not flagged.
-	local := map[string]string{}
-	inDeprecated := map[*ast.FuncDecl]bool{}
+	// Same-package deprecated declarations, and their spans so a
+	// deprecated body or alias RHS is not itself flagged.
+	localFuncs := map[string]string{}
+	localTypes := map[string]string{}
+	var exempt []span
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok {
-				continue
-			}
-			if note := DeprecationNote(fd.Doc); note != "" {
-				if obj, ok := pass.TypesInfo.Defs[fd.Name].(interface{ FullName() string }); ok {
-					local[obj.FullName()] = note
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if note := DeprecationNote(d.Doc); note != "" {
+					if obj, ok := pass.TypesInfo.Defs[d.Name].(interface{ FullName() string }); ok {
+						localFuncs[obj.FullName()] = note
+					}
+					exempt = append(exempt, span{d.Pos(), d.End()})
 				}
-				inDeprecated[fd] = true
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, s := range d.Specs {
+					ts, ok := s.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if note := TypeSpecNote(d, ts); note != "" {
+						if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+							localTypes[typeFullName(tn)] = note
+						}
+						exempt = append(exempt, span{ts.Pos(), ts.End()})
+					}
+				}
 			}
 		}
 	}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || inDeprecated[fd] {
-				continue
+	exempted := func(pos token.Pos) bool {
+		for _, s := range exempt {
+			if pos >= s.lo && pos < s.hi {
+				return true
 			}
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				fn := pass.FuncOf(call)
-				if fn == nil {
+		}
+		return false
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := pass.FuncOf(n)
+				if fn == nil || exempted(n.Pos()) {
 					return true
 				}
 				full := fn.FullName()
-				note, dep := local[full]
+				note, dep := localFuncs[full]
 				if !dep {
 					note, dep = registry[full]
 				}
@@ -97,11 +158,28 @@ func run(pass *analysis.Pass) (interface{}, error) {
 					if note != "" {
 						msg += ": " + note
 					}
-					pass.Reportf(call.Pos(), "%s", msg)
+					pass.Reportf(n.Pos(), "%s", msg)
 				}
-				return true
-			})
-		}
+			case *ast.Ident:
+				tn, ok := pass.TypesInfo.Uses[n].(*types.TypeName)
+				if !ok || exempted(n.Pos()) {
+					return true
+				}
+				full := typeFullName(tn)
+				note, dep := localTypes[full]
+				if !dep {
+					note, dep = typeRegistry[full]
+				}
+				if dep {
+					msg := "use of deprecated type " + full
+					if note != "" {
+						msg += ": " + note
+					}
+					pass.Reportf(n.Pos(), "%s", msg)
+				}
+			}
+			return true
+		})
 	}
 	return nil, nil
 }

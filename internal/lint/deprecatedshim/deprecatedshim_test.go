@@ -15,6 +15,7 @@ func TestSamePackage(t *testing.T) {
 func TestCrossPackageRegistry(t *testing.T) {
 	deprecatedshim.Reset()
 	deprecatedshim.Register("dep.Old", "use New.")
+	deprecatedshim.RegisterType("dep.OldWidget", "use Widget.")
 	defer deprecatedshim.Reset()
 	analysistest.Run(t, "testdata", deprecatedshim.Analyzer, "b")
 }

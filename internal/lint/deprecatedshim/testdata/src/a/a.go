@@ -22,3 +22,27 @@ func fine() int {
 func allowed() int {
 	return OldSum(3, 4) //reconlint:allow deprecatedshim fixture migration scheduled for next pass
 }
+
+// Queue is the current type.
+type Queue struct{ n int }
+
+// OldQueue is the legacy name. Its declaration mentions Queue without
+// being flagged: deprecated declarations are exempt spans.
+//
+// Deprecated: use Queue.
+type OldQueue = Queue
+
+func useType() int {
+	var q OldQueue // want `use of deprecated type a\.OldQueue: use Queue\.`
+	return q.n
+}
+
+func fineType() int {
+	var q Queue
+	return q.n
+}
+
+func allowedType() int {
+	var q OldQueue //reconlint:allow deprecatedshim fixture migration scheduled for next pass
+	return q.n
+}

@@ -13,3 +13,13 @@ func use() int {
 func fine() int {
 	return dep.New()
 }
+
+func useRegisteredType() int {
+	var w dep.OldWidget // want `use of deprecated type dep\.OldWidget: use Widget\.`
+	return w.N
+}
+
+func fineRegisteredType() int {
+	var w dep.Widget
+	return w.N
+}

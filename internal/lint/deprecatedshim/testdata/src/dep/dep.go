@@ -9,3 +9,12 @@ func Old() int { return New() }
 
 // New is the replacement.
 func New() int { return 1 }
+
+// Widget is the current type.
+type Widget struct{ N int }
+
+// OldWidget is the legacy name, registered by the driver pre-scan in
+// the test.
+//
+// Deprecated: use Widget.
+type OldWidget = Widget

@@ -18,7 +18,12 @@
 //     new(T), and make(…),
 //   - interface boxing inside loops: explicit conversions to an
 //     interface type and concrete arguments passed to ...interface{}
-//     variadics.
+//     variadics,
+//   - non-constant string concatenation anywhere in the region: the
+//     region runs once per simulated event, so a "+" that survives
+//     constant folding forms a fresh string per event — intern the
+//     identifier (obs.Name) once instead, or gate the build behind a
+//     cold-path check and suppress with an allow directive.
 //
 // Calls inside panic(...) arguments are exempt — a panicking path is
 // cold by definition. Escape hatch: //reconlint:allow hotalloc
@@ -101,24 +106,32 @@ func run(pass *analysis.Pass) (interface{}, error) {
 }
 
 // checkFunc walks one region function, tracking lexical loop depth and
-// skipping panic(...) arguments.
+// skipping panic(...) arguments. inConcat suppresses reports on the
+// sub-expressions of an already-reported concatenation chain (a+b+c is
+// two BinaryExprs; only the outermost is diagnosed).
 func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, suffix string) {
-	var walk func(n ast.Node, inLoop bool)
-	walk = func(n ast.Node, inLoop bool) {
+	var walk func(n ast.Node, inLoop, inConcat bool)
+	walk = func(n ast.Node, inLoop, inConcat bool) {
 		switch n := n.(type) {
 		case nil:
 			return
 		case *ast.ForStmt:
-			walkChildren(n, func(c ast.Node) { walk(c, true) })
+			walkChildren(n, func(c ast.Node) { walk(c, true, inConcat) })
 			return
 		case *ast.RangeStmt:
-			walkChildren(n, func(c ast.Node) { walk(c, true) })
+			walkChildren(n, func(c ast.Node) { walk(c, true, inConcat) })
 			return
 		case *ast.CallExpr:
 			if isPanic(pass, n) {
 				return // cold path: do not descend into the arguments
 			}
 			checkCall(pass, n, inLoop, suffix)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && !inConcat && stringConcat(pass, n) {
+				pass.Reportf(n.Pos(), "string concatenation builds a new string per event in hot path%s; intern the identifier once (obs.Name) or gate it behind a cold-path check", suffix)
+				walkChildren(n, func(c ast.Node) { walk(c, inLoop, true) })
+				return
+			}
 		case *ast.UnaryExpr:
 			if inLoop && n.Op == token.AND {
 				if _, ok := n.X.(*ast.CompositeLit); ok {
@@ -126,9 +139,21 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, suffix string) {
 				}
 			}
 		}
-		walkChildren(n, func(c ast.Node) { walk(c, inLoop) })
+		walkChildren(n, func(c ast.Node) { walk(c, inLoop, inConcat) })
 	}
-	walk(body, false)
+	walk(body, false, false)
+}
+
+// stringConcat reports whether the expression is a string "+" that
+// survives constant folding (the compiler folds all-constant chains
+// into one literal, which allocates nothing at run time).
+func stringConcat(pass *analysis.Pass, n *ast.BinaryExpr) bool {
+	tv, ok := pass.TypesInfo.Types[n]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
 }
 
 // walkChildren visits n's immediate children.

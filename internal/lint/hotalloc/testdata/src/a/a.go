@@ -36,6 +36,19 @@ func Hot(items []int) string {
 	return describe(total)
 }
 
+// HotNames forms identifier strings per event: non-constant "+" is
+// flagged anywhere in the region, folded constants and allows are not.
+//
+//reconlint:hotpath fixture: renders identifiers once per event
+func HotNames(id, node string) string {
+	key := id + "@" + node         // want `string concatenation builds a new string per event in hot path`
+	const prefix = "ev-" + "grid-" // folded at compile time: exempt
+	//reconlint:allow hotalloc gated behind a monitoring opt-in in the real caller
+	label := "task " + id
+	_ = label
+	return prefix + key // want `string concatenation builds a new string per event in hot path`
+}
+
 // describe is unmarked but reached from Hot, so the region extends to
 // it.
 func describe(total int) string {

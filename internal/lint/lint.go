@@ -127,23 +127,40 @@ func Prepare(pkgs []*loader.Package) {
 	dataflow.SetProgram(dataflow.Build(infos))
 }
 
-// RegisterDeprecated pre-scans loaded packages for functions whose doc
-// comment carries a "Deprecated:" paragraph and registers them with the
-// deprecatedshim analyzer, so cross-package calls are caught.
+// RegisterDeprecated pre-scans loaded packages for functions and types
+// whose doc comment carries a "Deprecated:" paragraph and registers
+// them with the deprecatedshim analyzer, so cross-package uses are
+// caught.
 func RegisterDeprecated(pkgs []*loader.Package) {
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Syntax {
 			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok {
-					continue
-				}
-				note := deprecatedshim.DeprecationNote(fd.Doc)
-				if note == "" {
-					continue
-				}
-				if obj, ok := pkg.Info.Defs[fd.Name].(interface{ FullName() string }); ok {
-					deprecatedshim.Register(obj.FullName(), note)
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					note := deprecatedshim.DeprecationNote(d.Doc)
+					if note == "" {
+						continue
+					}
+					if obj, ok := pkg.Info.Defs[d.Name].(interface{ FullName() string }); ok {
+						deprecatedshim.Register(obj.FullName(), note)
+					}
+				case *ast.GenDecl:
+					if d.Tok != token.TYPE {
+						continue
+					}
+					for _, s := range d.Specs {
+						ts, ok := s.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						note := deprecatedshim.TypeSpecNote(d, ts)
+						if note == "" {
+							continue
+						}
+						if pkg.Types != nil {
+							deprecatedshim.RegisterType(pkg.Types.Path()+"."+ts.Name.Name, note)
+						}
+					}
 				}
 			}
 		}

@@ -137,6 +137,10 @@ type Node struct {
 	elems []*Element
 	byID  map[string]*Element
 	seq   map[capability.Kind]int
+	// byKind caches the per-kind element lists (installation order),
+	// rebuilt on install/remove, so the matchmaker's per-dispatch kind
+	// scans allocate nothing.
+	byKind map[capability.Kind][]*Element
 }
 
 // New creates an empty node.
@@ -154,6 +158,10 @@ func New(id string) (*Node, error) {
 func (n *Node) install(e *Element) *Element {
 	n.elems = append(n.elems, e)
 	n.byID[e.ID] = e
+	if n.byKind == nil {
+		n.byKind = make(map[capability.Kind][]*Element)
+	}
+	n.byKind[e.Kind] = append(n.byKind[e.Kind], e)
 	return e
 }
 
@@ -249,6 +257,13 @@ func (n *Node) Remove(elemID string) error {
 			break
 		}
 	}
+	kin := n.byKind[e.Kind]
+	for i, el := range kin {
+		if el == e {
+			n.byKind[e.Kind] = append(kin[:i], kin[i+1:]...)
+			break
+		}
+	}
 	return nil
 }
 
@@ -261,15 +276,12 @@ func (n *Node) Element(id string) (*Element, bool) {
 // Elements returns all elements in installation order.
 func (n *Node) Elements() []*Element { return append([]*Element(nil), n.elems...) }
 
-// ByKind returns the elements of one kind in installation order.
+// ByKind returns the elements of one kind in installation order. The
+// returned slice is the node's cached view — read-only; callers must not
+// mutate it or hold it across Add*/Remove calls. It is rendered on every
+// matchmaking pass, which is why it cannot afford a defensive copy.
 func (n *Node) ByKind(kind capability.Kind) []*Element {
-	var out []*Element
-	for _, e := range n.elems {
-		if e.Kind == kind {
-			out = append(out, e)
-		}
-	}
-	return out
+	return n.byKind[kind]
 }
 
 // GPPs returns the node's general-purpose processors.

@@ -30,16 +30,16 @@ import (
 // the document. Construct with NewChrome; a zero Chrome is a no-op sink.
 type Chrome struct {
 	mu      sync.Mutex
-	w       *bufio.Writer  // guarded by mu
-	err     error          // guarded by mu; first write error, latched
-	opened  bool           // guarded by mu
-	closed  bool           // guarded by mu
-	first   bool           // guarded by mu; next record needs no separator
-	pids    map[string]int // guarded by mu; node → pid ("" = scheduler)
-	nextPid int            // guarded by mu
-	tids    map[string]int // guarded by mu; node+"\x00"+element → tid
-	nextTid map[int]int    // guarded by mu; per-pid tid allocator
-	buf     []byte         // guarded by mu; reused per record
+	w       *bufio.Writer   // guarded by mu
+	err     error           // guarded by mu; first write error, latched
+	opened  bool            // guarded by mu
+	closed  bool            // guarded by mu
+	first   bool            // guarded by mu; next record needs no separator
+	pids    map[Name]int    // guarded by mu; node → pid (zero Name = scheduler)
+	nextPid int             // guarded by mu
+	tids    map[[2]Name]int // guarded by mu; {node, element} → tid
+	nextTid map[int]int     // guarded by mu; per-pid tid allocator
+	buf     []byte          // guarded by mu; reused per record
 }
 
 // NewChrome returns a Chrome trace-event sink over w. Call Close to
@@ -47,8 +47,8 @@ type Chrome struct {
 func NewChrome(w io.Writer) *Chrome {
 	return &Chrome{
 		w:       bufio.NewWriter(w),
-		pids:    map[string]int{},
-		tids:    map[string]int{},
+		pids:    map[Name]int{},
+		tids:    map[[2]Name]int{},
 		nextTid: map[int]int{},
 	}
 }
@@ -65,34 +65,34 @@ func (c *Chrome) Emit(ev Event) {
 	}
 	switch ev.Kind {
 	case KindQueued, KindRetry, KindLost:
-		pid := c.pidLocked("")
-		tid := c.tidLocked(pid, "", "")
-		c.recordLocked(string(ev.Kind), "i", ev.Time, pid, tid, `"s":"t","args":{"task":`+strconv.Quote(ev.TaskID)+`}`)
+		pid := c.pidLocked(0)
+		tid := c.tidLocked(pid, 0, 0)
+		c.recordLocked(string(ev.Kind), "i", ev.Time, pid, tid, `"s":"t","args":{"task":`+strconv.Quote(ev.TaskID.String())+`}`)
 	case KindDispatch:
 		pid := c.pidLocked(ev.Node)
 		tid := c.tidLocked(pid, ev.Node, ev.Element)
-		c.recordLocked(ev.TaskID, "B", ev.Time, pid, tid, "")
+		c.recordLocked(ev.TaskID.String(), "B", ev.Time, pid, tid, "")
 	case KindComplete:
 		pid := c.pidLocked(ev.Node)
 		tid := c.tidLocked(pid, ev.Node, ev.Element)
-		c.recordLocked(ev.TaskID, "E", ev.Time, pid, tid, `"args":{"outcome":"complete"}`)
+		c.recordLocked(ev.TaskID.String(), "E", ev.Time, pid, tid, `"args":{"outcome":"complete"}`)
 	case KindFail:
 		pid := c.pidLocked(ev.Node)
 		tid := c.tidLocked(pid, ev.Node, ev.Element)
-		c.recordLocked(ev.TaskID, "E", ev.Time, pid, tid, `"args":{"outcome":"fail"}`)
+		c.recordLocked(ev.TaskID.String(), "E", ev.Time, pid, tid, `"args":{"outcome":"fail"}`)
 	case KindReconfig, KindSEU, KindLeaseExpired:
 		pid := c.pidLocked(ev.Node)
 		tid := c.tidLocked(pid, ev.Node, ev.Element)
-		c.recordLocked(string(ev.Kind), "i", ev.Time, pid, tid, `"s":"t","args":{"task":`+strconv.Quote(ev.TaskID)+`}`)
+		c.recordLocked(string(ev.Kind), "i", ev.Time, pid, tid, `"s":"t","args":{"task":`+strconv.Quote(ev.TaskID.String())+`}`)
 	case KindNodeDown, KindNodeUp:
 		pid := c.pidLocked(ev.Node)
-		tid := c.tidLocked(pid, ev.Node, "")
+		tid := c.tidLocked(pid, ev.Node, 0)
 		c.recordLocked(string(ev.Kind), "i", ev.Time, pid, tid, `"s":"p"`)
 	case KindLinkDegraded, KindLinkRestored:
 		// For link events Element carries the fault detail, not a track.
 		pid := c.pidLocked(ev.Node)
-		tid := c.tidLocked(pid, ev.Node, "")
-		c.recordLocked(string(ev.Kind), "i", ev.Time, pid, tid, `"s":"t","args":{"detail":`+strconv.Quote(ev.Element)+`}`)
+		tid := c.tidLocked(pid, ev.Node, 0)
+		c.recordLocked(string(ev.Kind), "i", ev.Time, pid, tid, `"s":"t","args":{"detail":`+strconv.Quote(ev.Element.String())+`}`)
 	default:
 		pid := c.pidLocked(ev.Node)
 		tid := c.tidLocked(pid, ev.Node, ev.Element)
@@ -111,8 +111,8 @@ func (c *Chrome) Sample(s Sample) {
 	if !c.openLocked() {
 		return
 	}
-	pid := c.pidLocked("")
-	tid := c.tidLocked(pid, "", "")
+	pid := c.pidLocked(0)
+	tid := c.tidLocked(pid, 0, 0)
 	c.recordLocked("queue", "C", s.Time, pid, tid,
 		`"args":{"waiting":`+strconv.Itoa(s.QueueDepth)+`,"retry-backlog":`+strconv.Itoa(s.RetryBacklog)+`}`)
 	c.recordLocked("running", "C", s.Time, pid, tid,
@@ -199,15 +199,17 @@ func (c *Chrome) openLocked() bool {
 }
 
 // pidLocked returns the pid for a node, assigning one (and emitting its
-// process_name metadata) on first appearance. "" is the scheduler.
-func (c *Chrome) pidLocked(node string) int {
+// process_name metadata) on first appearance. The zero Name is the
+// scheduler. Keyed by interned handle: steady-state lookups hash one
+// int32, and the text is only resolved for the metadata record.
+func (c *Chrome) pidLocked(node Name) int {
 	if pid, ok := c.pids[node]; ok {
 		return pid
 	}
 	pid := c.nextPid
 	c.nextPid++
 	c.pids[node] = pid
-	name := node
+	name := node.String()
 	if name == "" {
 		name = "scheduler"
 	}
@@ -217,17 +219,17 @@ func (c *Chrome) pidLocked(node string) int {
 
 // tidLocked returns the tid for an element within a node's process,
 // assigning one (with thread_name metadata) on first appearance.
-func (c *Chrome) tidLocked(pid int, node, elem string) int {
-	key := node + "\x00" + elem
+func (c *Chrome) tidLocked(pid int, node, elem Name) int {
+	key := [2]Name{node, elem}
 	if tid, ok := c.tids[key]; ok {
 		return tid
 	}
 	tid := c.nextTid[pid]
 	c.nextTid[pid] = tid + 1
 	c.tids[key] = tid
-	name := elem
+	name := elem.String()
 	if name == "" {
-		if node == "" {
+		if node == 0 {
 			name = "queue"
 		} else {
 			name = "node"

@@ -17,21 +17,21 @@ type chromeDoc struct {
 // node-track fault instants, and a link event carrying detail.
 func chromeFixtureEvents() []Event {
 	return []Event{
-		{Time: 0, Kind: KindQueued, TaskID: "t1"},
-		{Time: 0.5, Kind: KindDispatch, TaskID: "t1", Node: "Node0", Element: "GPP0"},
-		{Time: 1, Kind: KindQueued, TaskID: "t2"},
-		{Time: 1.5, Kind: KindDispatch, TaskID: "t2", Node: "Node1", Element: "RPE0"},
-		{Time: 1.5, Kind: KindReconfig, TaskID: "t2", Node: "Node1", Element: "RPE0"},
-		{Time: 2, Kind: KindSEU, TaskID: "t2", Node: "Node1", Element: "RPE0"},
-		{Time: 2.5, Kind: KindFail, TaskID: "t2", Node: "Node1", Element: "RPE0"},
-		{Time: 2.5, Kind: KindRetry, TaskID: "t2"},
-		{Time: 3, Kind: KindNodeDown, Node: "Node1"},
-		{Time: 3.5, Kind: KindLinkDegraded, Node: "Node0", Element: "partition"},
-		{Time: 4, Kind: KindComplete, TaskID: "t1", Node: "Node0", Element: "GPP0"},
-		{Time: 5, Kind: KindLeaseExpired, TaskID: "t2", Node: "Node1", Element: "RPE0"},
-		{Time: 6, Kind: KindLinkRestored, Node: "Node0", Element: ""},
-		{Time: 7, Kind: KindNodeUp, Node: "Node1"},
-		{Time: 8, Kind: KindLost, TaskID: "t2"},
+		{Time: 0, Kind: KindQueued, TaskID: Str("t1")},
+		{Time: 0.5, Kind: KindDispatch, TaskID: Str("t1"), Node: Str("Node0"), Element: Str("GPP0")},
+		{Time: 1, Kind: KindQueued, TaskID: Str("t2")},
+		{Time: 1.5, Kind: KindDispatch, TaskID: Str("t2"), Node: Str("Node1"), Element: Str("RPE0")},
+		{Time: 1.5, Kind: KindReconfig, TaskID: Str("t2"), Node: Str("Node1"), Element: Str("RPE0")},
+		{Time: 2, Kind: KindSEU, TaskID: Str("t2"), Node: Str("Node1"), Element: Str("RPE0")},
+		{Time: 2.5, Kind: KindFail, TaskID: Str("t2"), Node: Str("Node1"), Element: Str("RPE0")},
+		{Time: 2.5, Kind: KindRetry, TaskID: Str("t2")},
+		{Time: 3, Kind: KindNodeDown, Node: Str("Node1")},
+		{Time: 3.5, Kind: KindLinkDegraded, Node: Str("Node0"), Element: Str("partition")},
+		{Time: 4, Kind: KindComplete, TaskID: Str("t1"), Node: Str("Node0"), Element: Str("GPP0")},
+		{Time: 5, Kind: KindLeaseExpired, TaskID: Str("t2"), Node: Str("Node1"), Element: Str("RPE0")},
+		{Time: 6, Kind: KindLinkRestored, Node: Str("Node0"), Element: Str("")},
+		{Time: 7, Kind: KindNodeUp, Node: Str("Node1")},
+		{Time: 8, Kind: KindLost, TaskID: Str("t2")},
 	}
 }
 

@@ -192,7 +192,7 @@ func TestSinkConformanceNilReceiver(t *testing.T) {
 		}
 		t.Run(tc.name, func(t *testing.T) {
 			s := tc.nilVal()
-			s.Emit(obs.Event{Kind: obs.KindQueued, TaskID: "t"})
+			s.Emit(obs.Event{Kind: obs.KindQueued, TaskID: obs.Str("t")})
 			s.Sample(obs.Sample{Time: 1})
 			if err := s.Flush(); err != nil {
 				t.Errorf("nil Flush = %v", err)
@@ -225,8 +225,8 @@ func TestSinkConformanceConcurrent(t *testing.T) {
 						sink.Emit(obs.Event{
 							Time:   sim.Time(i),
 							Kind:   obs.KindDispatch,
-							TaskID: "task",
-							Node:   "NodeX",
+							TaskID: obs.Str("task"),
+							Node:   obs.Str("NodeX"),
 						})
 						if i%10 == 0 {
 							sink.Sample(obs.Sample{Time: sim.Time(i), QueueDepth: g})
@@ -254,7 +254,7 @@ func TestSinkConformanceCloseSemantics(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			var buf bytes.Buffer
 			sink := tc.make(&buf)
-			sink.Emit(obs.Event{Time: 1, Kind: obs.KindQueued, TaskID: "a"})
+			sink.Emit(obs.Event{Time: 1, Kind: obs.KindQueued, TaskID: obs.Str("a")})
 			if err := sink.Close(); err != nil {
 				t.Fatalf("first Close: %v", err)
 			}
@@ -265,7 +265,7 @@ func TestSinkConformanceCloseSemantics(t *testing.T) {
 			if buf.Len() != closedLen {
 				t.Errorf("second Close grew output by %d bytes", buf.Len()-closedLen)
 			}
-			sink.Emit(obs.Event{Time: 2, Kind: obs.KindQueued, TaskID: "b"})
+			sink.Emit(obs.Event{Time: 2, Kind: obs.KindQueued, TaskID: obs.Str("b")})
 			sink.Sample(obs.Sample{Time: 2})
 			if err := sink.Flush(); err != nil {
 				t.Errorf("Flush after Close: %v", err)
@@ -321,7 +321,7 @@ func TestSinkConformanceWriteError(t *testing.T) {
 			// Push well past any internal buffer so the error latches
 			// during Emit, not only at Flush.
 			for i := 0; i < 500; i++ {
-				sink.Emit(obs.Event{Time: sim.Time(i), Kind: obs.KindDispatch, TaskID: "wl-0", Node: "Node0", Element: "GPP0"})
+				sink.Emit(obs.Event{Time: sim.Time(i), Kind: obs.KindDispatch, TaskID: obs.Str("wl-0"), Node: obs.Str("Node0"), Element: obs.Str("GPP0")})
 			}
 			if err := sink.Flush(); !errors.Is(err, sentinel) {
 				t.Errorf("Flush = %v, want the writer's error", err)
@@ -370,8 +370,8 @@ func TestStreamingCSVMatchesRecorder(t *testing.T) {
 	// equivalence included.
 	hostile := []obs.Event{
 		{},
-		{Time: 1.5, Kind: obs.KindQueued, TaskID: `comma,task`, Node: `quote"node`, Element: "multi\nline"},
-		{Time: 2, Kind: obs.KindDispatch, TaskID: "cr\rreturn", Node: "plain", Element: ""},
+		{Time: 1.5, Kind: obs.KindQueued, TaskID: obs.Str(`comma,task`), Node: obs.Str(`quote"node`), Element: obs.Str("multi\nline")},
+		{Time: 2, Kind: obs.KindDispatch, TaskID: obs.Str("cr\rreturn"), Node: obs.Str("plain"), Element: obs.Str("")},
 	}
 	rec2 := &obs.Recorder{}
 	var s2, b2 bytes.Buffer
@@ -411,7 +411,7 @@ func TestMultiSemantics(t *testing.T) {
 	}
 	a, b := &obs.Recorder{}, &obs.Recorder{}
 	m := obs.Multi(a, b)
-	m.Emit(obs.Event{Kind: obs.KindQueued, TaskID: "x"})
+	m.Emit(obs.Event{Kind: obs.KindQueued, TaskID: obs.Str("x")})
 	m.Sample(obs.Sample{Time: 3})
 	for i, r := range []*obs.Recorder{a, b} {
 		if len(r.Events()) != 1 || len(r.Samples()) != 1 {

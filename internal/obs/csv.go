@@ -49,11 +49,11 @@ func (c *CSV) Emit(ev Event) {
 	row = append(row, ',')
 	row = appendCSVField(row, string(ev.Kind))
 	row = append(row, ',')
-	row = appendCSVField(row, ev.TaskID)
+	row = appendCSVField(row, ev.TaskID.String())
 	row = append(row, ',')
-	row = appendCSVField(row, ev.Node)
+	row = appendCSVField(row, ev.Node.String())
 	row = append(row, ',')
-	row = appendCSVField(row, ev.Element)
+	row = appendCSVField(row, ev.Element.String())
 	row = append(row, '\n')
 	c.row = row
 	if _, err := c.w.Write(row); err != nil {

@@ -34,7 +34,7 @@ func (r *Recorder) Gantt(w io.Writer, width int) error {
 	if width < 10 {
 		return fmt.Errorf("obs: gantt width %d too small", width)
 	}
-	open := map[string]Event{} // task → dispatch event
+	open := map[Name]Event{} // task → dispatch event
 	lanes := map[string][]span{}
 	var maxT sim.Time
 	for _, ev := range r.Events() {
@@ -54,20 +54,23 @@ func (r *Recorder) Gantt(w io.Writer, width int) error {
 			if ev.Kind == KindFail {
 				glyph = ganttFailed
 			}
-			lane := d.Node + "/" + d.Element
-			lanes[lane] = append(lanes[lane], span{task: ev.TaskID, start: d.Time, end: ev.Time, glyph: glyph})
+			lane := d.Node.String() + "/" + d.Element.String()
+			lanes[lane] = append(lanes[lane], span{task: ev.TaskID.String(), start: d.Time, end: ev.Time, glyph: glyph})
 		}
 	}
 	// In-flight at end-of-run: extend to the last event time, in sorted
 	// task order so overlapping draws stay deterministic.
 	openIDs := make([]string, 0, len(open))
-	for id := range open {
-		openIDs = append(openIDs, id)
+	byStr := make(map[string]Event, len(open))
+	for id, d := range open {
+		s := id.String()
+		openIDs = append(openIDs, s)
+		byStr[s] = d
 	}
 	sort.Strings(openIDs)
 	for _, id := range openIDs {
-		d := open[id]
-		lane := d.Node + "/" + d.Element
+		d := byStr[id]
+		lane := d.Node.String() + "/" + d.Element.String()
 		lanes[lane] = append(lanes[lane], span{task: id, start: d.Time, end: maxT, glyph: ganttOpen})
 	}
 	if maxT <= 0 || len(lanes) == 0 {

@@ -12,15 +12,15 @@ import (
 func ganttFixture() *Recorder {
 	rec := &Recorder{}
 	for _, ev := range []Event{
-		{Time: 0, Kind: KindQueued, TaskID: "done"},
-		{Time: 1, Kind: KindDispatch, TaskID: "done", Node: "Node0", Element: "GPP0"},
-		{Time: 4, Kind: KindComplete, TaskID: "done", Node: "Node0", Element: "GPP0"},
-		{Time: 5, Kind: KindDispatch, TaskID: "aborted", Node: "Node0", Element: "GPP0"},
-		{Time: 7, Kind: KindFail, TaskID: "aborted", Node: "Node0", Element: "GPP0"},
-		{Time: 8, Kind: KindDispatch, TaskID: "stranded", Node: "Node1", Element: "RPE0"},
+		{Time: 0, Kind: KindQueued, TaskID: Str("done")},
+		{Time: 1, Kind: KindDispatch, TaskID: Str("done"), Node: Str("Node0"), Element: Str("GPP0")},
+		{Time: 4, Kind: KindComplete, TaskID: Str("done"), Node: Str("Node0"), Element: Str("GPP0")},
+		{Time: 5, Kind: KindDispatch, TaskID: Str("aborted"), Node: Str("Node0"), Element: Str("GPP0")},
+		{Time: 7, Kind: KindFail, TaskID: Str("aborted"), Node: Str("Node0"), Element: Str("GPP0")},
+		{Time: 8, Kind: KindDispatch, TaskID: Str("stranded"), Node: Str("Node1"), Element: Str("RPE0")},
 		// The run keeps going after the stranded dispatch; its bar must
 		// extend to this last event, not vanish.
-		{Time: 20, Kind: KindNodeDown, Node: "Node1"},
+		{Time: 20, Kind: KindNodeDown, Node: Str("Node1")},
 	} {
 		rec.Emit(ev)
 	}
@@ -76,9 +76,9 @@ func TestGanttDeterministicOverlap(t *testing.T) {
 	// Two open spans on one lane: rendering must be stable across runs
 	// (sorted task order), so repeated renders are byte-identical.
 	rec := &Recorder{}
-	rec.Emit(Event{Time: 1, Kind: KindDispatch, TaskID: "b", Node: "N", Element: "E"})
-	rec.Emit(Event{Time: 2, Kind: KindDispatch, TaskID: "a", Node: "N", Element: "E"})
-	rec.Emit(Event{Time: 10, Kind: KindNodeDown, Node: "N"})
+	rec.Emit(Event{Time: 1, Kind: KindDispatch, TaskID: Str("b"), Node: Str("N"), Element: Str("E")})
+	rec.Emit(Event{Time: 2, Kind: KindDispatch, TaskID: Str("a"), Node: Str("N"), Element: Str("E")})
+	rec.Emit(Event{Time: 10, Kind: KindNodeDown, Node: Str("N")})
 	var first bytes.Buffer
 	if err := rec.Gantt(&first, 30); err != nil {
 		t.Fatal(err)

@@ -55,15 +55,17 @@ const (
 	KindLost         Kind = "lost"
 )
 
-// Event is one engine lifecycle event.
+// Event is one engine lifecycle event. The identity fields are interned
+// Names (see Name): producers pass handles they interned once, sinks
+// resolve text lazily at encode time.
 type Event struct {
 	Time   sim.Time
 	Kind   Kind
-	TaskID string
-	Node   string
+	TaskID Name
+	Node   Name
 	// Element is the processing element involved; for link events it
 	// instead carries the fault detail ("partition" or empty).
-	Element string
+	Element Name
 }
 
 // Sample is one periodic gauge snapshot, taken every

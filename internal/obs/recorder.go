@@ -76,7 +76,7 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	for _, ev := range r.Events() {
 		rec := []string{
 			strconv.FormatFloat(float64(ev.Time), 'g', -1, 64),
-			string(ev.Kind), ev.TaskID, ev.Node, ev.Element,
+			string(ev.Kind), ev.TaskID.String(), ev.Node.String(), ev.Element.String(),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

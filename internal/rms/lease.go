@@ -2,7 +2,6 @@ package rms
 
 import (
 	"fmt"
-	"strconv"
 
 	"repro/internal/capability"
 	"repro/internal/fabric"
@@ -127,9 +126,9 @@ func (m *Matchmaker) Estimate(c Candidate, req task.ExecReq, w pe.Work) (CostEst
 	switch {
 	case c.Core != nil:
 		cfg := c.Core.Config()
-		bsID = hdl.BitstreamID("softcore-"+cfg.Caps.ISA+strconv.Itoa(cfg.Caps.IssueWidth), dev.FPGACaps.Device, dev.PartialRecon)
+		bsID = m.bitstreamID(m.coreDesign(c.Core), dev.FPGACaps.Device, dev.PartialRecon)
 		if dev.PartialRecon {
-			bsBytes = fabric.PartialBitstream(bsID, "x", dev, cfg.Slices()).SizeBytes
+			bsBytes = fabric.PartialSizeBytes(cfg.Slices())
 		} else {
 			bsBytes = dev.BitstreamBytes
 		}
@@ -138,7 +137,7 @@ func (m *Matchmaker) Estimate(c Candidate, req task.ExecReq, w pe.Work) (CostEst
 		if m.tc == nil {
 			return out, fmt.Errorf("rms: provider has no CAD toolchain")
 		}
-		key := hdl.BitstreamID(req.Design.Name, dev.FPGACaps.Device, dev.PartialRecon)
+		key := m.bitstreamID(req.Design.Name, dev.FPGACaps.Device, dev.PartialRecon)
 		m.synthMu.RLock()
 		res, cached := m.synthCache[key]
 		m.synthMu.RUnlock()
@@ -205,7 +204,7 @@ func (m *Matchmaker) allocateFabric(c Candidate, req task.ExecReq) (*Lease, erro
 	switch {
 	case c.Core != nil:
 		cfg := c.Core.Config()
-		id := hdl.BitstreamID("softcore-"+cfg.Caps.ISA+strconv.Itoa(cfg.Caps.IssueWidth), dev.FPGACaps.Device, dev.PartialRecon)
+		id := m.bitstreamID(m.coreDesign(c.Core), dev.FPGACaps.Device, dev.PartialRecon)
 		if dev.PartialRecon {
 			var err error
 			bs, err = c.Core.Bitstream(id, dev)
@@ -275,7 +274,7 @@ func (m *Matchmaker) PrewarmSynthesis(d *hdl.Design, dev fabric.Device) error {
 
 // synthesize runs (or replays from cache) a synthesis for design×device.
 func (m *Matchmaker) synthesize(d *hdl.Design, dev fabric.Device) (*hdl.SynthesisResult, float64, error) {
-	key := hdl.BitstreamID(d.Name, dev.FPGACaps.Device, dev.PartialRecon)
+	key := m.bitstreamID(d.Name, dev.FPGACaps.Device, dev.PartialRecon)
 	m.synthMu.RLock()
 	res, ok := m.synthCache[key]
 	m.synthMu.RUnlock()

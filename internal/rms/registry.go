@@ -81,6 +81,16 @@ func (r *Registry) Nodes() []*node.Node {
 	return append([]*node.Node(nil), r.nodes...)
 }
 
+// AppendTo appends the registered nodes in registration order to buf and
+// returns the extended slice. Hot paths that scan the grid once per
+// dispatch reuse one scratch buffer through this instead of paying
+// Nodes' fresh copy every call.
+func (r *Registry) AppendTo(buf []*node.Node) []*node.Node {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append(buf, r.nodes...)
+}
+
 // Len returns the node count.
 func (r *Registry) Len() int {
 	r.mu.RLock()

@@ -1,38 +1,49 @@
 package sim
 
-import "container/heap"
-
 // Handler is the callback attached to a scheduled event. It runs when the
 // simulator's clock reaches the event's time.
 type Handler func()
 
+// Event states. An event cycles free → queued → (fired | canceled) → free;
+// the generation counter bumps each time it returns to the free list, so
+// stale EventRefs can never act on a recycled event.
+const (
+	stateFree uint8 = iota
+	stateQueued
+	stateFired
+	stateCanceled
+)
+
 // Event is a pending occurrence in virtual time. Events are ordered by
 // (Time, Priority, sequence number); the sequence number makes ordering a
 // total, deterministic order even for simultaneous events.
+//
+// Events are pooled: a *Event returned by a Scheduler's Pop is valid only
+// until the next Pop on the same scheduler, and an event that was canceled
+// is reclaimed as soon as the scheduler sweeps past it. Code that needs to
+// refer to an event later (to cancel it) must hold the EventRef returned by
+// Push, never the bare pointer.
 type Event struct {
 	Time     Time
 	Priority int // lower runs first among simultaneous events
 	Label    string
 	fn       Handler
 	seq      uint64
-	index    int // heap index; -1 when not queued
-	canceled bool
+	index    int    // heap index (heap-backed schedulers); -1 when not queued
+	tick     int64  // quantized time (wheel scheduler)
+	gen      uint32 // recycle generation; EventRef validity check
+	state    uint8
+	next     *Event // free-list link
 }
 
 // Canceled reports whether the event has been canceled and will not fire.
-func (e *Event) Canceled() bool { return e.canceled }
+func (e *Event) Canceled() bool { return e.state == stateCanceled }
 
-// Pending reports whether the event is still queued.
-func (e *Event) Pending() bool { return e.index >= 0 && !e.canceled }
+// call invokes the event's handler.
+func (e *Event) call() { e.fn() }
 
-// eventHeap implements container/heap for *Event ordered by
-// (Time, Priority, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
+// eventLess is the scheduler total order: (Time, Priority, seq).
+func eventLess(a, b *Event) bool {
 	if a.Time != b.Time {
 		return a.Time < b.Time
 	}
@@ -42,80 +53,73 @@ func (h eventHeap) Less(i, j int) bool {
 	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// EventRef is a safe handle to a scheduled event. The zero value refers to
+// nothing. A ref stays usable forever: once its event has fired, been
+// canceled, or been recycled for a new occupant, Pending reports false and
+// Cancel is a no-op — so double cancels and cancels racing a completion are
+// harmless by construction.
+type EventRef struct {
+	e   *Event
+	gen uint32
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+// Pending reports whether the referenced event is still queued to fire.
+func (r EventRef) Pending() bool {
+	return r.e != nil && r.e.gen == r.gen && r.e.state == stateQueued
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
+// Scheduler is the pending-event set of a simulation: a deterministic
+// priority queue over (Time, Priority, seq) insertion order. Implementations
+// are single-goroutine, like the Simulator that drives them.
+//
+// Contract:
+//   - Push assigns the next sequence number, so two schedulers fed the same
+//     Push/Cancel calls pop events in the identical order.
+//   - Peek and Pop return the earliest live event; canceled events are
+//     never returned. Pop's result is valid only until the next Pop.
+//   - Cancel acts only when ref is still pending; it returns false for
+//     fired, already-canceled, stale, or zero refs.
+//   - Len counts live (non-canceled) events only.
+type Scheduler interface {
+	Push(t Time, priority int, label string, fn Handler) EventRef
+	Peek() *Event
+	Pop() *Event
+	Cancel(ref EventRef) bool
+	Len() int
+}
+
+// poolBlock is how many Events one free-list refill allocates. Blocks keep
+// steady-state scheduling at zero allocations: after warm-up every Push
+// reuses an event recycled by an earlier fire or cancel.
+const poolBlock = 64
+
+// eventPool is a free list of recycled events. Not safe for concurrent use;
+// each scheduler owns its own pool.
+type eventPool struct {
+	free *Event
+}
+
+func (p *eventPool) alloc() *Event {
+	if p.free == nil {
+		blk := make([]Event, poolBlock)
+		for i := range blk {
+			blk[i].next = p.free
+			p.free = &blk[i]
+		}
+	}
+	e := p.free
+	p.free = e.next
+	e.next = nil
 	return e
 }
 
-// EventQueue is a deterministic priority queue of events. The zero value is
-// ready to use.
-type EventQueue struct {
-	h   eventHeap
-	seq uint64
-}
-
-// Len returns the number of queued (possibly canceled) events.
-func (q *EventQueue) Len() int { return len(q.h) }
-
-// Push enqueues an event at time t with the given priority and handler, and
-// returns the event so it can later be canceled.
-func (q *EventQueue) Push(t Time, priority int, label string, fn Handler) *Event {
-	q.seq++
-	e := &Event{Time: t, Priority: priority, Label: label, fn: fn, seq: q.seq, index: -1}
-	heap.Push(&q.h, e)
-	return e
-}
-
-// Peek returns the earliest event without removing it, or nil if empty.
-// Canceled events at the head are discarded first.
-func (q *EventQueue) Peek() *Event {
-	q.dropCanceled()
-	if len(q.h) == 0 {
-		return nil
-	}
-	return q.h[0]
-}
-
-// Pop removes and returns the earliest non-canceled event, or nil if the
-// queue is empty.
-func (q *EventQueue) Pop() *Event {
-	q.dropCanceled()
-	if len(q.h) == 0 {
-		return nil
-	}
-	return heap.Pop(&q.h).(*Event)
-}
-
-// Cancel marks an event so it will never fire. Canceling an already-fired or
-// already-canceled event is a no-op. Cancel returns true if the event was
-// pending.
-func (q *EventQueue) Cancel(e *Event) bool {
-	if e == nil || e.canceled || e.index < 0 {
-		return false
-	}
-	e.canceled = true
-	return true
-}
-
-func (q *EventQueue) dropCanceled() {
-	for len(q.h) > 0 && q.h[0].canceled {
-		heap.Pop(&q.h)
-	}
+// recycle returns an event to the free list and invalidates every EventRef
+// pointing at it.
+func (p *eventPool) recycle(e *Event) {
+	e.gen++
+	e.state = stateFree
+	e.fn = nil
+	e.Label = ""
+	e.next = p.free
+	p.free = e
 }

@@ -10,12 +10,12 @@ import (
 // before the event queue drained.
 var ErrStopped = errors.New("sim: stopped")
 
-// Simulator owns a virtual clock and an event queue and executes events in
-// deterministic order. It is single-threaded by design: handlers run on the
-// caller's goroutine, one at a time, which keeps simulation state free of
-// data races without locks.
+// Simulator owns a virtual clock and a pending-event scheduler and executes
+// events in deterministic order. It is single-threaded by design: handlers
+// run on the caller's goroutine, one at a time, which keeps simulation
+// state free of data races without locks.
 type Simulator struct {
-	queue   EventQueue
+	queue   Scheduler
 	now     Time
 	stopped bool
 	// Executed counts events that have fired.
@@ -27,21 +27,41 @@ type Simulator struct {
 	Trace func(t Time, label string)
 }
 
+// Option configures a Simulator at construction time.
+type Option func(*Simulator)
+
+// WithScheduler selects the pending-event set implementation. The default
+// is the timing wheel (NewWheelQueue); pass NewHeapQueue() for the binary
+// heap. Any Scheduler obeying the (Time, Priority, seq) contract yields
+// bit-identical simulations, so this is a pure performance knob — and the
+// seam future parallel schedulers plug into.
+func WithScheduler(q Scheduler) Option {
+	return func(s *Simulator) { s.queue = q }
+}
+
 // NewSimulator returns a simulator with the clock at TimeZero.
-func NewSimulator() *Simulator {
-	return &Simulator{}
+func NewSimulator(opts ...Option) *Simulator {
+	s := &Simulator{}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.queue == nil {
+		s.queue = NewWheelQueue()
+	}
+	return s
 }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
 
-// Pending returns the number of queued events.
+// Pending returns the number of live queued events. Canceled events do not
+// count: a simulation whose remaining events were all canceled reports 0.
 func (s *Simulator) Pending() int { return s.queue.Len() }
 
 // Schedule enqueues fn to run at absolute time t. Scheduling in the past is
 // an error that would break causality, so it panics — such a call is always
 // a programming bug in a model, never an input condition.
-func (s *Simulator) Schedule(t Time, label string, fn Handler) *Event {
+func (s *Simulator) Schedule(t Time, label string, fn Handler) EventRef {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", label, t, s.now))
 	}
@@ -49,7 +69,7 @@ func (s *Simulator) Schedule(t Time, label string, fn Handler) *Event {
 }
 
 // After enqueues fn to run d seconds after the current time.
-func (s *Simulator) After(d Time, label string, fn Handler) *Event {
+func (s *Simulator) After(d Time, label string, fn Handler) EventRef {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v for %q", d, label))
 	}
@@ -58,15 +78,17 @@ func (s *Simulator) After(d Time, label string, fn Handler) *Event {
 
 // ScheduleWithPriority is Schedule with an explicit tie-break priority;
 // lower priorities run first among simultaneous events.
-func (s *Simulator) ScheduleWithPriority(t Time, priority int, label string, fn Handler) *Event {
+func (s *Simulator) ScheduleWithPriority(t Time, priority int, label string, fn Handler) EventRef {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", label, t, s.now))
 	}
 	return s.queue.Push(t, priority, label, fn)
 }
 
-// Cancel prevents a scheduled event from firing.
-func (s *Simulator) Cancel(e *Event) bool { return s.queue.Cancel(e) }
+// Cancel prevents a scheduled event from firing. It is safe on zero,
+// stale, or repeated refs; it returns true only when the event was still
+// pending.
+func (s *Simulator) Cancel(ref EventRef) bool { return s.queue.Cancel(ref) }
 
 // Stop halts the run loop after the current handler returns.
 func (s *Simulator) Stop() { s.stopped = true }
@@ -83,7 +105,7 @@ func (s *Simulator) Step() bool {
 	if s.Trace != nil {
 		s.Trace(s.now, e.Label)
 	}
-	e.fn()
+	e.call()
 	return true
 }
 
@@ -105,6 +127,11 @@ const ctxCheckInterval = 256
 // clock and all model state are left exactly where the last executed event
 // put them, so callers can still read partial results. A nil ctx disables
 // the checks entirely.
+//
+// Dispatch is batched per timestamp: once an event at time t has fired,
+// every further event at exactly t runs without re-checking the horizon —
+// the clock cannot cross it without advancing — so dense simultaneous
+// bursts pay one boundary check, not one per event.
 func (s *Simulator) RunContext(ctx context.Context) error {
 	s.stopped = false
 	sinceCheck := 0
@@ -125,7 +152,7 @@ func (s *Simulator) RunContext(ctx context.Context) error {
 		if next == nil {
 			return nil
 		}
-		if s.Horizon > 0 && next.Time > s.Horizon {
+		if next.Time != s.now && s.Horizon > 0 && next.Time > s.Horizon {
 			s.now = s.Horizon
 			return nil
 		}

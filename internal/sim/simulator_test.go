@@ -166,14 +166,15 @@ func TestSchedulePastPanics(t *testing.T) {
 	}
 }
 
-func TestEventQueueCanceledHeadSkipped(t *testing.T) {
-	var q EventQueue
-	e1 := q.Push(1, 0, "a", func() {})
-	q.Push(2, 0, "b", func() {})
-	q.Cancel(e1)
-	got := q.Pop()
-	if got == nil || got.Label != "b" {
-		t.Fatalf("Pop = %v, want event b", got)
+func TestCanceledHeadSkipped(t *testing.T) {
+	for name, q := range map[string]Scheduler{"heap": NewHeapQueue(), "wheel": NewWheelQueue()} {
+		e1 := q.Push(1, 0, "a", func() {})
+		q.Push(2, 0, "b", func() {})
+		q.Cancel(e1)
+		got := q.Pop()
+		if got == nil || got.Label != "b" {
+			t.Fatalf("%s: Pop = %v, want event b", name, got)
+		}
 	}
 }
 
@@ -218,40 +219,46 @@ func TestTimeHelpers(t *testing.T) {
 	}
 }
 
-func TestEventQueueMatchesReferenceOrdering(t *testing.T) {
-	// Property: popping the queue yields events sorted by
-	// (time, priority, insertion order), matching a reference sort.
-	f := func(seed uint64) bool {
-		r := NewRNG(seed)
-		var q EventQueue
-		type ref struct {
-			t    Time
-			prio int
-			seq  int
-		}
-		var refs []ref
-		n := 2 + r.Intn(200)
-		for i := 0; i < n; i++ {
-			at := Time(r.Intn(50))
-			prio := r.Intn(3)
-			q.Push(at, prio, "e", func() {})
-			refs = append(refs, ref{at, prio, i})
-		}
-		sort.SliceStable(refs, func(i, j int) bool {
-			if refs[i].t != refs[j].t {
-				return refs[i].t < refs[j].t
+func TestSchedulerMatchesReferenceOrdering(t *testing.T) {
+	// Property: popping a scheduler yields events sorted by
+	// (time, priority, insertion order), matching a reference sort —
+	// for both implementations.
+	for name, mk := range map[string]func() Scheduler{
+		"heap":  func() Scheduler { return NewHeapQueue() },
+		"wheel": func() Scheduler { return NewWheelQueue() },
+	} {
+		f := func(seed uint64) bool {
+			r := NewRNG(seed)
+			q := mk()
+			type ref struct {
+				t    Time
+				prio int
+				seq  int
 			}
-			return refs[i].prio < refs[j].prio
-		})
-		for _, want := range refs {
-			got := q.Pop()
-			if got == nil || got.Time != want.t || got.Priority != want.prio {
-				return false
+			var refs []ref
+			n := 2 + r.Intn(200)
+			for i := 0; i < n; i++ {
+				at := Time(r.Intn(50))
+				prio := r.Intn(3)
+				q.Push(at, prio, "e", func() {})
+				refs = append(refs, ref{at, prio, i})
 			}
+			sort.SliceStable(refs, func(i, j int) bool {
+				if refs[i].t != refs[j].t {
+					return refs[i].t < refs[j].t
+				}
+				return refs[i].prio < refs[j].prio
+			})
+			for _, want := range refs {
+				got := q.Pop()
+				if got == nil || got.Time != want.t || got.Priority != want.prio {
+					return false
+				}
+			}
+			return q.Pop() == nil
 		}
-		return q.Pop() == nil
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
-		t.Error(err)
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
 	}
 }

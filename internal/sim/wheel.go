@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"container/heap"
+	"math/bits"
+	"slices"
+)
+
+const (
+	// wheelSlots is the ring size (power of two). With the default
+	// resolution of 1024 ticks/second the ring spans one second of
+	// virtual time; events further out wait in the overflow heap.
+	wheelSlots = 1 << 10
+	wheelMask  = wheelSlots - 1
+
+	defaultTicksPerSec = 1024
+
+	// maxTick bounds quantized time so that float→int conversion can
+	// never overflow: times at or beyond it (including +Inf) are clamped
+	// and served from the overflow heap, ordered by their exact Time.
+	maxTick = int64(1) << 62
+	minTick = -maxTick
+)
+
+// WheelQueue is a hierarchical timing-wheel Scheduler: a ring of
+// wheelSlots single-tick buckets around a cursor, an overflow min-heap for
+// events beyond the ring's window, and a sorted current-tick batch that
+// same-timestamp events are served from. For the dominant DES access
+// pattern — pop the earliest event, push a handful of near-future ones —
+// Push and Pop are O(1); events parked in the overflow pay one heap pass
+// when the cursor window reaches them.
+//
+// Ordering is identical to HeapQueue: the exact (Time, Priority, seq)
+// total order, not the quantized tick — ticks only bucket events, and each
+// bucket is sorted by real time before it is served.
+type WheelQueue struct {
+	seq   uint64
+	live  int
+	pool  eventPool
+	fired *Event // last popped event, recycled on the next Pop
+
+	ticksPerSec float64
+	cursor      int64 // tick of the batch currently being served
+	slots       [wheelSlots][]*Event
+	occ         [wheelSlots / 64]uint64
+	ringN       int // events parked in ring slots (incl. canceled)
+	cur         []*Event
+	curIdx      int
+	overflow    eventHeap
+}
+
+// NewWheelQueue returns an empty timing-wheel scheduler at the default
+// resolution (1024 ticks per simulated second).
+func NewWheelQueue() *WheelQueue { return newWheelQueue(defaultTicksPerSec) }
+
+func newWheelQueue(ticksPerSec float64) *WheelQueue {
+	return &WheelQueue{ticksPerSec: ticksPerSec}
+}
+
+// Len returns the number of live (non-canceled) queued events.
+func (q *WheelQueue) Len() int { return q.live }
+
+// tickOf quantizes a time to a wheel tick. Truncation toward zero is fine:
+// any monotone bucketing works, because buckets are re-sorted by exact
+// Time before serving. Out-of-range and NaN times clamp to the sentinel
+// ticks so the conversion itself is always defined.
+func (q *WheelQueue) tickOf(t Time) int64 {
+	f := float64(t) * q.ticksPerSec
+	if f != f { // NaN: park in the overflow, exact-Time order still applies
+		return maxTick
+	}
+	if f >= float64(maxTick) {
+		return maxTick
+	}
+	if f <= float64(minTick) {
+		return minTick
+	}
+	return int64(f)
+}
+
+func (q *WheelQueue) structEmpty() bool {
+	return q.ringN == 0 && q.curIdx >= len(q.cur) && len(q.overflow) == 0
+}
+
+// Push enqueues an event at time t and returns a handle for canceling it.
+func (q *WheelQueue) Push(t Time, priority int, label string, fn Handler) EventRef {
+	e := q.pool.alloc()
+	q.seq++
+	e.Time, e.Priority, e.Label, e.fn, e.seq = t, priority, label, fn, q.seq
+	e.state = stateQueued
+	tk := q.tickOf(t)
+	e.tick = tk
+	q.live++
+	switch {
+	case q.structEmpty():
+		// Re-anchor the cursor on the first event so the ring window
+		// always starts where the work is.
+		q.cur = append(q.cur[:0], e)
+		q.curIdx = 0
+		q.cursor = tk
+	case tk <= q.cursor:
+		// Current (or past) tick: ordered insert into the live batch.
+		q.insertCur(e)
+	case tk < q.cursor+wheelSlots:
+		sl := int(tk & wheelMask)
+		q.slots[sl] = append(q.slots[sl], e)
+		q.occ[sl>>6] |= 1 << uint(sl&63)
+		q.ringN++
+	default:
+		heap.Push(&q.overflow, e)
+	}
+	return EventRef{e: e, gen: e.gen}
+}
+
+// insertCur splices an event into the sorted current batch, after any
+// events it ties with (it carries the newest seq, so this keeps the total
+// order stable).
+func (q *WheelQueue) insertCur(e *Event) {
+	lo, hi := q.curIdx, len(q.cur)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if eventLess(e, q.cur[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	q.cur = append(q.cur, nil)
+	copy(q.cur[lo+1:], q.cur[lo:])
+	q.cur[lo] = e
+}
+
+// Peek returns the earliest live event without removing it, or nil.
+func (q *WheelQueue) Peek() *Event { return q.ensureHead() }
+
+// Pop removes and returns the earliest live event, or nil if none remain.
+// The returned event is valid until the next Pop.
+func (q *WheelQueue) Pop() *Event {
+	if q.fired != nil {
+		q.pool.recycle(q.fired)
+		q.fired = nil
+	}
+	e := q.ensureHead()
+	if e == nil {
+		return nil
+	}
+	q.cur[q.curIdx] = nil
+	q.curIdx++
+	e.state = stateFired
+	q.live--
+	q.fired = e
+	return e
+}
+
+// Cancel marks a pending event so it will never fire. It returns true only
+// if ref was still pending; stale or repeated cancels are no-ops.
+func (q *WheelQueue) Cancel(ref EventRef) bool {
+	if !ref.Pending() {
+		return false
+	}
+	ref.e.state = stateCanceled
+	q.live--
+	return true
+}
+
+// ensureHead positions the next live event at cur[curIdx], reclaiming
+// canceled events and advancing the cursor across ring slots and overflow
+// refills as needed. It returns that event, or nil when the queue is empty.
+func (q *WheelQueue) ensureHead() *Event {
+	for {
+		for q.curIdx < len(q.cur) {
+			e := q.cur[q.curIdx]
+			if e.state != stateCanceled {
+				return e
+			}
+			q.cur[q.curIdx] = nil
+			q.curIdx++
+			q.pool.recycle(e)
+		}
+		if !q.advance() {
+			return nil
+		}
+	}
+}
+
+// advance moves the cursor to the next occupied tick. Overflow events whose
+// ticks have entered the ring window since the last advance are migrated
+// first — without that, a fast-moving cursor could serve a later ring tick
+// before an earlier overflow one. Then the nearest occupied ring slot is
+// drained into the current batch; when the ring is empty too, the cursor
+// fast-forwards to the overflow's earliest tick and pulls the whole new
+// window out of the heap. Returns false when no events remain anywhere.
+func (q *WheelQueue) advance() bool {
+	q.cur = q.cur[:0]
+	q.curIdx = 0
+	q.migrateOverflow()
+	if q.ringN == 0 && len(q.cur) == 0 {
+		for len(q.overflow) > 0 && q.overflow[0].state == stateCanceled {
+			q.pool.recycle(heap.Pop(&q.overflow).(*Event))
+		}
+		if len(q.overflow) == 0 {
+			return false
+		}
+		q.cursor = q.overflow[0].tick
+		// The minimum lands in cur (tick == cursor); the rest of the
+		// window fills ring slots.
+		q.migrateOverflow()
+	}
+	if len(q.cur) > 0 {
+		return true
+	}
+	sl := q.nextOccupied(int((q.cursor + 1) & wheelMask))
+	if sl < 0 {
+		panic("sim: wheel ring accounting broken")
+	}
+	batch := q.slots[sl]
+	q.slots[sl] = q.cur // donate the spent batch's backing array
+	q.occ[sl>>6] &^= 1 << uint(sl&63)
+	q.ringN -= len(batch)
+	q.cursor += (int64(sl) - q.cursor) & wheelMask
+	slices.SortFunc(batch, eventCmp)
+	q.cur = batch
+	return true
+}
+
+// migrateOverflow moves overflow events whose tick now falls inside the
+// ring window into their slot (or straight into the current batch when
+// they tie the cursor tick). The heap pops in exact event order, so each
+// destination receives them already sorted.
+func (q *WheelQueue) migrateOverflow() {
+	for len(q.overflow) > 0 {
+		e := q.overflow[0]
+		if e.state == stateCanceled {
+			q.pool.recycle(heap.Pop(&q.overflow).(*Event))
+			continue
+		}
+		if e.tick >= q.cursor+wheelSlots {
+			return
+		}
+		heap.Pop(&q.overflow)
+		if e.tick <= q.cursor {
+			q.insertCur(e)
+		} else {
+			sl := int(e.tick & wheelMask)
+			q.slots[sl] = append(q.slots[sl], e)
+			q.occ[sl>>6] |= 1 << uint(sl&63)
+			q.ringN++
+		}
+	}
+}
+
+// nextOccupied scans the occupancy bitmap circularly from slot `from` and
+// returns the first occupied slot, or -1 if the ring is empty.
+func (q *WheelQueue) nextOccupied(from int) int {
+	w := from >> 6
+	bitsW := q.occ[w] &^ ((1 << uint(from&63)) - 1)
+	for i := 0; i <= len(q.occ); i++ {
+		if bitsW != 0 {
+			return w<<6 | bits.TrailingZeros64(bitsW)
+		}
+		w++
+		if w == len(q.occ) {
+			w = 0
+		}
+		bitsW = q.occ[w]
+	}
+	return -1
+}
+
+func eventCmp(a, b *Event) int {
+	if eventLess(a, b) {
+		return -1
+	}
+	if eventLess(b, a) {
+		return 1
+	}
+	return 0
+}

@@ -6,16 +6,23 @@ import (
 	"sort"
 )
 
+// smallGraphMax is the size up to which a Graph stores tasks in an
+// inline array instead of a map. The many-task workload model submits
+// one task per graph, so most graphs never pay for a map at all.
+const smallGraphMax = 4
+
 // Graph is an application task graph (Fig. 7): tasks linked by data
 // dependencies derived from their DataIn.SourceTask references.
 type Graph struct {
-	tasks map[string]*Task
-	order []string // insertion order, for deterministic iteration
+	smallN int
+	small  [smallGraphMax]*Task // inline storage while tasks == nil
+	tasks  map[string]*Task     // built on first growth past smallGraphMax
+	order  []string             // insertion order, for deterministic iteration
 }
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
-	return &Graph{tasks: make(map[string]*Task)}
+	return &Graph{}
 }
 
 // Add inserts a task. Duplicate IDs and invalid tasks are rejected.
@@ -26,29 +33,61 @@ func (g *Graph) Add(t *Task) error {
 	if err := sanitizeID(t.ID); err != nil {
 		return err
 	}
-	if _, dup := g.tasks[t.ID]; dup {
+	if _, dup := g.get(t.ID); dup {
 		return fmt.Errorf("task: duplicate task %s", t.ID)
 	}
-	g.tasks[t.ID] = t
+	switch {
+	case g.tasks == nil && g.smallN < smallGraphMax:
+		g.small[g.smallN] = t
+		g.smallN++
+	case g.tasks == nil:
+		g.tasks = make(map[string]*Task, g.smallN+1)
+		for _, st := range g.small[:g.smallN] {
+			g.tasks[st.ID] = st
+		}
+		g.small, g.smallN = [smallGraphMax]*Task{}, 0
+		g.tasks[t.ID] = t
+	default:
+		g.tasks[t.ID] = t
+	}
 	g.order = append(g.order, t.ID)
 	return nil
 }
 
 // Len returns the task count.
-func (g *Graph) Len() int { return len(g.tasks) }
+func (g *Graph) Len() int { return len(g.order) }
 
 // Get returns a task by ID.
 func (g *Graph) Get(id string) (*Task, bool) {
-	t, ok := g.tasks[id]
-	return t, ok
+	return g.get(id)
+}
+
+// get is the storage-aware lookup behind Get: a linear probe of the
+// inline array while the graph is small, the map afterwards.
+func (g *Graph) get(id string) (*Task, bool) {
+	if g.tasks != nil {
+		t, ok := g.tasks[id]
+		return t, ok
+	}
+	for _, t := range g.small[:g.smallN] {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return nil, false
 }
 
 // IDs returns task IDs in insertion order.
 func (g *Graph) IDs() []string { return append([]string(nil), g.order...) }
 
+// Order returns the task IDs in insertion order as a read-only view of
+// the graph's internal slice: callers must neither mutate it nor hold it
+// across Add. Submission-path loops use it to avoid IDs' per-call copy.
+func (g *Graph) Order() []string { return g.order }
+
 // Dependencies returns the producer IDs a task waits for.
 func (g *Graph) Dependencies(id string) []string {
-	t, ok := g.tasks[id]
+	t, ok := g.get(id)
 	if !ok {
 		return nil
 	}
@@ -60,7 +99,8 @@ func (g *Graph) Dependencies(id string) []string {
 func (g *Graph) Dependents(id string) []string {
 	var out []string
 	for _, tid := range g.order {
-		for _, dep := range g.tasks[tid].DependsOn() {
+		t, _ := g.get(tid)
+		for _, dep := range t.DependsOn() {
 			if dep == id {
 				out = append(out, tid)
 				break
@@ -74,12 +114,12 @@ func (g *Graph) Dependents(id string) []string {
 // produces the referenced DataID, and the graph is acyclic.
 func (g *Graph) Validate() error {
 	for _, id := range g.order {
-		t := g.tasks[id]
+		t, _ := g.get(id)
 		for _, in := range t.Inputs {
 			if in.SourceTask == "" {
 				continue
 			}
-			src, ok := g.tasks[in.SourceTask]
+			src, ok := g.get(in.SourceTask)
 			if !ok {
 				return fmt.Errorf("task: %s consumes %s from missing task %s", id, in.DataID, in.SourceTask)
 			}
@@ -104,13 +144,19 @@ func (g *Graph) Validate() error {
 // TopoOrder returns a topological ordering (Kahn's algorithm, insertion
 // order as tie-break), or an error naming a task on a cycle.
 func (g *Graph) TopoOrder() ([]string, error) {
-	indeg := make(map[string]int, len(g.tasks))
+	if len(g.order) <= 1 {
+		// Single-task graphs (the many-task workload model submits one
+		// task per graph) cannot cycle; skip the Kahn bookkeeping.
+		return append([]string(nil), g.order...), nil
+	}
+	indeg := make(map[string]int, len(g.order))
 	for _, id := range g.order {
 		indeg[id] = 0
 	}
 	for _, id := range g.order {
-		for _, dep := range g.tasks[id].DependsOn() {
-			if _, ok := g.tasks[dep]; ok {
+		t, _ := g.get(id)
+		for _, dep := range t.DependsOn() {
+			if _, ok := g.get(dep); ok {
 				indeg[id]++
 			}
 		}
@@ -133,7 +179,7 @@ func (g *Graph) TopoOrder() ([]string, error) {
 			}
 		}
 	}
-	if len(out) != len(g.tasks) {
+	if len(out) != len(g.order) {
 		var stuck []string
 		for id, d := range indeg {
 			if d > 0 {
@@ -156,7 +202,7 @@ func (g *Graph) CriticalPath(weight func(*Task) float64) ([]string, float64, err
 	dist := make(map[string]float64, len(order))
 	prev := make(map[string]string, len(order))
 	for _, id := range order {
-		t := g.tasks[id]
+		t, _ := g.get(id)
 		w := weight(t)
 		if w < 0 {
 			return nil, 0, fmt.Errorf("task: negative weight for %s", id)
@@ -198,13 +244,14 @@ func (g *Graph) WriteDOT(w io.Writer, name string) error {
 		return err
 	}
 	for _, id := range g.order {
-		t := g.tasks[id]
+		t, _ := g.get(id)
 		if _, err := fmt.Fprintf(w, "  %q [label=\"%s\\n%s\"];\n", id, id, t.ExecReq.Scenario); err != nil {
 			return err
 		}
 	}
 	for _, id := range g.order {
-		for _, in := range g.tasks[id].Inputs {
+		t, _ := g.get(id)
+		for _, in := range t.Inputs {
 			if in.SourceTask == "" {
 				continue
 			}
@@ -222,8 +269,9 @@ func (g *Graph) Roots() []string {
 	var out []string
 	for _, id := range g.order {
 		hasDep := false
-		for _, dep := range g.tasks[id].DependsOn() {
-			if _, ok := g.tasks[dep]; ok {
+		t, _ := g.get(id)
+		for _, dep := range t.DependsOn() {
+			if _, ok := g.get(dep); ok {
 				hasDep = true
 				break
 			}

@@ -10,6 +10,7 @@ package task
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"repro/internal/capability"
@@ -168,13 +169,13 @@ func (t *Task) OutputMB() float64 {
 // DependsOn returns the IDs of tasks whose outputs this task consumes, in
 // input order with duplicates removed.
 func (t *Task) DependsOn() []string {
+	// Dedup by linear probe: dependency lists are a handful of entries,
+	// and the dependency-free common case then allocates nothing at all.
 	var out []string
-	seen := map[string]bool{}
 	for _, in := range t.Inputs {
-		if in.SourceTask == "" || seen[in.SourceTask] {
+		if in.SourceTask == "" || slices.Contains(out, in.SourceTask) {
 			continue
 		}
-		seen[in.SourceTask] = true
 		out = append(out, in.SourceTask)
 	}
 	return out

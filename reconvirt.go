@@ -132,8 +132,8 @@ type (
 type (
 	// Engine is the discrete-event grid simulator.
 	Engine = grid.Engine
-	// SimConfig parameterizes a simulation run.
-	SimConfig = grid.Config
+	// EngineConfig parameterizes a simulation run.
+	EngineConfig = grid.Config
 	// GridSpec describes simulated grid resources.
 	GridSpec = grid.GridSpec
 	// WorkloadSpec describes a synthetic many-task workload.
@@ -146,9 +146,30 @@ type (
 	ScenarioSpec = grid.ScenarioSpec
 )
 
+// Event core (the simulator's pending-event set). Both schedulers obey
+// the same (Time, Priority, seq) total order, so swapping one for the
+// other is a pure performance choice: runs stay bit-identical. Select
+// per engine via EngineConfig.Scheduler, or per bare simulator via
+// sim.WithScheduler.
+type (
+	// EventScheduler is the pluggable pending-event set contract.
+	EventScheduler = sim.Scheduler
+	// HeapQueue is the binary-heap scheduler (O(log n) per operation).
+	HeapQueue = sim.HeapQueue
+	// WheelQueue is the hierarchical timing-wheel scheduler (amortized
+	// O(1) near-future operations; the default).
+	WheelQueue = sim.WheelQueue
+)
+
+// NewHeapQueue returns an empty binary-heap event scheduler.
+func NewHeapQueue() *HeapQueue { return sim.NewHeapQueue() }
+
+// NewWheelQueue returns an empty timing-wheel event scheduler.
+func NewWheelQueue() *WheelQueue { return sim.NewWheelQueue() }
+
 // Observability (pluggable trace sinks and timeline metrics). The
 // engine emits lifecycle events and periodic gauge samples through any
-// TraceSink wired into SimConfig.Tracer or ScenarioSpec.Sinks; see the
+// TraceSink wired into EngineConfig.Tracer or ScenarioSpec.Sinks; see the
 // obs package comment for the full sink contract.
 type (
 	// TraceSink consumes engine lifecycle events and gauge samples.
@@ -156,7 +177,7 @@ type (
 	// TraceEvent is one engine lifecycle event.
 	TraceEvent = obs.Event
 	// TraceSample is one periodic gauge snapshot (enable via
-	// SimConfig.SampleEverySeconds).
+	// EngineConfig.SampleEverySeconds).
 	TraceSample = obs.Sample
 	// TraceRecorder retains the full stream in memory for post-hoc
 	// analysis: CSV dumps, Gantt charts, differential checks.
@@ -273,12 +294,12 @@ func NewMatchmaker(reg *Registry, tc *Toolchain) (*Matchmaker, error) {
 }
 
 // NewEngine wires a simulator around a registry and matchmaker.
-func NewEngine(cfg SimConfig, reg *Registry, mm *Matchmaker) (*Engine, error) {
+func NewEngine(cfg EngineConfig, reg *Registry, mm *Matchmaker) (*Engine, error) {
 	return grid.NewEngine(cfg, reg, mm)
 }
 
-// DefaultSimConfig returns the default simulation configuration.
-func DefaultSimConfig() SimConfig { return grid.DefaultConfig() }
+// DefaultEngineConfig returns the default simulation configuration.
+func DefaultEngineConfig() EngineConfig { return grid.DefaultConfig() }
 
 // BuildGrid constructs a registry from a grid spec.
 func BuildGrid(spec GridSpec) (*Registry, error) { return grid.BuildGrid(spec) }
@@ -371,3 +392,17 @@ func PairalignMetrics() quipu.Metrics { return quipu.PairalignMetrics() }
 
 // MalignMetrics returns the measured metrics of the malign kernel.
 func MalignMetrics() quipu.Metrics { return quipu.MalignMetrics() }
+
+// Deprecated shims, kept one release for migration; reconlint's
+// deprecatedshim analyzer flags any new use. See DESIGN.md for the
+// old-name → new-name table and the removal plan.
+
+// SimConfig is the former name of EngineConfig.
+//
+// Deprecated: use EngineConfig.
+type SimConfig = EngineConfig
+
+// DefaultSimConfig is the former name of DefaultEngineConfig.
+//
+// Deprecated: use DefaultEngineConfig.
+func DefaultSimConfig() EngineConfig { return DefaultEngineConfig() }

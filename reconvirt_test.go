@@ -100,7 +100,7 @@ func TestFacadeParseAppAndSimulate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := NewEngine(DefaultSimConfig(), reg, mm)
+	eng, err := NewEngine(DefaultEngineConfig(), reg, mm)
 	if err != nil {
 		t.Fatal(err)
 	}
