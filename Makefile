@@ -49,8 +49,9 @@ bench-obs:
 # hold model (heap vs wheel at 10^3/10^5/10^6 pending events) plus the
 # DReAMSim sweep points BENCH_PR5.json holds the pre-redesign numbers
 # for.
+BENCHTIME_QUEUE ?= 200x
 bench-queue:
-	$(GO) test -run xxx -bench 'BenchmarkQueue|BenchmarkDReAMSim_ArrivalSweep' -benchtime 200x . | $(GO) run ./cmd/benchjson > BENCH_PR6.json
+	$(GO) test -run xxx -bench 'BenchmarkQueue|BenchmarkDReAMSim_ArrivalSweep' -benchtime $(BENCHTIME_QUEUE) . | $(GO) run ./cmd/benchjson > BENCH_PR6.json
 
 # Enforce statement-coverage floors on the observability and engine
 # packages. Fails if either package regresses below its floor.

@@ -149,6 +149,7 @@ func run(strategyName, queueName string, tasks int, rate float64, seeds int, see
 	if opts.pprofAddr != "" {
 		addr := opts.pprofAddr
 		fmt.Fprintln(os.Stderr, "dreamsim: serving pprof and expvar on http://"+addr+"/debug/")
+		//reconlint:allow goroleak pprof server is a process-lifetime daemon by design; it must outlive every run
 		go func() {
 			// The profiling server is best-effort: a bind failure must not
 			// kill the simulation, just announce itself.

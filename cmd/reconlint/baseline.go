@@ -59,10 +59,12 @@ func loadBaseline(path string) (*baseline, error) {
 }
 
 // filter removes baselined findings from diags, consuming one baseline
-// occurrence per match, and reports how many were suppressed.
-func (b *baseline) filter(absDir string, diags []lint.Diagnostic) ([]lint.Diagnostic, int) {
+// occurrence per match. It reports how many were suppressed and which
+// baseline entries went unconsumed — stale records of findings that no
+// longer occur (one line per unconsumed occurrence, sorted).
+func (b *baseline) filter(absDir string, diags []lint.Diagnostic) ([]lint.Diagnostic, int, []string) {
 	if len(b.counts) == 0 {
-		return diags, 0
+		return diags, 0, nil
 	}
 	remaining := make(map[string]int, len(b.counts))
 	for k, v := range b.counts {
@@ -79,7 +81,35 @@ func (b *baseline) filter(absDir string, diags []lint.Diagnostic) ([]lint.Diagno
 		}
 		kept = append(kept, d)
 	}
-	return kept, suppressed
+	var stale []string
+	for k, n := range remaining {
+		for i := 0; i < n; i++ {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return kept, suppressed, stale
+}
+
+// prune keeps only the baseline entries the current findings still
+// match (one line per consumed occurrence, sorted) and reports how many
+// stale occurrences were dropped.
+func (b *baseline) prune(absDir string, diags []lint.Diagnostic) (kept []string, dropped int) {
+	remaining := make(map[string]int, len(b.counts))
+	total := 0
+	for k, v := range b.counts {
+		remaining[k] = v
+		total += v
+	}
+	for _, d := range diags {
+		key := baselineKey(absDir, d)
+		if remaining[key] > 0 {
+			remaining[key]--
+			kept = append(kept, key)
+		}
+	}
+	sort.Strings(kept)
+	return kept, total - len(kept)
 }
 
 // writeBaselineFile records the current findings as the new baseline,
@@ -90,6 +120,11 @@ func writeBaselineFile(path, absDir string, diags []lint.Diagnostic) error {
 		lines = append(lines, baselineKey(absDir, d))
 	}
 	sort.Strings(lines)
+	return writeBaselineLines(path, lines)
+}
+
+// writeBaselineLines writes pre-sorted baseline lines with the header.
+func writeBaselineLines(path string, lines []string) error {
 	var sb strings.Builder
 	sb.WriteString("# reconlint baseline: accepted findings, one per line as\n")
 	sb.WriteString("# analyzer<TAB>path<TAB>message. Regenerate with reconlint -write-baseline.\n")

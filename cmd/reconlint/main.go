@@ -1,7 +1,8 @@
 // Command reconlint is the repository's determinism and concurrency
 // linter: a multichecker over the custom analyzers in internal/lint
 // (detrand, maporder, ctxflow, lockcheck, deprecatedshim, seedflow,
-// errflow, hotalloc). It is part of tier-1 verify:
+// errflow, hotalloc, lockorder, goroleak, chanmisuse). It is part of
+// tier-1 verify:
 //
 //	go run ./cmd/reconlint ./...
 //
@@ -14,10 +15,17 @@
 //	-baseline FILE  suppress findings recorded in FILE (default
 //	                lint.baseline in the target dir, if present)
 //	-write-baseline rewrite the baseline from the current findings
+//	-prune-baseline drop baseline entries no current finding matches and
+//	                rewrite the file (full ./... runs only)
+//	-run NAMES      run only the named analyzers (comma-separated)
+//	-skip NAMES     run all but the named analyzers (comma-separated)
 //
 // Exit status: 0 clean (or every finding baselined/fixed), 1 findings,
-// 2 usage/load failure. Suppress an individual finding with a
-// justified directive on or above the line:
+// 2 usage/load failure. A full-suite ./... run also exits 1 when the
+// baseline holds stale entries (recorded findings that no longer
+// occur) — prune them so the baseline only ever shrinks honestly.
+// Suppress an individual finding with a justified directive on or
+// above the line:
 //
 //	//reconlint:allow <analyzer> <reason>
 package main
@@ -28,6 +36,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/lint"
 	"repro/internal/lint/loader"
@@ -47,6 +56,9 @@ func run(dir string, args []string, stdout, stderr io.Writer) int {
 	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0 on stdout")
 	baselinePath := fs.String("baseline", "lint.baseline", "baseline file of accepted findings (relative to the target dir)")
 	writeBaseline := fs.Bool("write-baseline", false, "rewrite the baseline file from the current findings and exit 0")
+	pruneBaseline := fs.Bool("prune-baseline", false, "drop stale baseline entries, rewrite the file, and exit 0")
+	runList := fs.String("run", "", "comma-separated analyzer names to run (default: the whole suite)")
+	skipList := fs.String("skip", "", "comma-separated analyzer names to skip")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: reconlint [flags] [packages]")
 		fmt.Fprintln(stderr, "Runs the repro determinism & concurrency analyzer suite.")
@@ -62,10 +74,24 @@ func run(dir string, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "reconlint: -json and -sarif are mutually exclusive")
 		return 2
 	}
+	if *writeBaseline && *pruneBaseline {
+		fmt.Fprintln(stderr, "reconlint: -write-baseline and -prune-baseline are mutually exclusive")
+		return 2
+	}
+	suite, err := filterSuite(lint.Suite(), *runList, *skipList)
+	if err != nil {
+		fmt.Fprintln(stderr, "reconlint:", err)
+		return 2
+	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	// Stale-baseline entries are only decidable when every package and
+	// every analyzer ran: a subset run must not mistake out-of-scope
+	// entries for stale ones.
+	fullRun := *runList == "" && *skipList == "" &&
+		len(patterns) == 1 && patterns[0] == "./..."
 
 	roots, all, err := loader.LoadAll(dir, patterns...)
 	if err != nil {
@@ -85,7 +111,6 @@ func run(dir string, args []string, stdout, stderr io.Writer) int {
 	}
 
 	lint.Prepare(all)
-	suite := lint.Suite()
 	var diags []lint.Diagnostic
 	for _, pkg := range roots {
 		ds, err := lint.RunPackage(pkg, suite)
@@ -135,9 +160,28 @@ func run(dir string, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "reconlint:", err)
 		return 2
 	}
-	diags, suppressed := base.filter(absDir, diags)
+	if *pruneBaseline {
+		kept, dropped := base.prune(absDir, diags)
+		if err := writeBaselineLines(resolvedBaseline, kept); err != nil {
+			fmt.Fprintln(stderr, "reconlint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "reconlint: pruned %d stale baseline entr%s from %s (%d kept)\n",
+			dropped, plural(dropped, "y", "ies"), resolvedBaseline, len(kept))
+		return 0
+	}
+	diags, suppressed, stale := base.filter(absDir, diags)
 	if suppressed > 0 {
 		fmt.Fprintf(stderr, "reconlint: %d finding(s) suppressed by baseline\n", suppressed)
+	}
+	staleFailure := false
+	if fullRun && len(stale) > 0 {
+		staleFailure = true
+		for _, s := range stale {
+			fmt.Fprintf(stderr, "reconlint: stale baseline entry: %s\n", s)
+		}
+		fmt.Fprintf(stderr, "reconlint: %d stale baseline entr%s; the recorded finding(s) no longer occur — run reconlint -prune-baseline\n",
+			len(stale), plural(len(stale), "y", "ies"))
 	}
 
 	switch {
@@ -160,7 +204,66 @@ func run(dir string, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "reconlint: %d finding(s)\n", len(diags))
 		return 1
 	}
+	if staleFailure {
+		return 1
+	}
 	return 0
+}
+
+// filterSuite applies the -run/-skip analyzer selections. Unknown
+// names are an error (a typo must not silently run nothing).
+func filterSuite(suite []lint.ScopedAnalyzer, runList, skipList string) ([]lint.ScopedAnalyzer, error) {
+	known := make(map[string]bool, len(suite))
+	for _, sa := range suite {
+		known[sa.Name] = true
+	}
+	parse := func(list, flagName string) (map[string]bool, error) {
+		if list == "" {
+			return nil, nil
+		}
+		out := make(map[string]bool)
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				return nil, fmt.Errorf("-%s: unknown analyzer %q (reconlint -h lists the suite)", flagName, name)
+			}
+			out[name] = true
+		}
+		return out, nil
+	}
+	runSet, err := parse(runList, "run")
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse(skipList, "skip")
+	if err != nil {
+		return nil, err
+	}
+	if runSet == nil && skipSet == nil {
+		return suite, nil
+	}
+	var out []lint.ScopedAnalyzer
+	for _, sa := range suite {
+		if runSet != nil && !runSet[sa.Name] {
+			continue
+		}
+		if skipSet[sa.Name] {
+			continue
+		}
+		out = append(out, sa)
+	}
+	return out, nil
+}
+
+// plural picks the suffix for n.
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // relPath renders a finding path relative to the lint root for stable

@@ -91,10 +91,24 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 
 // FuncOf resolves the callee of a call expression to a *types.Func when
 // the callee is a plain identifier or selector naming a function or
-// method; it returns nil for function-typed variables, conversions, and
-// builtins.
+// method (instantiated generic calls included); it returns nil for
+// function-typed variables, conversions, and builtins.
 func (p *Pass) FuncOf(call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
+	fun := ast.Unparen(call.Fun)
+	// Strip the type-argument index of an instantiated generic callee:
+	// f[int](...) names f.
+	for {
+		if ix, ok := fun.(*ast.IndexExpr); ok {
+			fun = ast.Unparen(ix.X)
+			continue
+		}
+		if ix, ok := fun.(*ast.IndexListExpr); ok {
+			fun = ast.Unparen(ix.X)
+			continue
+		}
+		break
+	}
+	switch fun := fun.(type) {
 	case *ast.Ident:
 		if fn, ok := p.TypesInfo.Uses[fun].(*types.Func); ok {
 			return fn

@@ -1,0 +1,12 @@
+package chanmisuse_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/chanmisuse"
+)
+
+func TestChanmisuse(t *testing.T) {
+	analysistest.Run(t, "testdata", chanmisuse.Analyzer, "a")
+}

@@ -1,0 +1,79 @@
+// Package a exercises the chanmisuse analyzer: possibly-nil sends and
+// closes, close of caller-owned channels, and sends under a lock the
+// receiver also needs.
+package a
+
+import "sync"
+
+func MakeOK() {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+}
+
+func NilSend() {
+	var ch chan int
+	ch <- 1 // want `send on ch, which is declared without make and may still be nil`
+}
+
+func NilClose() {
+	var ch chan int
+	close(ch) // want `close on ch, which is declared without make and may still be nil`
+}
+
+// A make in one branch does not cover the paths that skip it.
+func BranchNil(b bool) {
+	var ch chan int
+	if b {
+		ch = make(chan int)
+	}
+	ch <- 1 // want `send on ch, which is declared without make and may still be nil`
+}
+
+// Every path assigns before the send: clean.
+func AllPathsAssigned(b bool) {
+	var ch chan int
+	if b {
+		ch = make(chan int, 1)
+	} else {
+		ch = make(chan int, 2)
+	}
+	ch <- 1
+}
+
+// Closing a channel received from the caller: the creator owns it.
+func CloseParam(ch chan int) {
+	close(ch) // want `close of parameter channel ch`
+}
+
+// Sending through a parameter is the normal producer shape: clean.
+func sendOnly(ch chan<- int) { ch <- 1 }
+
+// Send while holding a lock the parallel receiver also takes: if the
+// channel is unbuffered or full, the sender blocks holding what the
+// receiver needs.
+
+var pairMu sync.Mutex
+var pairCh = make(chan string)
+
+func RunPair() {
+	go recvLoop()
+	pairMu.Lock()
+	pairCh <- "x" // want `send on chan string while holding a\.pairMu, but recvLoop receives from this channel under the same lock`
+	pairMu.Unlock()
+}
+
+func recvLoop() {
+	pairMu.Lock()
+	v := <-pairCh
+	_ = v
+	pairMu.Unlock()
+}
+
+// Same shape but the send happens after the unlock: clean.
+func RunPairSafe() {
+	go recvLoop()
+	pairMu.Lock()
+	pairMu.Unlock()
+	pairCh <- "y"
+}

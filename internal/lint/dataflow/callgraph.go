@@ -80,8 +80,10 @@ func (g *Graph) buildEdges() {
 
 // resolveCall returns the possible callees of one call expression:
 // one static target, or the CHA set for an interface method call.
+// Instantiated generic calls (f[T](...)) resolve to the generic
+// declaration, so call-graph edges traverse generic helpers.
 func (g *Graph) resolveCall(info *types.Info, call *ast.CallExpr, concrete []types.Type) []*types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
+	switch fun := uninstantiate(call.Fun).(type) {
 	case *ast.Ident:
 		if fn, ok := info.Uses[fun].(*types.Func); ok {
 			return []*types.Func{fn}

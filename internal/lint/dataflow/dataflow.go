@@ -183,8 +183,17 @@ func SetProgram(g *Graph) {
 	program.g = g
 }
 
-// Reset clears the registered whole-program graph (tests).
-func Reset() { SetProgram(nil) }
+// Reset clears the registered whole-program graph and the derived
+// per-graph caches (tests).
+func Reset() {
+	SetProgram(nil)
+	lockGraphCache.mu.Lock()
+	lockGraphCache.cache = nil
+	lockGraphCache.mu.Unlock()
+	mhpCache.mu.Lock()
+	mhpCache.cache = nil
+	mhpCache.mu.Unlock()
+}
 
 // Resolve returns the graph an analyzer pass should consult: the
 // registered whole-program graph when it covers the pass's package,

@@ -662,9 +662,12 @@ func isSimRNGMethod(fn *types.Func) bool {
 }
 
 // staticCallee resolves a call's single static target, nil for
-// func-typed variables, builtins, and conversions.
+// func-typed variables, builtins, and conversions. Instantiated generic
+// calls (f[T](...), recv.m[T](...)) resolve to the generic declaration:
+// summaries are computed per declaration, which is the right
+// granularity for provenance and lockset flow.
 func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
+	switch fun := uninstantiate(call.Fun).(type) {
 	case *ast.Ident:
 		if fn, ok := info.Uses[fun].(*types.Func); ok {
 			return fn
@@ -675,6 +678,22 @@ func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
 		}
 	}
 	return nil
+}
+
+// uninstantiate strips parens and the type-argument index of a generic
+// call's callee expression: f[int] -> f, pair[K, V] -> pair.
+func uninstantiate(fun ast.Expr) ast.Expr {
+	fun = ast.Unparen(fun)
+	for {
+		switch e := fun.(type) {
+		case *ast.IndexExpr:
+			fun = ast.Unparen(e.X)
+		case *ast.IndexListExpr:
+			fun = ast.Unparen(e.X)
+		default:
+			return fun
+		}
+	}
 }
 
 // argExpr returns the expression bound to callee parameter index i at a

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, "testdata", goroleak.Analyzer, "a")
+}

@@ -1,0 +1,76 @@
+// Package a exercises the goroleak analyzer: goroutines spawned on
+// entry paths (main, Run*, Sweep*) must be ctx-cancellable or joined.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// Fire-and-forget on an entry path: reported.
+func RunLeaky() {
+	go work() // want `goroutine started on the RunLeaky entry path is neither ctx-cancellable nor joined`
+}
+
+// Joined by WaitGroup: clean.
+func RunWaited() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// Cancellable: the goroutine selects on the context: clean.
+func RunCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Named worker taking the context as an argument: clean.
+func RunNamedCtx(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+// Joined by channel: the goroutine closes what the spawner drains.
+func RunChan() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// Worker-pool feed: the spawner sends on the channel the goroutine
+// ranges over — opposite ends of one channel, clean.
+func RunPool() {
+	jobs := make(chan int)
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+	jobs <- 1
+	close(jobs)
+}
+
+// The leak can hide in a helper on the entry path; it is reported at
+// the spawning function.
+func RunDeep() { helper() }
+
+func helper() {
+	go work() // want `goroutine started on the helper entry path is neither ctx-cancellable nor joined`
+}
+
+// Not reachable from any entry point: out of this analyzer's scope.
+func orphan() {
+	go work()
+}

@@ -12,15 +12,18 @@ import (
 	"strings"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/chanmisuse"
 	"repro/internal/lint/ctxflow"
 	"repro/internal/lint/dataflow"
 	"repro/internal/lint/deprecatedshim"
 	"repro/internal/lint/detrand"
 	"repro/internal/lint/directive"
 	"repro/internal/lint/errflow"
+	"repro/internal/lint/goroleak"
 	"repro/internal/lint/hotalloc"
 	"repro/internal/lint/loader"
 	"repro/internal/lint/lockcheck"
+	"repro/internal/lint/lockorder"
 	"repro/internal/lint/maporder"
 	"repro/internal/lint/seedflow"
 )
@@ -95,6 +98,27 @@ func errflowScope(importPath string) bool {
 	return false
 }
 
+// concurrencyScope covers the packages that share mutable state across
+// goroutines: the engine, the RMS control plane, and the observability
+// sinks (all hold locks; the engine and sweeps spawn workers).
+func concurrencyScope(importPath string) bool {
+	for _, dir := range []string{
+		"internal/grid", "internal/rms", "internal/obs",
+		"internal/sim", "internal/faults",
+	} {
+		if pathHasDir(importPath, dir) {
+			return true
+		}
+	}
+	return false
+}
+
+// goroleakScope is concurrencyScope plus the command mains (entry
+// points that must not leak goroutines past a run).
+func goroleakScope(importPath string) bool {
+	return pathHasDir(importPath, "cmd") || concurrencyScope(importPath)
+}
+
 // Suite returns the reconlint analyzer suite with its package scoping.
 func Suite() []ScopedAnalyzer {
 	return []ScopedAnalyzer{
@@ -108,6 +132,11 @@ func Suite() []ScopedAnalyzer {
 		// hotalloc runs everywhere: it only fires inside functions that
 		// opted in with //reconlint:hotpath.
 		{Analyzer: hotalloc.Analyzer, Applies: everywhere},
+		// Concurrency analyzers (flow-sensitive, on the dataflow CFG and
+		// lockset layer).
+		{Analyzer: lockorder.Analyzer, Applies: concurrencyScope},
+		{Analyzer: goroleak.Analyzer, Applies: goroleakScope},
+		{Analyzer: chanmisuse.Analyzer, Applies: goroleakScope},
 	}
 }
 

@@ -1,22 +1,27 @@
 // Package lockcheck implements the reconlint analyzer that verifies
-// "// guarded by <mu>" field annotations syntactically.
+// "// guarded by <mu>" field annotations against the flow-sensitive
+// lockset computed by the dataflow layer.
 //
 // A struct field annotated with a comment containing "guarded by mu"
 // (doc comment or trailing line comment) may only be accessed through
 // a selector whose base is a local identifier (usually the method
-// receiver) inside a function that visibly acquires that mutex on the
-// same base: base.mu.Lock(), base.mu.RLock(), or a
-// defer/assignment thereof. Two escape hatches keep the check honest
-// without flow analysis:
+// receiver) at a program point where the must-lockset contains that
+// mutex on the same base: base.mu.Lock() dominates the access and no
+// intervening base.mu.Unlock() kills it. This is the v2 of the check —
+// v1 accepted any function that mentioned base.mu.Lock() anywhere in
+// its body, so lock-then-unlock-then-access and branch-local locking
+// slipped through. Two escape hatches keep the check honest:
 //
 //   - functions whose name ends in "Locked" assert that the caller
 //     holds the lock (the usual Go convention),
 //   - //reconlint:allow lockcheck <reason> on the access line.
 //
 // Composite literals (construction before the value escapes) are not
-// flagged. This is a syntactic check: it cannot see aliasing or prove
-// lock ordering — it exists to catch the easy, common mistake of a new
-// method touching shared state without locking.
+// flagged. Function literals inherit the lockset at their creation
+// site in addition to locks they acquire themselves: a sort.Slice
+// closure inside a locked region stays clean, at the cost of trusting
+// that a closure spawned as a goroutine is not reading state its
+// spawner only held at spawn time (goroleak polices that direction).
 package lockcheck
 
 import (
@@ -26,12 +31,13 @@ import (
 	"strings"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/dataflow"
 )
 
 // Analyzer is the lockcheck analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "lockcheck",
-	Doc:  "fields annotated '// guarded by mu' must only be accessed while that mutex is visibly held",
+	Doc:  "fields annotated '// guarded by mu' must only be accessed while the must-lockset holds that mutex on the same base",
 	Run:  run,
 }
 
@@ -58,7 +64,8 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			if strings.HasSuffix(fd.Name.Name, "Locked") {
 				continue
 			}
-			checkFunc(pass, fd, guarded)
+			fl := dataflow.AnalyzeLocks(pass.TypesInfo, fd.Body)
+			checkLocks(pass, fd.Name.Name, fl, nil, guarded)
 		}
 	}
 	return nil, nil
@@ -119,72 +126,85 @@ func guardAnnotation(field *ast.Field) string {
 	return ""
 }
 
-// checkFunc reports guarded-field accesses in fd that are not covered
-// by a visible Lock/RLock on the same base identifier.
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guarded []guardedField) {
-	// locked[obj][mu] records that fd contains obj.mu.Lock()/RLock().
-	locked := make(map[types.Object]map[string]bool)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+// checkLocks walks one analyzed body. outer is the lockset inherited
+// from the creation site when the body is a function literal (nil for
+// a declared function).
+func checkLocks(pass *analysis.Pass, fnName string, fl *dataflow.FuncLocks, outer dataflow.LockSet, guarded []guardedField) {
+	for _, blk := range fl.CFG.Blocks {
+		for _, n := range blk.Nodes {
+			held := fl.Before[n]
+			ast.Inspect(n, func(x ast.Node) bool {
+				switch x := x.(type) {
+				case *ast.CompositeLit:
+					return false // construction, not shared access
+				case *ast.FuncLit:
+					// Analyze the literal's own body; it additionally
+					// inherits the lockset at its creation site.
+					inner := dataflow.AnalyzeLocks(pass.TypesInfo, x.Body)
+					inherited := held
+					if outer != nil {
+						inherited = union(held, outer)
+					}
+					checkLocks(pass, fnName, inner, inherited, guarded)
+					return false
+				case *ast.SelectorExpr:
+					checkAccess(pass, fnName, x, held, outer, guarded)
+				}
+				return true
+			})
 		}
-		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
-			return true
-		}
-		muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		base, ok := ast.Unparen(muSel.X).(*ast.Ident)
-		if !ok {
-			return true
-		}
-		obj := pass.ObjectOf(base)
-		if obj == nil {
-			return true
-		}
-		if locked[obj] == nil {
-			locked[obj] = make(map[string]bool)
-		}
-		locked[obj][muSel.Sel.Name] = true
-		return true
-	})
+	}
+}
 
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if _, ok := n.(*ast.CompositeLit); ok {
-			return false // construction, not shared access
+// union merges two locksets (b wins no conflicts — classes are keys).
+func union(a, b dataflow.LockSet) dataflow.LockSet {
+	out := make(dataflow.LockSet, len(a)+len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// checkAccess reports sel if it reads/writes a guarded field while the
+// effective lockset lacks the annotated mutex on the same base object.
+func checkAccess(pass *analysis.Pass, fnName string, sel *ast.SelectorExpr, held, outer dataflow.LockSet, guarded []guardedField) {
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.ObjectOf(base)
+	if obj == nil {
+		return
+	}
+	named := namedOf(obj.Type())
+	if named == nil {
+		return
+	}
+	for _, g := range guarded {
+		if g.structType != named || g.field != sel.Sel.Name {
+			continue
 		}
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
+		if holdsOn(held, obj, g.mutex) || holdsOn(outer, obj, g.mutex) {
+			continue
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"%s.%s is guarded by %s, but %s does not hold %s.%s here (lock it, suffix the function name with Locked, or justify with a reconlint:allow directive)",
+			base.Name, g.field, g.mutex, fnName, base.Name, g.mutex)
+	}
+}
+
+// holdsOn reports whether the lockset contains mutex <mu> reached from
+// exactly the given base object.
+func holdsOn(held dataflow.LockSet, base types.Object, mu string) bool {
+	for _, h := range held {
+		if h.Lock.Root == base && h.Lock.Path == mu {
 			return true
 		}
-		base, ok := ast.Unparen(sel.X).(*ast.Ident)
-		if !ok {
-			return true
-		}
-		obj := pass.ObjectOf(base)
-		if obj == nil {
-			return true
-		}
-		named := namedOf(obj.Type())
-		if named == nil {
-			return true
-		}
-		for _, g := range guarded {
-			if g.structType != named || g.field != sel.Sel.Name {
-				continue
-			}
-			if locked[obj][g.mutex] {
-				continue
-			}
-			pass.Reportf(sel.Sel.Pos(),
-				"%s.%s is guarded by %s, but %s does not acquire %s.%s (lock it, suffix the function name with Locked, or justify with a reconlint:allow directive)",
-				base.Name, g.field, g.mutex, fd.Name.Name, base.Name, g.mutex)
-		}
-		return true
-	})
+	}
+	return false
 }
 
 // namedOf unwraps pointers to a named struct type.

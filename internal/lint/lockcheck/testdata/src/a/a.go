@@ -19,7 +19,7 @@ func (c *Counter) Inc() {
 }
 
 func (c *Counter) Bad() int {
-	return c.n // want `c\.n is guarded by mu, but Bad does not acquire c\.mu`
+	return c.n // want `c\.n is guarded by mu, but Bad does not hold c\.mu`
 }
 
 func (c *Counter) nLocked() int {
@@ -58,7 +58,7 @@ func (c *Cache) Put(k string, v int) {
 }
 
 func (c *Cache) Race(k string) int {
-	return c.data[k] // want `c\.data is guarded by mu, but Race does not acquire c\.mu`
+	return c.data[k] // want `c\.data is guarded by mu, but Race does not hold c\.mu`
 }
 
 func drain(c *Cache) []string {
@@ -72,5 +72,41 @@ func drain(c *Cache) []string {
 }
 
 func leak(c *Cache) int {
-	return len(c.data) // want `c\.data is guarded by mu, but leak does not acquire c\.mu`
+	return len(c.data) // want `c\.data is guarded by mu, but leak does not hold c\.mu`
+}
+
+// --- v2 flow-sensitive cases: v1 accepted all of these because the
+// function mentions the lock somewhere; the lockset analysis does not.
+
+func (c *Counter) UseAfterUnlock() int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.n // want `c\.n is guarded by mu, but UseAfterUnlock does not hold c\.mu`
+}
+
+func (c *Counter) LockInOneBranch(b bool) int {
+	if b {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.n // locked on this path: fine
+	}
+	return c.n // want `c\.n is guarded by mu, but LockInOneBranch does not hold c\.mu`
+}
+
+func (c *Counter) SortedUnder() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := func() int { return c.n } // closure inherits creation-site lockset: fine
+	return f()
+}
+
+func (c *Counter) EitherPath(b bool) int {
+	if b {
+		c.mu.Lock()
+	} else {
+		c.mu.Lock()
+	}
+	defer c.mu.Unlock()
+	return c.n // both predecessors hold mu (must-intersection): fine
 }

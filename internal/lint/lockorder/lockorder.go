@@ -1,0 +1,85 @@
+// Package lockorder implements the reconlint analyzer that detects
+// deadlock candidates in the acquires-while-holding graph.
+//
+// Using the dataflow layer's per-function CFG locksets and the CHA call
+// graph, the analyzer builds the whole-program lock-order relation:
+// an edge A -> B means some execution acquires lock class B (r.mu on a
+// type, a package-level mutex) while holding A — directly, or through
+// a call chain that reaches an acquisition of B. Two findings come out
+// of it:
+//
+//   - a cycle A -> B -> ... -> A is a deadlock candidate: two
+//     goroutines acquiring the classes in opposite orders can block
+//     forever. The report shows every acquisition site of the cycle
+//     with its call chain, so both orders are auditable.
+//   - re-acquiring a held sync.Mutex (or write-locking under a read
+//     lock on the same instance) is a guaranteed self-deadlock — Go
+//     locks are not reentrant.
+//
+// Lock classes are instance-insensitive (every Registry's mu is one
+// class), which is the sound direction for ordering: two instances of
+// one type locked in both orders by different code paths deadlock just
+// like two distinct locks. Hand-over-hand locking of one class is out
+// of scope (the same-class edge is skipped).
+//
+// Escape hatch: //reconlint:allow lockorder <reason> on or above the
+// acquisition the report points at.
+package lockorder
+
+import (
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/dataflow"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "lock acquisition order must be acyclic across the engine, RMS, and observability packages (deadlock candidates) and never re-entrant",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	g := dataflow.Resolve(pass.Fset, pass.Files, pass.Pkg, pass.TypesInfo)
+	lg := g.LockGraph()
+
+	// Self-deadlocks: report the ones in this package's functions.
+	for _, e := range lg.SelfDeadlocks() {
+		if e.Fn.Pkg() != pass.Pkg {
+			continue
+		}
+		pass.Reportf(e.Pos,
+			"%s re-acquires %s while already holding it: sync mutexes are not reentrant, this deadlocks at runtime",
+			e.Fn.Name(), e.From)
+	}
+
+	// Ordering cycles: report each cycle once, at the witnessing
+	// acquisition that lies in this package (so a cross-package cycle
+	// surfaces wherever the driver scopes the analyzer). Every hop's
+	// chain goes into the message — both acquisition orders are visible.
+	for _, cyc := range lg.Cycles() {
+		for _, w := range cyc.Witness {
+			if w.Fn.Pkg() != pass.Pkg {
+				continue
+			}
+			pass.Reportf(w.Pos,
+				"lock-order cycle %s: %s — acquiring in opposite orders deadlocks; pick one global order",
+				strings.Join(append(append([]string(nil), cyc.Classes...), cyc.Classes[0]), " -> "),
+				describeWitnesses(cyc.Witness))
+			break // one report per cycle per package
+		}
+	}
+	return nil, nil
+}
+
+// describeWitnesses renders every hop of a cycle: "a.mu->b.mu at
+// pkg.F (via pkg.F -> pkg.g)".
+func describeWitnesses(ws []dataflow.AcqEdge) string {
+	parts := make([]string, 0, len(ws))
+	for _, w := range ws {
+		s := w.From + "->" + w.To + " in " + strings.Join(w.Chain, " -> ")
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, "; ")
+}

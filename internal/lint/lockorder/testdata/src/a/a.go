@@ -1,0 +1,106 @@
+// Package a exercises the lockorder analyzer: a deliberately seeded
+// AB/BA deadlock across two lock classes, a self-deadlock, an
+// interprocedural ordering edge through a helper, and clean
+// single-order code that must stay silent.
+package a
+
+import "sync"
+
+type Engine struct{ mu sync.Mutex }
+type Registry struct{ mu sync.Mutex }
+
+// lockAB and lockBA acquire the two classes in opposite orders — the
+// classic deadlock seed. The cycle is reported once, at the first
+// witnessing acquisition.
+func lockAB(e *Engine, r *Registry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r.mu.Lock() // want `lock-order cycle a\.Engine\.mu -> a\.Registry\.mu -> a\.Engine\.mu`
+	defer r.mu.Unlock()
+}
+
+func lockBA(e *Engine, r *Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+}
+
+// Self-deadlock: sync.Mutex is not reentrant.
+func double(e *Engine) {
+	e.mu.Lock()
+	e.mu.Lock() // want `double re-acquires a\.Engine\.mu while already holding it`
+	e.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// Interprocedural: holding the sink lock while calling a helper that
+// takes the state lock, and vice versa, closes a cycle through the
+// call graph.
+type Sink struct{ mu sync.Mutex }
+type State struct{ mu sync.Mutex }
+
+func (s *State) touch() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+func (k *Sink) flush(st *State) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	st.touch() // want `lock-order cycle a\.Sink\.mu -> a\.State\.mu -> a\.Sink\.mu`
+}
+
+func (k *Sink) emit() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+}
+
+func (st *State) publish(k *Sink) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	k.emit()
+}
+
+// Clean: consistent global order Engine < Registry everywhere.
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *Pair) both() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+}
+
+func (p *Pair) bothAgain() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// Clean: two instances of one class in sequence is ordering inside a
+// class, not re-acquisition (hand-over-hand is out of scope).
+func handOver(x, y *Engine) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// Clean: RLock under RLock on the same instance is legal.
+type RW struct{ mu sync.RWMutex }
+
+func (r *RW) readTwice() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.readMore()
+}
+
+func (r *RW) readMore() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+}
