@@ -1,0 +1,57 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+func TestScratchRangeLockset(t *testing.T) {
+	src := `package p
+
+import "sync"
+
+func f(mu1, mu2 *sync.Mutex, xs []int) {
+	for _, x := range xs {
+		mu1.Lock()
+		mu2.Lock()
+		mu2.Unlock()
+		mu1.Unlock()
+		_ = x
+	}
+}
+
+func g(mu1, mu2 *sync.Mutex) {
+	for i := 0; i < 3; i++ {
+		mu1.Lock()
+		mu2.Lock()
+		mu2.Unlock()
+		mu1.Unlock()
+	}
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Types: make(map[ast.Expr]types.TypeAndValue),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls[1:] {
+		fd := d.(*ast.FuncDecl)
+		fl := AnalyzeLocks(info, fd.Body)
+		for _, acq := range fl.Acquires {
+			t.Logf("%s: acquire %s at %s held=%v", fd.Name.Name, acq.Lock.Class, fset.Position(acq.Pos), acq.Held.SortedClasses())
+		}
+	}
+}
