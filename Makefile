@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint lint-fix lint-sarif test race verify bench-lint bench-obs bench-queue cover
+.PHONY: build vet lint lint-fix lint-sarif test race verify bench-lint bench-obs bench-queue cover smoke
 
 # Minimum statement coverage enforced by `make cover`, per package.
 COVER_FLOOR_OBS  ?= 85.0
@@ -52,6 +52,24 @@ bench-obs:
 BENCHTIME_QUEUE ?= 200x
 bench-queue:
 	$(GO) test -run xxx -bench 'BenchmarkQueue|BenchmarkDReAMSim_ArrivalSweep' -benchtime $(BENCHTIME_QUEUE) . | $(GO) run ./cmd/benchjson > BENCH_PR6.json
+
+# Control-plane smoke: boot rmsd, drive 5k tasks from 50 tenants over
+# the wire with gridload (which fails on any lost task or conservation
+# violation), then require a clean SIGTERM shutdown within 60 seconds.
+SMOKE_ADDR ?= 127.0.0.1:7981
+smoke:
+	$(GO) build -o /tmp/rmsd ./cmd/rmsd
+	$(GO) build -o /tmp/gridload ./cmd/gridload
+	@set -e; \
+	/tmp/rmsd -listen $(SMOKE_ADDR) -shards 8 -seed 1 & pid=$$!; \
+	trap 'kill -9 $$pid 2>/dev/null || true' EXIT; \
+	/tmp/gridload -addr $(SMOKE_ADDR) -tenants 50 -tasks 100 -conns 8 -seed 1; \
+	kill -TERM $$pid; \
+	for i in $$(seq 1 60); do \
+		if ! kill -0 $$pid 2>/dev/null; then trap - EXIT; echo "smoke: clean shutdown"; exit 0; fi; \
+		sleep 1; \
+	done; \
+	echo "smoke: rmsd did not shut down within 60s"; exit 1
 
 # Enforce statement-coverage floors on the observability and engine
 # packages. Fails if either package regresses below its floor.

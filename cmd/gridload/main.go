@@ -1,0 +1,362 @@
+// Command gridload is the seeded load driver for rmsd: it submits a
+// deterministic multi-tenant workload with heavy-tailed task sizes over
+// the wire protocol, drains the server, verifies that no task was lost
+// (per-tenant conservation), and reports throughput and request-latency
+// percentiles as JSON.
+//
+// Usage:
+//
+//	gridload -addr 127.0.0.1:7433 -tenants 50 -tasks 100          # closed loop
+//	gridload -addr 127.0.0.1:7433 -mode open -rate 2000 -tasks 20 # paced arrivals
+//
+// Closed mode issues each connection's next request only after the
+// previous response (classic closed-loop clients); open mode paces
+// submissions at -rate arrivals/second across all connections and
+// pipelines them, so queue depth on the server is driven by the arrival
+// process, not by client think time.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/controlplane"
+	"repro/internal/sim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type options struct {
+	addr    string
+	network string
+	mode    string
+	tenants int
+	tasks   int
+	conns   int
+	rate    float64
+	seed    uint64
+	alpha   float64
+	workXm  float64
+	wait    time.Duration
+	noDrain bool
+}
+
+func parseFlags(args []string, stderr io.Writer) (*options, error) {
+	fs := flag.NewFlagSet("gridload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	opt := &options{}
+	fs.StringVar(&opt.addr, "addr", "127.0.0.1:7433", "rmsd address")
+	fs.StringVar(&opt.network, "network", "tcp", "rmsd network (tcp or unix)")
+	fs.StringVar(&opt.mode, "mode", "closed", "arrival mode: closed or open")
+	fs.IntVar(&opt.tenants, "tenants", 50, "number of tenants")
+	fs.IntVar(&opt.tasks, "tasks", 100, "tasks per tenant")
+	fs.IntVar(&opt.conns, "conns", 8, "concurrent connections")
+	fs.Float64Var(&opt.rate, "rate", 1000, "open mode: total submissions/second")
+	fs.Uint64Var(&opt.seed, "seed", 1, "workload seed")
+	fs.Float64Var(&opt.alpha, "alpha", 1.5, "Pareto shape for task sizes (heavier tail when smaller)")
+	fs.Float64Var(&opt.workXm, "work-xm", 50, "Pareto scale: minimum task size in mega-instructions")
+	fs.DurationVar(&opt.wait, "wait", 15*time.Second, "how long to retry the first connection")
+	fs.BoolVar(&opt.noDrain, "no-drain", false, "skip the final drain/verify phase")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if opt.mode != "closed" && opt.mode != "open" {
+		return nil, fmt.Errorf("unknown mode %q", opt.mode)
+	}
+	if opt.tenants < 1 || opt.tasks < 1 || opt.conns < 1 {
+		return nil, fmt.Errorf("tenants, tasks, and conns must be positive")
+	}
+	if opt.conns > opt.tenants {
+		opt.conns = opt.tenants
+	}
+	return opt, nil
+}
+
+// client is one wire connection.
+type client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	sc   *bufio.Scanner
+}
+
+// dial connects, retrying until the deadline — rmsd may still be
+// booting when gridload starts (the CI smoke job relies on this).
+func dial(network, addr string, wait time.Duration) (*client, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		conn, err := net.Dial(network, addr)
+		if err == nil {
+			sc := bufio.NewScanner(conn)
+			sc.Buffer(make([]byte, 0, 4096), 16<<20)
+			return &client{conn: conn, enc: json.NewEncoder(conn), sc: sc}, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dialing %s %s: %w", network, addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func (c *client) close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads its response.
+func (c *client) roundTrip(req controlplane.Request) (controlplane.Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return controlplane.Response{}, err
+	}
+	return c.read()
+}
+
+func (c *client) send(req controlplane.Request) error { return c.enc.Encode(req) }
+
+func (c *client) read() (controlplane.Response, error) {
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return controlplane.Response{}, err
+		}
+		return controlplane.Response{}, io.EOF
+	}
+	var resp controlplane.Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return controlplane.Response{}, err
+	}
+	return resp, nil
+}
+
+// report is the JSON result gridload prints.
+type report struct {
+	Mode           string  `json:"mode"`
+	Tenants        int     `json:"tenants"`
+	TasksPerTenant int     `json:"tasks_per_tenant"`
+	Submitted      int     `json:"submitted"`
+	Accepted       int     `json:"accepted"`
+	Rejected       int     `json:"rejected"`
+	Completed      int     `json:"completed"`
+	Evicted        int     `json:"evicted"`
+	Canceled       int     `json:"canceled"`
+	InFlight       int     `json:"in_flight"`
+	Lost           int     `json:"lost"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	Latency        latency `json:"latency_ms"`
+}
+
+type latency struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+func percentiles(rtts []float64) latency {
+	if len(rtts) == 0 {
+		return latency{}
+	}
+	sort.Float64s(rtts)
+	at := func(p float64) float64 {
+		i := int(p * float64(len(rtts)-1))
+		return rtts[i]
+	}
+	return latency{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: rtts[len(rtts)-1]}
+}
+
+var tierNames = []string{"full", "virtualized", "background"}
+var scenarioNames = []string{"software", "softcore", "userhw"}
+
+// workerResult is one connection's share of the run.
+type workerResult struct {
+	submitted, accepted int
+	rtts                []float64
+	err                 error
+}
+
+// drive submits every task for the worker's tenants over one
+// connection. In closed mode each submit waits for its response; in
+// open mode submits are paced at interval and pipelined, with responses
+// matched FIFO (the protocol guarantees ordering per connection).
+func drive(opt *options, worker int, interval time.Duration) workerResult {
+	res := workerResult{}
+	c, err := dial(opt.network, opt.addr, opt.wait)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer func() {
+		if cerr := c.close(); cerr != nil && res.err == nil {
+			res.err = cerr
+		}
+	}()
+
+	type pending struct{ sentAt time.Time }
+	var inflight []pending
+	readOne := func() error {
+		resp, err := c.read()
+		if err != nil {
+			return err
+		}
+		res.rtts = append(res.rtts, float64(time.Since(inflight[0].sentAt))/1e6)
+		inflight = inflight[1:]
+		if resp.OK {
+			res.accepted++
+		}
+		return nil
+	}
+
+	rng := sim.NewRNG(opt.seed).Split(uint64(worker))
+	sizes := sim.Pareto{Xm: opt.workXm, Alpha: opt.alpha}
+	next := time.Now()
+	for tenant := worker; tenant < opt.tenants; tenant += opt.conns {
+		name := fmt.Sprintf("tenant-%04d", tenant)
+		tier := tierNames[tenant%len(tierNames)]
+		for i := 0; i < opt.tasks; i++ {
+			ts := &controlplane.TaskSpec{
+				ID:       fmt.Sprintf("t%04d-%05d", tenant, i),
+				WorkMI:   sizes.Sample(rng),
+				Parallel: rng.Float64(),
+				Scenario: scenarioNames[rng.Intn(len(scenarioNames))],
+			}
+			if ts.Scenario == "userhw" {
+				ts.Design = "aes128"
+			}
+			req := controlplane.Request{Op: controlplane.OpSubmit, Tenant: name, Tier: tier, Task: ts}
+			if opt.mode == "open" {
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				next = next.Add(interval)
+			}
+			if err := c.send(req); err != nil {
+				res.err = err
+				return res
+			}
+			res.submitted++
+			inflight = append(inflight, pending{sentAt: time.Now()})
+			// Closed loop: window of one. Open loop: bounded pipeline so
+			// slow responses apply backpressure eventually.
+			for len(inflight) > 0 && (opt.mode == "closed" || len(inflight) >= 512) {
+				if err := readOne(); err != nil {
+					res.err = err
+					return res
+				}
+			}
+		}
+	}
+	for len(inflight) > 0 {
+		if err := readOne(); err != nil {
+			res.err = err
+			return res
+		}
+	}
+	return res
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	opt, err := parseFlags(args, stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		fmt.Fprintln(stderr, "gridload:", err)
+		return 2
+	}
+
+	interval := time.Duration(0)
+	if opt.mode == "open" && opt.rate > 0 {
+		// Per-connection pacing adds up to the requested total rate.
+		interval = time.Duration(float64(time.Second) * float64(opt.conns) / opt.rate)
+	}
+
+	start := time.Now()
+	results := make([]workerResult, opt.conns)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = drive(opt, w, interval)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	rep := report{Mode: opt.mode, Tenants: opt.tenants, TasksPerTenant: opt.tasks, ElapsedSeconds: elapsed}
+	var rtts []float64
+	for w, res := range results {
+		if res.err != nil {
+			fmt.Fprintf(stderr, "gridload: worker %d: %v\n", w, res.err)
+			return 1
+		}
+		rep.Submitted += res.submitted
+		rep.Accepted += res.accepted
+		rtts = append(rtts, res.rtts...)
+	}
+	rep.Rejected = rep.Submitted - rep.Accepted
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.Submitted) / elapsed
+	}
+	rep.Latency = percentiles(rtts)
+
+	// Control phase: drain the server and verify conservation from the
+	// authoritative per-tenant counters.
+	ctl, err := dial(opt.network, opt.addr, opt.wait)
+	if err != nil {
+		fmt.Fprintln(stderr, "gridload:", err)
+		return 1
+	}
+	defer func() {
+		if err := ctl.close(); err != nil {
+			fmt.Fprintln(stderr, "gridload:", err)
+		}
+	}()
+	if !opt.noDrain {
+		if resp, err := ctl.roundTrip(controlplane.Request{Op: controlplane.OpDrain}); err != nil || !resp.OK {
+			fmt.Fprintf(stderr, "gridload: drain failed: %v %s\n", err, resp.Error)
+			return 1
+		}
+	}
+	statsResp, err := ctl.roundTrip(controlplane.Request{Op: controlplane.OpStats})
+	if err != nil || !statsResp.OK {
+		fmt.Fprintf(stderr, "gridload: stats failed: %v %s\n", err, statsResp.Error)
+		return 1
+	}
+	for _, st := range statsResp.Tenants {
+		rep.Completed += st.Completed
+		rep.Evicted += st.Evicted
+		rep.Canceled += st.Canceled
+		rep.InFlight += st.InFlight
+		if st.Submitted != st.Completed+st.Rejected+st.Evicted+st.Canceled+st.InFlight {
+			fmt.Fprintf(stderr, "gridload: tenant %s violates conservation: %+v\n", st.Tenant, st)
+			rep.Lost++
+		}
+	}
+	rep.Lost += rep.Accepted - rep.Completed - rep.Evicted - rep.Canceled - rep.InFlight
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(stderr, "gridload:", err)
+		return 1
+	}
+	if rep.Lost != 0 {
+		fmt.Fprintf(stderr, "gridload: %d tasks lost\n", rep.Lost)
+		return 1
+	}
+	if !opt.noDrain && rep.InFlight != 0 {
+		fmt.Fprintf(stderr, "gridload: %d tasks still in flight after drain\n", rep.InFlight)
+		return 1
+	}
+	return 0
+}

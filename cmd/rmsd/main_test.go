@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current binary behaviour")
+
+// TestDumpStateGolden pins the `rmsd -dump-state` snapshot byte for
+// byte: the built-in self-check workload is deterministic (fixed seed,
+// no wall clock), so any drift in admission, matchmaking, fault
+// schedules, retry policy, cost accounting, or the dump format lands
+// here as a reviewable diff.
+func TestDumpStateGolden(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dump-state", "-seed", "7", "-shards", "2", "-faults"}, &out, &errOut); code != 0 {
+		t.Fatalf("rmsd -dump-state exited %d: %s", code, errOut.String())
+	}
+	path := filepath.Join("testdata", "dump_state.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, out.Len())
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("-dump-state drifted from golden file (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s", out.Bytes(), want)
+	}
+}
+
+// TestDumpStateShardInvariant pins that the self-check snapshot does not
+// depend on the dispatcher width.
+func TestDumpStateShardInvariant(t *testing.T) {
+	snap := func(shards string) string {
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-dump-state", "-seed", "7", "-shards", shards, "-faults"}, &out, &errOut); code != 0 {
+			t.Fatalf("shards=%s exited %d: %s", shards, code, errOut.String())
+		}
+		return out.String()
+	}
+	one, eight := snap("1"), snap("8")
+	// The header names the shard count; everything after it must match.
+	stripHeader := func(s string) string {
+		if i := bytes.IndexByte([]byte(s), '\n'); i >= 0 {
+			return s[i+1:]
+		}
+		return s
+	}
+	if stripHeader(one) != stripHeader(eight) {
+		t.Errorf("snapshot depends on shard count:\nshards=1:\n%s\nshards=8:\n%s", one, eight)
+	}
+}
+
+// TestBadFlags pins the usage exit code.
+func TestBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if code := run([]string{"-listen", "", "-dump-state=false"}, &out, &errOut); code != 2 {
+		t.Errorf("nothing-to-listen exit = %d, want 2", code)
+	}
+}

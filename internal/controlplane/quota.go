@@ -1,0 +1,54 @@
+package controlplane
+
+// tokenBucket is the per-tenant admission limiter. It is deterministic by
+// construction: refill is driven by an injected monotonic nanosecond
+// clock (Config.NowNanos), never by a wall-clock read of its own, so a
+// server running with a virtual clock — or with no clock at all — admits
+// exactly the same request sequence on every replay.
+//
+// Invariants (checked by the quota property test):
+//   - tokens never exceeds burst,
+//   - tokens never goes negative,
+//   - over any clock window Δ, admissions ≤ burst + rate·Δ.
+type tokenBucket struct {
+	rate  float64 // tokens per second; 0 disables refill-based limiting
+	burst float64
+	// tokens is the current balance; lastNanos the clock at last refill.
+	tokens    float64
+	lastNanos int64
+}
+
+func newTokenBucket(rate, burst float64, nowNanos int64) tokenBucket {
+	return tokenBucket{rate: rate, burst: burst, tokens: burst, lastNanos: nowNanos}
+}
+
+// refill advances the bucket to nowNanos. A clock that goes backwards is
+// clamped (no refund, no negative elapsed).
+func (b *tokenBucket) refill(nowNanos int64) {
+	if b.rate <= 0 {
+		return
+	}
+	if nowNanos > b.lastNanos {
+		b.tokens += b.rate * float64(nowNanos-b.lastNanos) / 1e9
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	if nowNanos > b.lastNanos {
+		b.lastNanos = nowNanos
+	}
+}
+
+// take spends one token if available; false means the admission is over
+// quota. With rate 0 the bucket is inert and always admits.
+func (b *tokenBucket) take(nowNanos int64) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	b.refill(nowNanos)
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

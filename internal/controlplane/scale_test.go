@@ -1,0 +1,87 @@
+package controlplane
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestScaleQueueDepth is the acceptance-scale run: 1000 tenants submit
+// 100 tasks each (10^5 total) into a paused server, the aggregate queue
+// depth is verified, and a resume+drain must complete every task with
+// per-tenant conservation intact. Kept in-process (no sockets) so the
+// cost is the control plane itself, not connection handling; the CI
+// smoke job covers the same scale over the wire.
+func TestScaleQueueDepth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale run skipped in -short mode")
+	}
+	const (
+		tenants = 1000
+		each    = 100
+	)
+	cfg := DefaultConfig()
+	cfg.Shards = 8
+	cfg.Seed = 3
+	s := newTestServer(t, cfg)
+	mustOK(t, s.Do(Request{Op: OpPause}))
+
+	tiers := []string{"full", "virtualized", "background"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ten := w; ten < tenants; ten += 8 {
+				tenant := fmt.Sprintf("tenant-%04d", ten)
+				tier := tiers[ten%len(tiers)]
+				for i := 0; i < each; i++ {
+					resp := s.Do(Request{Op: OpSubmit, Tenant: tenant, Tier: tier,
+						Task: spec(taskID("s", i), float64(50+i%200))})
+					if !resp.OK {
+						t.Errorf("submit %s/%d rejected: %s %s", tenant, i, resp.Code, resp.Error)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	all, err := s.StatsAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != tenants {
+		t.Fatalf("tenants = %d, want %d", len(all), tenants)
+	}
+	queued := 0
+	for _, st := range all {
+		queued += st.InFlight
+	}
+	if queued < tenants*each {
+		t.Fatalf("queued = %d, want ≥ %d", queued, tenants*each)
+	}
+
+	mustOK(t, s.Do(Request{Op: OpResume}))
+	mustOK(t, s.Do(Request{Op: OpDrain}))
+
+	all, err = s.StatsAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	for _, st := range all {
+		if !st.conserved() || st.InFlight != 0 {
+			t.Fatalf("tenant %s after drain: %+v", st.Tenant, st)
+		}
+		if st.Completed+st.Evicted != each {
+			t.Fatalf("tenant %s lost tasks: %+v", st.Tenant, st)
+		}
+		completed += st.Completed
+	}
+	if completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	t.Logf("drained %d tasks from %d tenants (%d completed)", queued, tenants, completed)
+}

@@ -1,0 +1,212 @@
+package controlplane
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+func mustOK(t *testing.T, resp Response) Response {
+	t.Helper()
+	if !resp.OK {
+		t.Fatalf("%s failed: code=%s error=%s", resp.Op, resp.Code, resp.Error)
+	}
+	return resp
+}
+
+func spec(id string, mi float64) *TaskSpec {
+	return &TaskSpec{ID: id, WorkMI: mi}
+}
+
+func taskID(prefix string, i int) string {
+	return prefix + "-" + strconv.Itoa(i)
+}
+
+// TestSubmitCompleteStatus drives one task through the in-process API.
+func TestSubmitCompleteStatus(t *testing.T) {
+	s := newTestServer(t, DefaultConfig())
+	mustOK(t, s.Do(Request{Op: OpSubmit, Tenant: "alice", Task: spec("t1", 5000)}))
+	mustOK(t, s.Do(Request{Op: OpDrain}))
+	resp := mustOK(t, s.Do(Request{Op: OpStatus, Tenant: "alice", TaskID: "t1"}))
+	if resp.State != "done" {
+		t.Errorf("state = %q, want done", resp.State)
+	}
+	stats := mustOK(t, s.Do(Request{Op: OpStats, Tenant: "alice"}))
+	if stats.Stats == nil || stats.Stats.Completed != 1 || stats.Stats.InFlight != 0 {
+		t.Errorf("stats = %+v", stats.Stats)
+	}
+	if stats.Stats.CostUnits <= 0 || stats.Stats.VirtualSeconds <= 0 {
+		t.Errorf("accounting: %+v", stats.Stats)
+	}
+}
+
+// TestScenarios covers the three wire scenarios end to end.
+func TestScenarios(t *testing.T) {
+	s := newTestServer(t, DefaultConfig())
+	tasks := []*TaskSpec{
+		{ID: "sw", WorkMI: 2000, Scenario: "software"},
+		{ID: "sc", WorkMI: 2000, Scenario: "softcore", Parallel: 0.8},
+		{ID: "hw", WorkMI: 20000, Scenario: "userhw", Design: "aes128", Parallel: 0.9},
+	}
+	for _, ts := range tasks {
+		mustOK(t, s.Do(Request{Op: OpSubmit, Tenant: "bob", Task: ts}))
+	}
+	mustOK(t, s.Do(Request{Op: OpDrain}))
+	for _, ts := range tasks {
+		resp := mustOK(t, s.Do(Request{Op: OpStatus, Tenant: "bob", TaskID: ts.ID}))
+		if resp.State != "done" {
+			t.Errorf("task %s state = %q, want done", ts.ID, resp.State)
+		}
+	}
+}
+
+// TestCancelAndUnknowns covers cancel semantics and unknown lookups.
+func TestCancelAndUnknowns(t *testing.T) {
+	s := newTestServer(t, DefaultConfig())
+	mustOK(t, s.Do(Request{Op: OpPause}))
+	mustOK(t, s.Do(Request{Op: OpSubmit, Tenant: "carol", Task: spec("t1", 1000)}))
+	resp := mustOK(t, s.Do(Request{Op: OpCancel, Tenant: "carol", TaskID: "t1"}))
+	if resp.State != "canceled" {
+		t.Errorf("state = %q, want canceled", resp.State)
+	}
+	// Canceling a terminal task reports its state without double counting.
+	resp = s.Do(Request{Op: OpCancel, Tenant: "carol", TaskID: "t1"})
+	if resp.OK || resp.State != "canceled" {
+		t.Errorf("double cancel = %+v", resp)
+	}
+	if resp = s.Do(Request{Op: OpCancel, Tenant: "carol", TaskID: "nope"}); resp.Code != CodeUnknownTask {
+		t.Errorf("code = %q, want %q", resp.Code, CodeUnknownTask)
+	}
+	if resp = s.Do(Request{Op: OpStatus, Tenant: "nobody", TaskID: "t1"}); resp.Code != CodeUnknownTenant {
+		t.Errorf("code = %q, want %q", resp.Code, CodeUnknownTenant)
+	}
+	stats := mustOK(t, s.Do(Request{Op: OpStats, Tenant: "carol"})).Stats
+	if stats.Canceled != 1 || stats.InFlight != 0 || !stats.conserved() {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// TestTierConflict pins that a tenant cannot switch tiers mid-life.
+func TestTierConflict(t *testing.T) {
+	s := newTestServer(t, DefaultConfig())
+	mustOK(t, s.Do(Request{Op: OpSubmit, Tenant: "dan", Tier: "full", Task: spec("t1", 100)}))
+	resp := s.Do(Request{Op: OpSubmit, Tenant: "dan", Tier: "background", Task: spec("t2", 100)})
+	if resp.OK || resp.Code != CodeTierConflict {
+		t.Errorf("resp = %+v, want tier_conflict", resp)
+	}
+	// An unnamed tier rides on the existing engine regardless of tier.
+	mustOK(t, s.Do(Request{Op: OpSubmit, Tenant: "dan", Task: spec("t3", 100)}))
+}
+
+// TestDrainingRejectsSubmissions pins the draining admission gate and
+// that resume reopens it.
+func TestDrainingRejectsSubmissions(t *testing.T) {
+	s := newTestServer(t, DefaultConfig())
+	mustOK(t, s.Do(Request{Op: OpDrain}))
+	resp := s.Do(Request{Op: OpSubmit, Tenant: "eve", Task: spec("t1", 100)})
+	if resp.OK || resp.Code != CodeDraining {
+		t.Errorf("resp = %+v, want draining", resp)
+	}
+	mustOK(t, s.Do(Request{Op: OpResume}))
+	mustOK(t, s.Do(Request{Op: OpSubmit, Tenant: "eve", Task: spec("t2", 100)}))
+	mustOK(t, s.Do(Request{Op: OpDrain}))
+	stats := mustOK(t, s.Do(Request{Op: OpStats, Tenant: "eve"})).Stats
+	if stats.Submitted != 2 || stats.Rejected != 1 || stats.Completed != 1 || !stats.conserved() {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// TestWireRoundTrip drives the server over a real TCP connection with
+// the line-delimited JSON protocol.
+func TestWireRoundTrip(t *testing.T) {
+	s := newTestServer(t, DefaultConfig())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := s.Serve(ln); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := conn.Close(); err != nil && !strings.Contains(err.Error(), "closed") {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	enc := json.NewEncoder(conn)
+	sc := bufio.NewScanner(conn)
+	roundTrip := func(req Request) Response {
+		t.Helper()
+		if err := enc.Encode(req); err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Scan() {
+			t.Fatalf("no response: %v", sc.Err())
+		}
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	mustOK(t, roundTrip(Request{Op: OpPing}))
+	mustOK(t, roundTrip(Request{Op: OpSubmit, Tenant: "frank", Tier: "virtualized", Task: spec("t1", 3000)}))
+	mustOK(t, roundTrip(Request{Op: OpDrain}))
+	if resp := mustOK(t, roundTrip(Request{Op: OpStatus, Tenant: "frank", TaskID: "t1"})); resp.State != "done" {
+		t.Errorf("state = %q, want done", resp.State)
+	}
+	// Malformed and unknown inputs come back as coded errors, same conn.
+	if _, err := conn.Write([]byte("{not json}\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Scan() {
+		t.Fatalf("no response to malformed line: %v", sc.Err())
+	}
+	var bad Response
+	if err := json.Unmarshal(sc.Bytes(), &bad); err != nil {
+		t.Fatal(err)
+	}
+	if bad.OK || bad.Code != CodeBadRequest {
+		t.Errorf("bad line resp = %+v", bad)
+	}
+	if resp := roundTrip(Request{Op: "launch"}); resp.Code != CodeUnknownOp {
+		t.Errorf("code = %q, want unknown_op", resp.Code)
+	}
+	stats := mustOK(t, roundTrip(Request{Op: OpStats}))
+	if len(stats.Tenants) != 1 || stats.Tenants[0].Tenant != "frank" {
+		t.Errorf("tenants = %+v", stats.Tenants)
+	}
+}
+
+// TestShutdownIdempotent pins that Shutdown is safe to call twice and
+// that requests after shutdown fail cleanly rather than hang or panic.
+func TestShutdownIdempotent(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustOK(t, s.Do(Request{Op: OpSubmit, Tenant: "gail", Task: spec("t1", 100)}))
+	s.Shutdown()
+	s.Shutdown()
+	if resp := s.Do(Request{Op: OpSubmit, Tenant: "gail", Task: spec("t2", 100)}); resp.OK {
+		t.Errorf("submit after shutdown = %+v", resp)
+	}
+}

@@ -1,0 +1,49 @@
+package controlplane
+
+import (
+	"fmt"
+	"strings"
+)
+
+// dumpState renders the whole control plane as deterministic text: a
+// header, one block per tenant sorted by name, and a totals line. The
+// format is pinned by a golden test and exposed both as the wire OpDump
+// and as `rmsd -dump-state`.
+func (s *Server) dumpState() (string, error) {
+	dumps, err := s.DumpTenants()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "controlplane state seed=%d shards=%d draining=%v paused=%v tenants=%d\n",
+		s.cfg.Seed, len(s.shards), s.draining.Load(), s.paused.Load(), len(dumps))
+	var total TenantStats
+	for _, d := range dumps {
+		st := d.Stats
+		fmt.Fprintf(&b, "tenant %s tier=%s submitted=%d accepted=%d rejected=%d quota_denied=%d completed=%d evicted=%d canceled=%d in_flight=%d retries=%d cost=%.2f vtime=%.3f\n",
+			st.Tenant, st.Tier, st.Submitted, st.Accepted, st.Rejected, st.QuotaDenied,
+			st.Completed, st.Evicted, st.Canceled, st.InFlight, st.Retries,
+			st.CostUnits, st.VirtualSeconds)
+		for _, line := range d.Fabric {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+		total.Submitted += st.Submitted
+		total.Accepted += st.Accepted
+		total.Rejected += st.Rejected
+		total.QuotaDenied += st.QuotaDenied
+		total.Completed += st.Completed
+		total.Evicted += st.Evicted
+		total.Canceled += st.Canceled
+		total.InFlight += st.InFlight
+		total.Retries += st.Retries
+		total.CostUnits += st.CostUnits
+	}
+	fmt.Fprintf(&b, "totals submitted=%d accepted=%d rejected=%d completed=%d evicted=%d canceled=%d in_flight=%d retries=%d cost=%.2f\n",
+		total.Submitted, total.Accepted, total.Rejected, total.Completed,
+		total.Evicted, total.Canceled, total.InFlight, total.Retries, total.CostUnits)
+	return b.String(), nil
+}
+
+// DumpState renders the deterministic state snapshot (see dumpState);
+// the error case only arises during shutdown.
+func (s *Server) DumpState() (string, error) { return s.dumpState() }

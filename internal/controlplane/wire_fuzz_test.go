@@ -1,0 +1,68 @@
+package controlplane
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeRequest throws arbitrary bytes at the wire decoder. The
+// contract: never panic, reject with a stable wire code (malformed JSON,
+// oversized payloads, unknown ops/tiers/scenarios), and accept only
+// requests that re-validate — an accepted submit always carries a tenant
+// and a task spec that passes Validate.
+func FuzzDecodeRequest(f *testing.F) {
+	for _, seed := range []string{
+		`{"op":"ping"}`,
+		`{"op":"submit","tenant":"alice","tier":"full","task":{"id":"t1","work_mi":100,"parallel":0.5,"data_mb":8}}`,
+		`{"op":"submit","tenant":"a","task":{"id":"hw","work_mi":1000,"scenario":"userhw","design":"aes128"}}`,
+		`{"op":"status","tenant":"a","task_id":"t1"}`,
+		`{"op":"cancel","tenant":"a","task_id":"t1"}`,
+		`{"op":"stats"}`,
+		`{"op":"drain"}`,
+		`{"op":"shutdown"}`,
+		`{"op":"submit","tenant":"a","tier":"platinum","task":{"id":"t","work_mi":1}}`,
+		`{"op":"submit","tenant":"a","task":{"id":"t","work_mi":-1}}`,
+		`{"op":"submit","tenant":"a","task":{"id":"t","work_mi":1e999}}`,
+		`{"op":"submit","tenant":"a","task":{"id":"t","work_mi":1,"scenario":"quantum"}}`,
+		`{"op":"submit","tenant":"a","task":{"id":"t","work_mi":1,"parallel":2}}`,
+		`{not json`,
+		`null`,
+		`[]`,
+		`""`,
+		``,
+		`{"op":"ping","extra":{"deep":{"deeper":[1,2,3]}}}`,
+		"{\"op\":\"ping\"}\x00",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		req, err := DecodeRequest(line, MaxRequestBytes)
+		if err != nil {
+			code := ErrorCode(err)
+			switch code {
+			case CodeBadRequest, CodeOversized, CodeUnknownOp, CodeUnknownTier, CodeInvalidTask:
+			default:
+				t.Fatalf("DecodeRequest(%q): unexpected reject code %q (%v)", line, code, err)
+			}
+			return
+		}
+		if !validOps[req.Op] {
+			t.Fatalf("DecodeRequest(%q) accepted unknown op %q", line, req.Op)
+		}
+		if _, terr := ParseTier(req.Tier); terr != nil {
+			t.Fatalf("DecodeRequest(%q) accepted unknown tier %q", line, req.Tier)
+		}
+		if req.Op == OpSubmit {
+			if req.Tenant == "" || req.Task == nil {
+				t.Fatalf("DecodeRequest(%q) accepted a bare submit", line)
+			}
+			if verr := req.Task.Validate(); verr != nil {
+				t.Fatalf("DecodeRequest(%q) accepted invalid task: %v", line, verr)
+			}
+		}
+		if len(line) > MaxRequestBytes {
+			t.Fatalf("DecodeRequest accepted %d bytes over the %d cap", len(line), MaxRequestBytes)
+		}
+		_ = strings.TrimSpace(req.Op)
+	})
+}

@@ -1,0 +1,45 @@
+package jss
+
+// RejectCode classifies why a submission was refused. Codes are stable,
+// lower_snake strings so a service boundary (the control plane's wire
+// API) can map them without parsing error prose.
+type RejectCode string
+
+// Rejection codes.
+const (
+	// CodeInvalid marks structurally invalid submissions: no user, no
+	// tasks, broken graphs or programs.
+	CodeInvalid RejectCode = "invalid"
+	// CodeUnsupported marks submissions the grid cannot serve yet
+	// (streaming designs — the paper's future work).
+	CodeUnsupported RejectCode = "unsupported"
+	// CodeQuotaExceeded marks submissions refused by a resource or cost
+	// quota (the QoS cost cap, or a tenant budget at the control plane).
+	CodeQuotaExceeded RejectCode = "quota_exceeded"
+)
+
+// RejectError is the typed error the JSS reject path returns. It carries
+// the wire-mappable code alongside the human reason; Error keeps the
+// historical "jss: <reason>" rendering so log consumers are unaffected.
+type RejectError struct {
+	Code   RejectCode
+	Reason string
+}
+
+// Error implements error.
+func (e *RejectError) Error() string { return "jss: " + e.Reason }
+
+// Is matches two RejectErrors by code, so errors.Is(err, ErrQuotaExceeded)
+// holds for every quota rejection regardless of its reason text. A target
+// with a non-empty Reason additionally requires the exact reason.
+func (e *RejectError) Is(target error) bool {
+	t, ok := target.(*RejectError)
+	if !ok {
+		return false
+	}
+	return t.Code == e.Code && (t.Reason == "" || t.Reason == e.Reason)
+}
+
+// ErrQuotaExceeded is the sentinel for quota rejections: use
+// errors.Is(err, ErrQuotaExceeded) to detect them without string matching.
+var ErrQuotaExceeded = &RejectError{Code: CodeQuotaExceeded}

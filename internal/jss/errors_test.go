@@ -1,0 +1,120 @@
+package jss
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRejectErrorTable pins the typed rejection surface: every reject
+// path produces a *RejectError whose code classifies the refusal, and
+// quota rejections satisfy errors.Is(err, ErrQuotaExceeded) so callers
+// (the control-plane wire layer) can map them without string matching.
+func TestRejectErrorTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		submit   func(j *JSS) error
+		code     RejectCode
+		isQuota  bool
+		contains string
+	}{
+		{
+			name: "no user",
+			submit: func(j *JSS) error {
+				_, err := j.Submit("", oneTaskGraph(t, "T1"), nil, QoS{}, 0)
+				return err
+			},
+			code:     CodeInvalid,
+			contains: "without a user",
+		},
+		{
+			name: "no tasks",
+			submit: func(j *JSS) error {
+				_, err := j.Submit("alice", nil, nil, QoS{}, 0)
+				return err
+			},
+			code:     CodeInvalid,
+			contains: "without tasks",
+		},
+		{
+			name: "cost cap exceeded",
+			submit: func(j *JSS) error {
+				// The one-task graph quotes 10 units; cap it at 1.
+				_, err := j.Submit("alice", oneTaskGraph(t, "T1"), nil, QoS{MaxCostUnits: 1}, 0)
+				return err
+			},
+			code:     CodeQuotaExceeded,
+			isQuota:  true,
+			contains: "exceeds cost cap",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.submit(New())
+			if err == nil {
+				t.Fatal("expected a rejection")
+			}
+			var re *RejectError
+			if !errors.As(err, &re) {
+				t.Fatalf("err = %T, want *RejectError", err)
+			}
+			if re.Code != tc.code {
+				t.Errorf("code = %q, want %q", re.Code, tc.code)
+			}
+			if got := errors.Is(err, ErrQuotaExceeded); got != tc.isQuota {
+				t.Errorf("errors.Is(err, ErrQuotaExceeded) = %v, want %v", got, tc.isQuota)
+			}
+			if !strings.Contains(err.Error(), tc.contains) {
+				t.Errorf("error %q does not mention %q", err, tc.contains)
+			}
+			if !strings.HasPrefix(err.Error(), "jss: ") {
+				t.Errorf("error %q lacks the jss: prefix", err)
+			}
+		})
+	}
+}
+
+// TestRejectErrorIs pins the Is semantics: a bare-code target matches any
+// reason, a target with a reason requires an exact match, and foreign
+// errors never match.
+func TestRejectErrorIs(t *testing.T) {
+	err := &RejectError{Code: CodeQuotaExceeded, Reason: "quote 10.00 exceeds cost cap 1.00"}
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Error("bare-code target should match any reason")
+	}
+	if !errors.Is(err, &RejectError{Code: CodeQuotaExceeded, Reason: err.Reason}) {
+		t.Error("exact reason should match")
+	}
+	if errors.Is(err, &RejectError{Code: CodeQuotaExceeded, Reason: "other"}) {
+		t.Error("different reason should not match")
+	}
+	if errors.Is(err, &RejectError{Code: CodeInvalid}) {
+		t.Error("different code should not match")
+	}
+	if errors.Is(err, errors.New("jss: quote 10.00 exceeds cost cap 1.00")) {
+		t.Error("foreign error type should not match")
+	}
+	if errors.Is(errors.New("plain"), ErrQuotaExceeded) {
+		t.Error("plain error should not be a quota rejection")
+	}
+}
+
+// TestRejectedSubmissionRecorded checks the rejected record stays
+// queryable with the rejection reason.
+func TestRejectedSubmissionRecorded(t *testing.T) {
+	j := New()
+	sub, err := j.Submit("alice", oneTaskGraph(t, "T1"), nil, QoS{MaxCostUnits: 1}, 0)
+	if err == nil {
+		t.Fatal("expected a rejection")
+	}
+	if sub.Status != StatusRejected {
+		t.Errorf("status = %v, want rejected", sub.Status)
+	}
+	resp, err := j.Query(sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusRejected || !strings.Contains(resp.FailureReason, "cost cap") {
+		t.Errorf("query = %+v", resp)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/bio"
 	"repro/internal/capability"
 	"repro/internal/casestudy"
+	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/faults"
@@ -392,6 +393,43 @@ func PairalignMetrics() quipu.Metrics { return quipu.PairalignMetrics() }
 
 // MalignMetrics returns the measured metrics of the malign kernel.
 func MalignMetrics() quipu.Metrics { return quipu.MalignMetrics() }
+
+// Multi-tenant control plane (the long-running RMS server behind
+// cmd/rmsd; see README "Control plane").
+type (
+	// ControlPlane is the sharded multi-tenant RMS server.
+	ControlPlane = controlplane.Server
+	// ControlPlaneConfig parameterizes a ControlPlane.
+	ControlPlaneConfig = controlplane.Config
+	// ServiceTier is an RC3E-style provisioning tier.
+	ServiceTier = controlplane.Tier
+	// WireRequest and WireResponse are the line-delimited JSON wire
+	// protocol messages.
+	WireRequest  = controlplane.Request
+	WireResponse = controlplane.Response
+)
+
+// The RC3E provisioning tiers.
+const (
+	TierFull        = controlplane.TierFull
+	TierVirtualized = controlplane.TierVirtualized
+	TierBackground  = controlplane.TierBackground
+)
+
+// NewControlPlane starts a control plane; the caller must Shutdown it.
+func NewControlPlane(cfg ControlPlaneConfig) (*ControlPlane, error) {
+	return controlplane.New(cfg)
+}
+
+// DefaultControlPlaneConfig returns a deterministic quota-free
+// configuration.
+func DefaultControlPlaneConfig() ControlPlaneConfig {
+	return controlplane.DefaultConfig()
+}
+
+// ErrQuotaExceeded is the typed rejection a submission over its cost
+// quota returns (errors.Is-matchable).
+var ErrQuotaExceeded = jss.ErrQuotaExceeded
 
 // Deprecated shims, kept one release for migration; reconlint's
 // deprecatedshim analyzer flags any new use. See DESIGN.md for the
