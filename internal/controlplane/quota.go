@@ -33,8 +33,6 @@ func (b *tokenBucket) refill(nowNanos int64) {
 		if b.tokens > b.burst {
 			b.tokens = b.burst
 		}
-	}
-	if nowNanos > b.lastNanos {
 		b.lastNanos = nowNanos
 	}
 }

@@ -28,8 +28,10 @@ type TenantStats struct {
 	// Accepted the ones past admission (Accepted = Submitted - Rejected).
 	Submitted int `json:"submitted"`
 	Accepted  int `json:"accepted"`
-	// Rejected counts admission denials (quota, queue bound, invalid
-	// task, draining); QuotaDenied is the quota-only subset.
+	// Rejected counts every admission denial (quota, queue bound,
+	// invalid task, draining); QuotaDenied is the subset denied by a
+	// tier resource limit — admission rate, queue bound, or cost
+	// budget — as opposed to malformed or mistimed requests.
 	Rejected    int `json:"rejected"`
 	QuotaDenied int `json:"quota_denied"`
 	// Completed / Evicted / Canceled are terminal outcomes; InFlight is
@@ -301,17 +303,16 @@ func (te *tenantEngine) submit(spec *TaskSpec, nowNanos int64, draining bool) Re
 	if te.costBudget > 0 {
 		remaining := te.costBudget - te.stats.CostUnits - te.quotedCost
 		if remaining <= 0 {
-			remaining = -1 // force the jss cost gate to reject
+			// The budget is spent (or fully quoted away): reject here
+			// rather than via the jss gate, whose MaxCostUnits <= 0
+			// means "uncapped" and would admit everything.
+			te.stats.QuotaDenied++
+			return fail(errWire(CodeQuotaExceeded, "tenant %s exhausted its cost budget %.2f", te.id, te.costBudget))
 		}
 		qos.MaxCostUnits = remaining
 	}
 	sub, err := te.jss.Submit(te.id, g, nil, qos, te.sim.Now())
 	if err != nil {
-		if qos.MaxCostUnits < 0 {
-			// The forced gate above turns "budget exhausted" into the
-			// same typed quota rejection a too-dear quote produces.
-			err = &jss.RejectError{Code: jss.CodeQuotaExceeded, Reason: fmt.Sprintf("tenant %s exhausted its cost budget %.2f", te.id, te.costBudget)}
-		}
 		if ErrorCode(err) == CodeQuotaExceeded {
 			te.stats.QuotaDenied++
 		}

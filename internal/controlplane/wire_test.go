@@ -118,6 +118,29 @@ func TestQuotaBudgetRejectsOverCostCap(t *testing.T) {
 	}
 }
 
+// TestQuotaBudgetExhaustedRejects pins the remaining<=0 path: once the
+// budget is exactly consumed by outstanding quotes, every later
+// submission rejects with quota_exceeded — the control plane must gate
+// this itself, because a non-positive jss MaxCostUnits means uncapped.
+func TestQuotaBudgetExhaustedRejects(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CostBudgetUnits = 2.0 // exactly one 2000-MI software task
+	s := newTestServer(t, cfg)
+	mustOK(t, s.Do(Request{Op: OpPause}))
+	mustOK(t, s.Do(Request{Op: OpSubmit, Tenant: "a", Task: spec("t1", 2000)}))
+	for i := 0; i < 2; i++ {
+		resp := s.Do(Request{Op: OpSubmit, Tenant: "a", Task: spec(taskID("x", i), 2000)})
+		if resp.OK || resp.Code != CodeQuotaExceeded {
+			t.Errorf("submit %d: resp = %+v, want quota_exceeded", i, resp)
+		}
+	}
+	mustOK(t, s.Do(Request{Op: OpDrain}))
+	stats := mustOK(t, s.Do(Request{Op: OpStats, Tenant: "a"})).Stats
+	if stats.QuotaDenied != 2 || stats.Completed != 1 || !stats.conserved() {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
 // TestTokenBucketQuota pins deterministic refill against a fake clock.
 func TestTokenBucketQuota(t *testing.T) {
 	clock := int64(0)
