@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint lint-fix lint-sarif test race verify bench-lint bench-obs bench-queue cover smoke
+.PHONY: build vet lint lint-fix lint-sarif lint-taint test race verify bench-lint bench-obs bench-queue bench-taint cover smoke
 
 # Minimum statement coverage enforced by `make cover`, per package.
 COVER_FLOOR_OBS  ?= 85.0
@@ -23,6 +23,11 @@ lint-fix:
 lint-sarif:
 	$(GO) run ./cmd/reconlint -sarif ./...
 
+# Just the trust-boundary trio: the fast loop while fixing a taint
+# finding (the full suite still runs in `make lint`/tier-1).
+lint-taint:
+	$(GO) run ./cmd/reconlint -run wiretaint,sizecap,logtaint ./...
+
 test:
 	$(GO) test ./...
 
@@ -38,6 +43,16 @@ verify: build vet lint test race
 # Regenerate the committed linter benchmark snapshot.
 bench-lint:
 	$(GO) test -run xxx -bench BenchmarkReconlint -benchtime 1x ./cmd/reconlint | $(GO) run ./cmd/benchjson > BENCH_PR4.json
+
+# Regenerate the committed taint-layer benchmark snapshot: the full
+# suite (now including the taint fixpoint) and the taint trio alone.
+# Budget: the full run must stay within +35% of BENCH_PR4.json's
+# 2,309,117,700 ns/op (≈3.117 s). The loader's switch to compiled
+# export data (instead of type-checking the stdlib from source) pays
+# for the taint fixpoint several times over, so the snapshot lands
+# well under the PR4 number despite four PRs of repo growth.
+bench-taint:
+	$(GO) test -run xxx -bench 'BenchmarkReconlint$$|BenchmarkReconlintTaint' -benchtime 1x ./cmd/reconlint | $(GO) run ./cmd/benchjson > BENCH_PR9.json
 
 # Regenerate the committed observability benchmark snapshot: per-sink
 # overhead plus the arrival-sweep baseline the overhead budget is

@@ -36,6 +36,16 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// Flag ceilings: gridload sizes goroutines, pacing timers, and result
+// slices from these values, so a typo like -tenants 1e9 must fail fast
+// instead of exhausting the client machine.
+const (
+	maxTenants        = 1 << 20
+	maxTasksPerTenant = 1 << 20
+	maxConns          = 1 << 14
+	maxRate           = 1e8
+)
+
 type options struct {
 	addr    string
 	network string
@@ -71,13 +81,19 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 		return nil, err
 	}
 	if fs.NArg() > 0 {
-		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+		return nil, fmt.Errorf("unexpected arguments: %q", fs.Args())
 	}
 	if opt.mode != "closed" && opt.mode != "open" {
 		return nil, fmt.Errorf("unknown mode %q", opt.mode)
 	}
 	if opt.tenants < 1 || opt.tasks < 1 || opt.conns < 1 {
 		return nil, fmt.Errorf("tenants, tasks, and conns must be positive")
+	}
+	if opt.tenants > maxTenants || opt.tasks > maxTasksPerTenant || opt.conns > maxConns {
+		return nil, fmt.Errorf("at most %d tenants, %d tasks per tenant, and %d connections", maxTenants, maxTasksPerTenant, maxConns)
+	}
+	if opt.rate > maxRate {
+		return nil, fmt.Errorf("rate must be at most %g submissions/second", float64(maxRate))
 	}
 	if opt.conns > opt.tenants {
 		opt.conns = opt.tenants
@@ -104,7 +120,7 @@ func dial(network, addr string, wait time.Duration) (*client, error) {
 			return &client{conn: conn, enc: json.NewEncoder(conn), sc: sc}, nil
 		}
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("dialing %s %s: %w", network, addr, err)
+			return nil, fmt.Errorf("dialing %q %q: %w", network, addr, err)
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
@@ -323,13 +339,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}()
 	if !opt.noDrain {
 		if resp, err := ctl.roundTrip(controlplane.Request{Op: controlplane.OpDrain}); err != nil || !resp.OK {
-			fmt.Fprintf(stderr, "gridload: drain failed: %v %s\n", err, resp.Error)
+			fmt.Fprintf(stderr, "gridload: drain failed: %v %q\n", err, resp.Error)
 			return 1
 		}
 	}
 	statsResp, err := ctl.roundTrip(controlplane.Request{Op: controlplane.OpStats})
 	if err != nil || !statsResp.OK {
-		fmt.Fprintf(stderr, "gridload: stats failed: %v %s\n", err, statsResp.Error)
+		fmt.Fprintf(stderr, "gridload: stats failed: %v %q\n", err, statsResp.Error)
 		return 1
 	}
 	for _, st := range statsResp.Tenants {
@@ -338,7 +354,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep.Canceled += st.Canceled
 		rep.InFlight += st.InFlight
 		if st.Submitted != st.Completed+st.Rejected+st.Evicted+st.Canceled+st.InFlight {
-			fmt.Fprintf(stderr, "gridload: tenant %s violates conservation: %+v\n", st.Tenant, st)
+			fmt.Fprintf(stderr, "gridload: tenant %q violates conservation: submitted=%d completed=%d rejected=%d evicted=%d canceled=%d in_flight=%d\n",
+				st.Tenant, st.Submitted, st.Completed, st.Rejected, st.Evicted, st.Canceled, st.InFlight)
 			rep.Lost++
 		}
 	}

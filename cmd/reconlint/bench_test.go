@@ -21,3 +21,20 @@ func BenchmarkReconlint(b *testing.B) {
 	}
 	resetGlobals()
 }
+
+// BenchmarkReconlintTaint times a taint-trio-only run over the repo.
+// The load/type-check/dataflow build dominates and is shared with the
+// full suite, so the delta between this and BenchmarkReconlint bounds
+// what the eleven non-taint analyzers cost, and the BENCH_PR9.json
+// snapshot records both against the +35%-over-PR4 budget.
+func BenchmarkReconlintTaint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		resetGlobals()
+		var stdout bytes.Buffer
+		code := run("../..", []string{"-run", "wiretaint,sizecap,logtaint", "./..."}, &stdout, io.Discard)
+		if code != 0 {
+			b.Fatalf("taint-only reconlint over the repo exited %d:\n%s", code, stdout.String())
+		}
+	}
+	resetGlobals()
+}

@@ -61,6 +61,11 @@ type Config struct {
 // DefaultShards is the dispatcher width when Config.Shards is unset.
 const DefaultShards = 4
 
+// MaxShards caps the dispatcher width: each shard costs a goroutine and
+// a 256-slot inbox, so a runaway configuration value is clamped rather
+// than allocated.
+const MaxShards = 1024
+
 // DefaultConfig returns a deterministic quota-free configuration.
 func DefaultConfig() Config { return Config{Shards: DefaultShards, Seed: 1} }
 
@@ -91,6 +96,11 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = DefaultShards
+	}
+	if cfg.Shards > MaxShards {
+		// Each shard is a goroutine plus a buffered inbox; an absurd
+		// operator value must not translate into an absurd allocation.
+		cfg.Shards = MaxShards
 	}
 	if cfg.MaxRequestBytes <= 0 {
 		cfg.MaxRequestBytes = MaxRequestBytes

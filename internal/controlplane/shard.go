@@ -212,13 +212,13 @@ func (sh *shard) request(m opMsg) Response {
 	case OpStatus:
 		te, ok := sh.tenants[m.req.Tenant]
 		if !ok {
-			return errorResponse(OpStatus, errWire(CodeUnknownTenant, "unknown tenant %s", m.req.Tenant))
+			return errorResponse(OpStatus, errWire(CodeUnknownTenant, "unknown tenant %q", m.req.Tenant))
 		}
 		return te.status(m.req.TaskID)
 	case OpCancel:
 		te, ok := sh.tenants[m.req.Tenant]
 		if !ok {
-			return errorResponse(OpCancel, errWire(CodeUnknownTenant, "unknown tenant %s", m.req.Tenant))
+			return errorResponse(OpCancel, errWire(CodeUnknownTenant, "unknown tenant %q", m.req.Tenant))
 		}
 		before := len(te.queue)
 		resp := te.cancel(m.req.TaskID)
@@ -227,7 +227,7 @@ func (sh *shard) request(m opMsg) Response {
 	case OpStats:
 		te, ok := sh.tenants[m.req.Tenant]
 		if !ok {
-			return errorResponse(OpStats, errWire(CodeUnknownTenant, "unknown tenant %s", m.req.Tenant))
+			return errorResponse(OpStats, errWire(CodeUnknownTenant, "unknown tenant %q", m.req.Tenant))
 		}
 		snap := te.snapshot()
 		return Response{OK: true, Op: OpStats, Tenant: te.id, Stats: &snap}
@@ -245,7 +245,7 @@ func (sh *shard) engineFor(tenant, tierName string, nowNanos int64) (*tenantEngi
 	}
 	if te, ok := sh.tenants[tenant]; ok {
 		if tierName != "" && te.tier != tier {
-			return nil, errWire(CodeTierConflict, "tenant %s is %s-tier; cannot submit as %s", tenant, te.tier, tier)
+			return nil, errWire(CodeTierConflict, "tenant %q is %s-tier; cannot submit as %s", tenant, te.tier, tier)
 		}
 		return te, nil
 	}
@@ -278,7 +278,8 @@ func (sh *shard) dumpAll() []TenantDump {
 	out := make([]TenantDump, 0, len(sh.order))
 	for _, te := range sh.order {
 		d := TenantDump{
-			Stats:   te.snapshot(),
+			Stats: te.snapshot(),
+			//reconlint:sanitized doneLog is capped at maxDoneLog entries on completion, so this snapshot copy is bounded
 			DoneLog: append([]string(nil), te.doneLog...),
 		}
 		for _, n := range te.reg.Nodes() {

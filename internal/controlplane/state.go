@@ -20,7 +20,11 @@ func (s *Server) dumpState() (string, error) {
 	var total TenantStats
 	for _, d := range dumps {
 		st := d.Stats
-		fmt.Fprintf(&b, "tenant %s tier=%s submitted=%d accepted=%d rejected=%d quota_denied=%d completed=%d evicted=%d canceled=%d in_flight=%d retries=%d cost=%.2f vtime=%.3f\n",
+		// Tenant names are wire input: %q keeps a hostile name (newlines,
+		// ANSI escapes) from forging dump lines. The tier is rendered from
+		// the Tier enum but travels through the wire stats struct, so it
+		// gets the same treatment.
+		fmt.Fprintf(&b, "tenant %q tier=%q submitted=%d accepted=%d rejected=%d quota_denied=%d completed=%d evicted=%d canceled=%d in_flight=%d retries=%d cost=%.2f vtime=%.3f\n",
 			st.Tenant, st.Tier, st.Submitted, st.Accepted, st.Rejected, st.QuotaDenied,
 			st.Completed, st.Evicted, st.Canceled, st.InFlight, st.Retries,
 			st.CostUnits, st.VirtualSeconds)

@@ -63,6 +63,11 @@ const (
 	stateCanceled
 )
 
+// maxDoneLog bounds the per-tenant completion log: large enough for
+// every test workload and any plausible dump window, small enough that
+// a tenant completing tasks forever cannot grow server memory.
+const maxDoneLog = 4096
+
 var taskStateNames = [...]string{
 	stateQueued: "queued", stateDone: "done",
 	stateEvicted: "evicted", stateCanceled: "canceled",
@@ -116,10 +121,12 @@ type tenantEngine struct {
 	faultEvents []faults.Event
 	faultIdx    int
 
-	queue  []*cpTask
-	tasks  map[string]*cpTask
+	queue []*cpTask
+	tasks map[string]*cpTask
 	// doneLog records completed task IDs in completion order — the
-	// differential suite compares these sets across shard counts.
+	// differential suite compares these sets across shard counts. Capped
+	// at maxDoneLog (oldest dropped): a long-running server must not
+	// grow memory with every task a tenant ever completed.
 	doneLog []string
 
 	bucket tokenBucket
@@ -258,12 +265,12 @@ func (te *tenantEngine) buildTask(spec *TaskSpec) (*task.Task, error) {
 	case "userhw":
 		d, err := hdl.LookupIP(spec.Design)
 		if err != nil {
-			return nil, errWire(CodeInvalidTask, "task %s: %v", spec.ID, err)
+			return nil, errWire(CodeInvalidTask, "task %q: %v", spec.ID, err)
 		}
 		t.ExecReq = task.ExecReq{Scenario: pe.UserDefinedHW, Requirements: te.reqs.userHW, Design: d}
 		t.Work.HWSpeedup = d.AccelFactor
 	default:
-		return nil, errWire(CodeInvalidTask, "task %s: unknown scenario %q", spec.ID, spec.Scenario)
+		return nil, errWire(CodeInvalidTask, "task %q: unknown scenario %q", spec.ID, spec.Scenario)
 	}
 	return t, nil
 }
@@ -281,7 +288,7 @@ func (te *tenantEngine) submit(spec *TaskSpec, nowNanos int64, draining bool) Re
 		return fail(errWire(CodeDraining, "server is draining; submissions are closed"))
 	}
 	if _, dup := te.tasks[spec.ID]; dup {
-		return fail(errWire(CodeInvalidTask, "task %s already exists", spec.ID))
+		return fail(errWire(CodeInvalidTask, "task %q already exists", spec.ID))
 	}
 	if len(te.queue) >= te.policy.MaxQueue {
 		te.stats.QuotaDenied++
@@ -289,7 +296,7 @@ func (te *tenantEngine) submit(spec *TaskSpec, nowNanos int64, draining bool) Re
 	}
 	if !te.bucket.take(nowNanos) {
 		te.stats.QuotaDenied++
-		return fail(errWire(CodeQuotaExceeded, "tenant %s is over its %s-tier admission rate", te.id, te.tier))
+		return fail(errWire(CodeQuotaExceeded, "tenant %q is over its %s-tier admission rate", te.id, te.tier))
 	}
 	t, err := te.buildTask(spec)
 	if err != nil {
@@ -297,7 +304,8 @@ func (te *tenantEngine) submit(spec *TaskSpec, nowNanos int64, draining bool) Re
 	}
 	g := task.NewGraph()
 	if err := g.Add(t); err != nil {
-		return fail(errWire(CodeInvalidTask, "task %s: %v", spec.ID, err))
+		// %q because the graph error embeds the tenant-chosen task ID.
+		return fail(errWire(CodeInvalidTask, "task %q: %q", spec.ID, err))
 	}
 	var qos jss.QoS
 	if te.costBudget > 0 {
@@ -307,7 +315,7 @@ func (te *tenantEngine) submit(spec *TaskSpec, nowNanos int64, draining bool) Re
 			// rather than via the jss gate, whose MaxCostUnits <= 0
 			// means "uncapped" and would admit everything.
 			te.stats.QuotaDenied++
-			return fail(errWire(CodeQuotaExceeded, "tenant %s exhausted its cost budget %.2f", te.id, te.costBudget))
+			return fail(errWire(CodeQuotaExceeded, "tenant %q exhausted its cost budget %.2f", te.id, te.costBudget))
 		}
 		qos.MaxCostUnits = remaining
 	}
@@ -334,15 +342,16 @@ func (te *tenantEngine) submit(spec *TaskSpec, nowNanos int64, draining bool) Re
 func (te *tenantEngine) cancel(taskID string) Response {
 	ct, ok := te.tasks[taskID]
 	if !ok {
-		return errorResponse(OpCancel, errWire(CodeUnknownTask, "tenant %s has no task %s", te.id, taskID))
+		return errorResponse(OpCancel, errWire(CodeUnknownTask, "tenant %q has no task %q", te.id, taskID))
 	}
 	if ct.state != stateQueued {
-		resp := errorResponse(OpCancel, errWire(CodeBadRequest, "task %s is already %s", taskID, ct.state))
+		resp := errorResponse(OpCancel, errWire(CodeBadRequest, "task %q is already %s", taskID, ct.state))
 		resp.State = ct.state.String()
 		return resp
 	}
 	for i, q := range te.queue {
 		if q == ct {
+			//reconlint:sanitized queue length is bounded by policy.MaxQueue at admission, so this removal copy is bounded
 			te.queue = append(te.queue[:i], te.queue[i+1:]...)
 			break
 		}
@@ -360,7 +369,7 @@ func (te *tenantEngine) cancel(taskID string) Response {
 func (te *tenantEngine) status(taskID string) Response {
 	ct, ok := te.tasks[taskID]
 	if !ok {
-		return errorResponse(OpStatus, errWire(CodeUnknownTask, "tenant %s has no task %s", te.id, taskID))
+		return errorResponse(OpStatus, errWire(CodeUnknownTask, "tenant %q has no task %q", te.id, taskID))
 	}
 	return Response{OK: true, Op: OpStatus, Tenant: te.id, TaskID: taskID, State: ct.state.String()}
 }
@@ -389,7 +398,7 @@ func (te *tenantEngine) step() bool {
 	// empty again when Run returns.
 	if err := te.sim.Run(); err != nil {
 		// Run only errors via Stop, which nothing here calls.
-		panic(fmt.Sprintf("controlplane: tenant %s simulator: %v", te.id, err))
+		panic(fmt.Sprintf("controlplane: tenant %q simulator: %v", te.id, err))
 	}
 	return true
 }
@@ -471,6 +480,9 @@ func (te *tenantEngine) attempt(ct *cpTask, now sim.Time) {
 		te.stats.Completed++
 		te.stats.InFlight--
 		te.doneLog = append(te.doneLog, ct.id)
+		if len(te.doneLog) > maxDoneLog {
+			te.doneLog = te.doneLog[len(te.doneLog)-maxDoneLog:]
+		}
 		te.emit(obs.KindComplete, ct, cand.Elem)
 		te.sample()
 	})
@@ -489,7 +501,7 @@ func (te *tenantEngine) release(l *rms.Lease, expired bool) {
 	// Release can only fail on double release, which the call sites
 	// exclude by construction.
 	if err := l.Release(); err != nil {
-		panic(fmt.Sprintf("controlplane: tenant %s lease: %v", te.id, err))
+		panic(fmt.Sprintf("controlplane: tenant %q lease: %v", te.id, err))
 	}
 }
 

@@ -52,6 +52,23 @@ const (
 // than the cap is rejected with CodeOversized before JSON decoding.
 const MaxRequestBytes = 64 * 1024
 
+// Per-field semantic bounds. The request-size cap bounds the message,
+// not the meaning: a 40-byte request carrying work_mi=9e18 is
+// syntactically tiny and semantically a denial of service, so every
+// tenant-controlled magnitude gets its own ceiling, rejected with a
+// stable wire code at decode time (the wiretaint analyzer proves
+// nothing unbounded slips past these).
+const (
+	// MaxNameBytes bounds tenant names and task IDs.
+	MaxNameBytes = 256
+	// MaxTaskWorkMI bounds a task's demand (a million seconds of work
+	// on the reference GPP — far beyond any sane request, small enough
+	// that virtual-time arithmetic stays comfortably finite).
+	MaxTaskWorkMI = 1e9
+	// MaxTaskDataMB bounds a task's payload descriptor (1 TB).
+	MaxTaskDataMB = 1e6
+)
+
 // TaskSpec is the wire description of one task: architecture-neutral
 // demand plus the scenario selecting the paper's abstraction level.
 type TaskSpec struct {
@@ -170,6 +187,12 @@ func DecodeRequest(line []byte, maxBytes int) (Request, error) {
 	if !validOps[req.Op] {
 		return req, errWire(CodeUnknownOp, "unknown op %q", req.Op)
 	}
+	if len(req.Tenant) > MaxNameBytes {
+		return req, errWire(CodeBadRequest, "tenant name longer than %d bytes", MaxNameBytes)
+	}
+	if len(req.TaskID) > MaxNameBytes {
+		return req, errWire(CodeBadRequest, "task_id longer than %d bytes", MaxNameBytes)
+	}
 	if _, err := ParseTier(req.Tier); err != nil {
 		return req, errWire(CodeUnknownTier, "unknown tier %q", req.Tier)
 	}
@@ -192,30 +215,32 @@ func DecodeRequest(line []byte, maxBytes int) (Request, error) {
 	return req, nil
 }
 
-// Validate checks a wire task spec: a non-empty ID, finite positive work,
-// a parallel fraction in [0,1], non-negative data, and a known scenario
-// (userhw additionally needs a design name).
+// Validate checks a wire task spec: a non-empty bounded ID, finite
+// positive work under MaxTaskWorkMI, a parallel fraction in [0,1],
+// non-negative data under MaxTaskDataMB, and a known scenario (userhw
+// additionally needs a design name). IDs are rendered with %q in every
+// message so hostile bytes never round-trip raw onto the wire.
 func (t *TaskSpec) Validate() error {
 	if t.ID == "" {
 		return errWire(CodeInvalidTask, "task without an id")
 	}
-	if len(t.ID) > 256 {
-		return errWire(CodeInvalidTask, "task id longer than 256 bytes")
+	if len(t.ID) > MaxNameBytes {
+		return errWire(CodeInvalidTask, "task id longer than %d bytes", MaxNameBytes)
 	}
-	if !finite(t.WorkMI) || t.WorkMI <= 0 {
-		return errWire(CodeInvalidTask, "task %s: work_mi must be a finite positive number", t.ID)
+	if !finite(t.WorkMI) || t.WorkMI <= 0 || t.WorkMI > MaxTaskWorkMI {
+		return errWire(CodeInvalidTask, "task %q: work_mi must be a finite positive number at most %g", t.ID, float64(MaxTaskWorkMI))
 	}
 	if !finite(t.Parallel) || t.Parallel < 0 || t.Parallel > 1 {
-		return errWire(CodeInvalidTask, "task %s: parallel must be within [0,1]", t.ID)
+		return errWire(CodeInvalidTask, "task %q: parallel must be within [0,1]", t.ID)
 	}
-	if !finite(t.DataMB) || t.DataMB < 0 {
-		return errWire(CodeInvalidTask, "task %s: data_mb must be finite and non-negative", t.ID)
+	if !finite(t.DataMB) || t.DataMB < 0 || t.DataMB > MaxTaskDataMB {
+		return errWire(CodeInvalidTask, "task %q: data_mb must be finite, non-negative, and at most %g", t.ID, float64(MaxTaskDataMB))
 	}
 	if !wireScenarios[t.Scenario] {
-		return errWire(CodeInvalidTask, "task %s: unknown scenario %q", t.ID, t.Scenario)
+		return errWire(CodeInvalidTask, "task %q: unknown scenario %q", t.ID, t.Scenario)
 	}
 	if t.Scenario == "userhw" && t.Design == "" {
-		return errWire(CodeInvalidTask, "task %s: userhw task without a design", t.ID)
+		return errWire(CodeInvalidTask, "task %q: userhw task without a design", t.ID)
 	}
 	return nil
 }

@@ -32,6 +32,19 @@ func FuzzDecodeRequest(f *testing.F) {
 		``,
 		`{"op":"ping","extra":{"deep":{"deeper":[1,2,3]}}}`,
 		"{\"op\":\"ping\"}\x00",
+		// Hostile boundary numerics: a tiny request carrying a huge
+		// magnitude must reject with a stable code, never admit work the
+		// simulator would choke on.
+		`{"op":"submit","tenant":"a","task":{"id":"t","work_mi":9223372036854775807}}`,
+		`{"op":"submit","tenant":"a","task":{"id":"t","work_mi":-9223372036854775808}}`,
+		`{"op":"submit","tenant":"a","task":{"id":"t","work_mi":4294967295}}`,
+		`{"op":"submit","tenant":"a","task":{"id":"t","work_mi":4294967297}}`,
+		`{"op":"submit","tenant":"a","task":{"id":"t","work_mi":1,"data_mb":9223372036854775807}}`,
+		`{"op":"submit","tenant":"a","task":{"id":"t","work_mi":1,"parallel":9223372036854775807}}`,
+		`{"op":"submit","tenant":"a","task":{"id":"t","work_mi":1e9}}`,
+		`{"op":"submit","tenant":"` + strings.Repeat("A", 257) + `","task":{"id":"t","work_mi":1}}`,
+		`{"op":"status","tenant":"a","task_id":"` + strings.Repeat("é", 200) + `"}`,
+		`{"op":"submit","tenant":"\u001b[31mred\u001b[0m","task":{"id":"a\nb","work_mi":1}}`,
 	} {
 		f.Add([]byte(seed))
 	}

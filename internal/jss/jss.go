@@ -223,6 +223,7 @@ func (j *JSS) Dequeue() *Submission {
 		}
 	}
 	sub := j.queue[best]
+	//reconlint:sanitized queue length is bounded by the caller's admission quota before Enqueue, so this removal copy is bounded
 	j.queue = append(j.queue[:best], j.queue[best+1:]...)
 	sub.Status = StatusRunning
 	return sub
@@ -351,6 +352,7 @@ func (j *JSS) Query(subID string) (Response, error) {
 		FailureReason: s.FailureReason,
 		TasksTotal:    total,
 		TasksDone:     total - s.remaining,
-		Events:        append([]Event(nil), s.Events...),
+		//reconlint:sanitized Events are appended by the engine's own lifecycle transitions, never by tenant input, so this snapshot copy is bounded
+		Events: append([]Event(nil), s.Events...),
 	}, nil
 }

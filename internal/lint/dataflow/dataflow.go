@@ -64,6 +64,22 @@ type Graph struct {
 	// chanProv does the same for channel element types: a send joins the
 	// sent value's provenance, a receive reads the join.
 	chanProv map[string]Provenance
+	// taints holds the per-function taint summaries after the taint
+	// fixpoint (see taint.go).
+	taints map[*types.Func]*TaintSummary
+	// fieldTaint / chanTaint are the taint lattice's counterparts to
+	// fieldProv / chanProv.
+	fieldTaint map[string]TaintValue
+	chanTaint  map[string]TaintValue
+	// chanSenders records, per channel-element key, the functions that
+	// send tainted values on it — the MHP layer pairs these against
+	// receives to show the concurrent half of a channel-crossing chain.
+	chanSenders map[string][]*types.Func
+	// validatedFields holds field keys bounded by a reject/clamp guard
+	// anywhere in the program (the validate-at-the-boundary idiom).
+	validatedFields map[string]bool
+	// sanitizedLines is //reconlint:sanitized coverage, filename -> line.
+	sanitizedLines map[string]map[int]bool
 }
 
 // Build constructs the call graph and runs the provenance fixpoint over
@@ -75,6 +91,11 @@ func Build(pkgs []*PackageInfo) *Graph {
 		summaries: make(map[*types.Func]*Summary),
 		fieldProv: make(map[string]Provenance),
 		chanProv:  make(map[string]Provenance),
+
+		taints:      make(map[*types.Func]*TaintSummary),
+		fieldTaint:  make(map[string]TaintValue),
+		chanTaint:   make(map[string]TaintValue),
+		chanSenders: make(map[string][]*types.Func),
 	}
 	for _, p := range pkgs {
 		if p == nil || p.Pkg == nil {
@@ -88,6 +109,7 @@ func Build(pkgs []*PackageInfo) *Graph {
 	}
 	g.buildEdges()
 	g.solve()
+	g.solveTaint()
 	return g
 }
 

@@ -1,0 +1,1527 @@
+// Taint tracking: the second interprocedural lattice the dataflow layer
+// runs on top of the CHA call graph, modelling *untrusted* data the way
+// provenance models *random* data.
+//
+// Sources are the multi-tenant trust boundary: wire-decoded request
+// structs (a json-tagged field of a struct declared in a package named
+// "controlplane"), json.Unmarshal / Decoder.Decode targets, flag values
+// (flag.Int, flag.IntVar and friends, flag.Args), os.Args, and
+// environment reads. Taint propagates through assignments, field reads
+// (a global, flow-insensitive join per type-qualified field, exactly
+// like provenance's fieldProv), slice/map operations, function
+// summaries with parameter bitmasks, and channel sends keyed by element
+// type — the same channel abstraction the MHP layer pairs into
+// concurrent send/receive sites, so a value sent from a spawned
+// goroutine stays tainted at every may-happen-in-parallel receive.
+//
+// Sanitizers lower a value back to trusted:
+//
+//   - an upper-bound comparison guard on the CFG: `if n > k { reject }`
+//     (reject = the branch returns/panics/breaks, or clamps n) makes n
+//     trusted after the guard, and `if n < k { use }` makes n trusted
+//     inside the branch. Lower-bound-only guards do NOT sanitize — the
+//     whole point of wiretaint is unbounded growth.
+//   - the min builtin with a bounded argument, and clamp-named helpers.
+//   - a map-membership reject (`if !valid[op] { reject }`): membership
+//     in a fixed table bounds the value to the table's key set.
+//   - allow-listed validator calls (`if err := x.Validate(); err != nil
+//     { return }`) sanitize x afterwards; in addition, an upper-bound or
+//     membership reject applied to a *field* anywhere in the program
+//     marks that field key validated program-wide — the repo's
+//     validate-at-the-boundary idiom, where TaskSpec.Validate's bounds
+//     are what make every later TaskSpec.WorkMI read trusted.
+//   - escaping format verbs: fmt.Sprintf with a constant format string
+//     launders arguments under %q/%d/%x and the other non-string verbs;
+//     only %s/%v pass string taint through.
+//   - the //reconlint:sanitized <reason> directive (see package
+//     directive), which trusts reads and sinks on the covered lines.
+//
+// Sinks are where hostile magnitudes or strings become damage:
+// allocation sizes (make, append spreads, strings/bytes Repeat, Grow,
+// Scanner.Buffer caps), loop bounds and range-over-int, goroutine-spawn
+// counts, time.Duration construction, panic arguments, file paths, and
+// format strings/arguments (the logtaint kinds). Like seed sinks, taint
+// sinks propagate up the call graph with chains, so the wiretaint
+// analyzer reports the full source→sink path.
+package dataflow
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/directive"
+)
+
+// TaintValue is one taint-lattice element: whether the value is
+// attacker-controlled, which enclosing-function parameters flow into it
+// (receiver first, as bit 0 — the interprocedural hook), and a short
+// human-readable source description for diagnostics. Join keeps the
+// lexicographically smallest tainted source so the fixpoint stays
+// deterministic and convergent.
+type TaintValue struct {
+	Tainted bool
+	Params  uint64
+	Src     string
+}
+
+func joinTaint(a, b TaintValue) TaintValue {
+	out := TaintValue{Tainted: a.Tainted || b.Tainted, Params: a.Params | b.Params}
+	switch {
+	case a.Tainted && b.Tainted:
+		out.Src = a.Src
+		if b.Src != "" && (out.Src == "" || b.Src < out.Src) {
+			out.Src = b.Src
+		}
+	case a.Tainted:
+		out.Src = a.Src
+	case b.Tainted:
+		out.Src = b.Src
+	}
+	return out
+}
+
+// stripParams drops the parameter bits for global (cross-function)
+// state, where they would be meaningless.
+func stripParams(v TaintValue) TaintValue {
+	return TaintValue{Tainted: v.Tainted, Src: v.Src}
+}
+
+// TaintKind classifies what a tainted value reaches.
+type TaintKind uint8
+
+const (
+	// TaintAllocSize is a make/append/Repeat/Grow/Buffer size.
+	TaintAllocSize TaintKind = iota
+	// TaintLoopBound is a for-loop comparison bound or range-over-int.
+	TaintLoopBound
+	// TaintSpawnCount is a goroutine launch inside a tainted-bound loop.
+	TaintSpawnCount
+	// TaintDuration is a time.Duration conversion or timer/sleep argument.
+	TaintDuration
+	// TaintPanic is a panic argument.
+	TaintPanic
+	// TaintFilePath is a filesystem-operation path argument.
+	TaintFilePath
+	// TaintFormatString is a non-constant tainted format string.
+	TaintFormatString
+	// TaintFormatArg is a tainted argument under a non-escaping %s/%v verb.
+	TaintFormatArg
+)
+
+func (k TaintKind) String() string {
+	switch k {
+	case TaintAllocSize:
+		return "an allocation size"
+	case TaintLoopBound:
+		return "a loop bound"
+	case TaintSpawnCount:
+		return "a goroutine-spawn count"
+	case TaintDuration:
+		return "a time.Duration"
+	case TaintPanic:
+		return "a panic argument"
+	case TaintFilePath:
+		return "a file path"
+	case TaintFormatString:
+		return "a format string"
+	}
+	return "an unescaped format argument"
+}
+
+// TaintSink is one sink argument reached from a function: directly
+// (Chain has one hop, the sink operation) or through summarized callees
+// (Chain lists the hops outermost-first, like SeedSink).
+type TaintSink struct {
+	// Pos is the argument expression at this function's own call site.
+	Pos   token.Pos
+	Kind  TaintKind
+	Chain []string
+	Val   TaintValue
+	// SizeExpr is the size expression for alloc-size sinks declared in
+	// this very function — the expression sizecap's SuggestedFix wraps.
+	// nil for propagated sinks.
+	SizeExpr ast.Expr
+}
+
+// TaintSummary is one function's taint summary after the fixpoint.
+type TaintSummary struct {
+	// Results holds the taint of each declared result, with Params
+	// referring to this function's own parameters.
+	Results []TaintValue
+	// Sinks are the taint sinks evaluated inside this function,
+	// transitively through summarized callees.
+	Sinks []TaintSink
+	// ParamSinks maps a parameter index to a representative sink it
+	// reaches — the hook callers use to propagate sinks upward.
+	ParamSinks map[int]TaintSink
+	// FieldWrites maps a struct-field key to the parameter bits written
+	// into it (directly, or inherited from a callee). Callers join their
+	// argument taint into the global field state through it, so a
+	// constructor like tenantEngine{id: tenant} taints the id field when
+	// some call site passes wire input. nil when empty.
+	FieldWrites map[string]uint64
+}
+
+// taintSummaryEqual compares summaries without reflect.DeepEqual-ing
+// the SizeExpr AST (identity is enough, and DeepEqual would walk
+// ast.Object cycles).
+func taintSummaryEqual(a, b *TaintSummary) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if !reflect.DeepEqual(a.Results, b.Results) || len(a.Sinks) != len(b.Sinks) || len(a.ParamSinks) != len(b.ParamSinks) {
+		return false
+	}
+	if !reflect.DeepEqual(a.FieldWrites, b.FieldWrites) {
+		return false
+	}
+	eq := func(x, y TaintSink) bool {
+		return x.Pos == y.Pos && x.Kind == y.Kind && x.Val == y.Val &&
+			x.SizeExpr == y.SizeExpr && reflect.DeepEqual(x.Chain, y.Chain)
+	}
+	for i := range a.Sinks {
+		if !eq(a.Sinks[i], b.Sinks[i]) {
+			return false
+		}
+	}
+	for i, s := range a.ParamSinks {
+		o, ok := b.ParamSinks[i]
+		if !ok || !eq(s, o) {
+			return false
+		}
+	}
+	return true
+}
+
+// Taint returns fn's taint summary, or nil for functions outside the
+// analyzed packages.
+func (g *Graph) Taint(fn *types.Func) *TaintSummary {
+	return g.taints[fn]
+}
+
+// ChanSenders returns the functions that send on channels whose element
+// type renders as key, in deterministic order — the senders the MHP
+// layer pairs against a tainted receive.
+func (g *Graph) ChanSenders(key string) []*types.Func {
+	out := append([]*types.Func(nil), g.chanSenders[key]...)
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
+	return out
+}
+
+// solveTaint runs the taint fixpoint after the call graph and the
+// provenance fixpoint are in place.
+func (g *Graph) solveTaint() {
+	g.collectSanitizedLines()
+	g.collectValidatedFields()
+	funcs := g.SortedFuncs()
+	const maxRounds = 10
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, n := range funcs {
+			st := &taintState{g: g, n: n, env: make(map[types.Object]TaintValue), params: paramIndex(n.Fn)}
+			st.collectGuards()
+			sum := st.summarize()
+			if st.globalChanged || !taintSummaryEqual(g.taints[n.Fn], sum) {
+				changed = true
+			}
+			g.taints[n.Fn] = sum
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// collectSanitizedLines merges every package's //reconlint:sanitized
+// coverage into one filename-keyed line set.
+func (g *Graph) collectSanitizedLines() {
+	g.sanitizedLines = make(map[string]map[int]bool)
+	for _, p := range g.pkgs {
+		for file, lines := range directive.SanitizedLines(p.Fset, p.Files) {
+			dst := g.sanitizedLines[file]
+			if dst == nil {
+				dst = make(map[int]bool)
+				g.sanitizedLines[file] = dst
+			}
+			for l := range lines {
+				dst[l] = true
+			}
+		}
+	}
+}
+
+func (g *Graph) sanitizedAt(pos token.Pos) bool {
+	if len(g.sanitizedLines) == 0 || !pos.IsValid() {
+		return false
+	}
+	p := g.Fset.Position(pos)
+	return g.sanitizedLines[p.Filename][p.Line]
+}
+
+// guardSpan is one region of the source where a key is sanitized.
+type guardSpan struct{ from, to token.Pos }
+
+func covers(spans []guardSpan, pos token.Pos) bool {
+	for _, s := range spans {
+		if s.from <= pos && pos < s.to {
+			return true
+		}
+	}
+	return false
+}
+
+// boundGuard is one recognized sanitization site inside a function.
+type boundGuard struct {
+	expr ast.Expr // the guarded ident or selector
+	span guardSpan
+	// global marks reject/clamp-style guards: applied to a field, they
+	// validate the field key program-wide (the validate-at-the-boundary
+	// idiom); accept-style guards stay local to their branch.
+	global bool
+}
+
+// terminates reports whether a block's last statement leaves the
+// enclosing flow: return, panic, or an unconditional branch.
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// guardKey unwraps parens and single-argument conversions to the
+// guarded ident or field selector; len() is deliberately NOT unwrapped
+// — bounding a string's length says nothing about its content.
+func guardKey(info *types.Info, e ast.Expr) ast.Expr {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return guardKey(info, call.Args[0])
+		}
+	}
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		if tv, ok := info.Types[e]; ok && tv.Value != nil {
+			return nil // a constant needs no bounding
+		}
+		return e
+	}
+	return nil
+}
+
+// splitCond flattens a condition over the given logical operator.
+func splitCond(e ast.Expr, op token.Token) []ast.Expr {
+	e = ast.Unparen(e)
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == op {
+		return append(splitCond(b.X, op), splitCond(b.Y, op)...)
+	}
+	return []ast.Expr{e}
+}
+
+// rejectLeafKey matches one ||-leaf of a reject-style guard: an
+// upper-bound comparison (key > k, key >= k, k < key, k <= key) or a
+// map-membership test (!table[key]), returning the bounded key.
+func rejectLeafKey(info *types.Info, leaf ast.Expr) ast.Expr {
+	leaf = ast.Unparen(leaf)
+	if u, ok := leaf.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		if idx, ok := ast.Unparen(u.X).(*ast.IndexExpr); ok {
+			if _, isMap := typeOf(info, idx.X).(*types.Map); isMap {
+				return guardKey(info, idx.Index)
+			}
+		}
+		return nil
+	}
+	b, ok := leaf.(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch b.Op {
+	case token.GTR, token.GEQ:
+		return guardKey(info, b.X)
+	case token.LSS, token.LEQ:
+		return guardKey(info, b.Y)
+	}
+	return nil
+}
+
+// acceptLeafKey matches one &&-leaf of an accept-style guard: key < k,
+// key <= k, k > key, k >= key.
+func acceptLeafKey(info *types.Info, leaf ast.Expr) ast.Expr {
+	b, ok := ast.Unparen(leaf).(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch b.Op {
+	case token.LSS, token.LEQ:
+		return guardKey(info, b.X)
+	case token.GTR, token.GEQ:
+		return guardKey(info, b.Y)
+	}
+	return nil
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type.Underlying()
+	}
+	return nil
+}
+
+// assignsKey reports whether the block writes the guarded key itself —
+// the clamp half of `if n > k { n = k }`.
+func assignsKey(info *types.Info, b *ast.BlockStmt, key ast.Expr) bool {
+	found := false
+	ast.Inspect(b, func(x ast.Node) bool {
+		as, ok := x.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if sameKey(info, lhs, key) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sameKey compares two guard keys: identical objects for idents, equal
+// field keys for selectors.
+func sameKey(info *types.Info, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch a := a.(type) {
+	case *ast.Ident:
+		bi, ok := b.(*ast.Ident)
+		return ok && objectOf(info, a) != nil && objectOf(info, a) == objectOf(info, bi)
+	case *ast.SelectorExpr:
+		bs, ok := b.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		ka, oka := selectionFieldKey(info, a)
+		kb, okb := selectionFieldKey(info, bs)
+		return oka && okb && ka == kb
+	}
+	return false
+}
+
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+func selectionFieldKey(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	return fieldKeyFromSelection(s), true
+}
+
+// upperBoundGuards walks a function body and returns every recognized
+// sanitization guard. funcEnd bounds reject/clamp-style spans.
+func upperBoundGuards(info *types.Info, body *ast.BlockStmt) []boundGuard {
+	var out []boundGuard
+	end := body.End()
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch st := x.(type) {
+		case *ast.IfStmt:
+			reject := terminates(st.Body)
+			for _, leaf := range splitCond(st.Cond, token.LOR) {
+				key := rejectLeafKey(info, leaf)
+				if key == nil {
+					continue
+				}
+				if reject || assignsKey(info, st.Body, key) {
+					out = append(out, boundGuard{expr: key, span: guardSpan{from: st.End(), to: end}, global: true})
+				}
+			}
+			for _, leaf := range splitCond(st.Cond, token.LAND) {
+				if key := acceptLeafKey(info, leaf); key != nil {
+					out = append(out, boundGuard{expr: key, span: guardSpan{from: st.Body.Pos(), to: st.Body.End()}})
+				}
+			}
+			// Validator guard: if err := x.Validate(...); err != nil { return }
+			// sanitizes x (and ident arguments) after the statement.
+			if reject {
+				if call := validatorCallOf(info, st); call != nil {
+					for _, e := range validatorTargets(call) {
+						out = append(out, boundGuard{expr: e, span: guardSpan{from: st.End(), to: end}})
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// n = min(n, k) / n = clamp(...): sanitized afterwards.
+			if len(st.Lhs) == 1 && len(st.Rhs) == 1 && isClampCall(info, st.Rhs[0]) {
+				if key := guardKey(info, st.Lhs[0]); key != nil {
+					out = append(out, boundGuard{expr: key, span: guardSpan{from: st.End(), to: end}, global: true})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// validatorCallOf extracts the validator call of an if-guard: either in
+// the init statement (if err := x.Validate(); err != nil) or directly
+// in the condition (if x.Validate() != nil).
+func validatorCallOf(info *types.Info, st *ast.IfStmt) *ast.CallExpr {
+	if as, ok := st.Init.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && isValidatorCall(info, call) {
+			return call
+		}
+	}
+	if b, ok := ast.Unparen(st.Cond).(*ast.BinaryExpr); ok && b.Op == token.NEQ {
+		if call, ok := ast.Unparen(b.X).(*ast.CallExpr); ok && isValidatorCall(info, call) {
+			return call
+		}
+	}
+	return nil
+}
+
+func isValidatorCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := staticCallee(info, call)
+	if fn == nil {
+		return false
+	}
+	name := fn.Name()
+	return strings.HasPrefix(name, "Validate") || strings.HasPrefix(name, "validate")
+}
+
+// validatorTargets returns the receiver and plain ident/selector
+// arguments a validator call vouches for.
+func validatorTargets(call *ast.CallExpr) []ast.Expr {
+	var out []ast.Expr
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		out = append(out, sel.X)
+	}
+	for _, a := range call.Args {
+		switch ast.Unparen(a).(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// isClampCall matches the min builtin (with at least one constant
+// bound) and clamp-named helpers.
+func isClampCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "min" {
+			for _, a := range call.Args {
+				if tv, ok := info.Types[a]; ok && tv.Value != nil {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	if fn := staticCallee(info, call); fn != nil {
+		return strings.Contains(strings.ToLower(fn.Name()), "clamp")
+	}
+	return false
+}
+
+// collectValidatedFields pre-scans every function for reject/clamp
+// upper-bound guards applied to struct fields and records the field
+// keys as validated program-wide. Flow-insensitive on purpose: the
+// repo's convention is to bound wire fields once at the trust boundary
+// (TaskSpec.Validate, Config normalization in New), and this is the
+// hook that lets those fixes clean every downstream read.
+func (g *Graph) collectValidatedFields() {
+	g.validatedFields = make(map[string]bool)
+	for _, n := range g.SortedFuncs() {
+		for _, bg := range upperBoundGuards(n.Info, n.Decl.Body) {
+			if !bg.global {
+				continue
+			}
+			if sel, ok := ast.Unparen(bg.expr).(*ast.SelectorExpr); ok {
+				if key, ok := selectionFieldKey(n.Info, sel); ok {
+					g.validatedFields[key] = true
+				}
+			}
+		}
+	}
+}
+
+// taintState is the per-function analysis state for one summarize call.
+type taintState struct {
+	g             *Graph
+	n             *FuncNode
+	params        map[types.Object]int
+	env           map[types.Object]TaintValue
+	objGuards     map[types.Object][]guardSpan
+	fieldGuards   map[string][]guardSpan
+	fieldWrites   map[string]uint64
+	localChanged  bool
+	globalChanged bool
+}
+
+// noteFieldWrite records param bits flowing into a struct field, for
+// the summary's FieldWrites.
+func (s *taintState) noteFieldWrite(key string, v TaintValue) {
+	if v.Params == 0 {
+		return
+	}
+	if s.fieldWrites == nil {
+		s.fieldWrites = make(map[string]uint64)
+	}
+	s.fieldWrites[key] |= v.Params
+}
+
+func (s *taintState) collectGuards() {
+	s.objGuards = make(map[types.Object][]guardSpan)
+	s.fieldGuards = make(map[string][]guardSpan)
+	for _, bg := range upperBoundGuards(s.n.Info, s.n.Decl.Body) {
+		switch e := ast.Unparen(bg.expr).(type) {
+		case *ast.Ident:
+			if obj := objectOf(s.n.Info, e); obj != nil {
+				s.objGuards[obj] = append(s.objGuards[obj], bg.span)
+			}
+		case *ast.SelectorExpr:
+			if key, ok := selectionFieldKey(s.n.Info, e); ok {
+				s.fieldGuards[key] = append(s.fieldGuards[key], bg.span)
+			}
+		}
+	}
+}
+
+func (s *taintState) summarize() *TaintSummary {
+	for i := 0; i < 8; i++ {
+		s.localChanged = false
+		ast.Inspect(s.n.Decl.Body, func(x ast.Node) bool {
+			s.processNode(x)
+			return true
+		})
+		if !s.localChanged {
+			break
+		}
+	}
+	sum := &TaintSummary{
+		Results:     s.collectReturns(),
+		ParamSinks:  make(map[int]TaintSink),
+		FieldWrites: s.fieldWrites,
+	}
+	sum.Sinks = s.collectSinks()
+	for _, sink := range sum.Sinks {
+		for i := 0; i < 64; i++ {
+			if sink.Val.Params&(1<<i) == 0 {
+				continue
+			}
+			if _, ok := sum.ParamSinks[i]; !ok {
+				sum.ParamSinks[i] = sink
+			}
+		}
+	}
+	return sum
+}
+
+func (s *taintState) envGet(obj types.Object) TaintValue {
+	return s.env[obj]
+}
+
+func (s *taintState) envJoin(obj types.Object, v TaintValue) {
+	old, ok := s.env[obj]
+	if !ok {
+		s.env[obj] = v
+		if v != (TaintValue{}) {
+			s.localChanged = true
+		}
+		return
+	}
+	merged := joinTaint(old, v)
+	if merged != old {
+		s.env[obj] = merged
+		s.localChanged = true
+	}
+}
+
+func (s *taintState) joinGlobal(m map[string]TaintValue, key string, v TaintValue) {
+	v = stripParams(v)
+	if !v.Tainted {
+		return
+	}
+	old, ok := m[key]
+	if !ok {
+		m[key] = v
+		s.globalChanged = true
+		return
+	}
+	merged := joinTaint(old, v)
+	if merged != old {
+		m[key] = merged
+		s.globalChanged = true
+	}
+}
+
+func (s *taintState) processNode(x ast.Node) {
+	switch st := x.(type) {
+	case *ast.AssignStmt:
+		if len(st.Lhs) > 1 && len(st.Rhs) == 1 {
+			vals := s.multiValues(st.Rhs[0], len(st.Lhs))
+			for i, lhs := range st.Lhs {
+				s.assign(lhs, vals[i])
+			}
+		} else if len(st.Lhs) == len(st.Rhs) {
+			for i := range st.Lhs {
+				s.assign(st.Lhs[i], s.valueOf(st.Rhs[i]))
+			}
+		}
+	case *ast.ValueSpec:
+		if len(st.Names) > 1 && len(st.Values) == 1 {
+			vals := s.multiValues(st.Values[0], len(st.Names))
+			for i, name := range st.Names {
+				s.assignIdent(name, vals[i])
+			}
+		} else if len(st.Names) == len(st.Values) {
+			for i, name := range st.Names {
+				s.assignIdent(name, s.valueOf(st.Values[i]))
+			}
+		}
+	case *ast.RangeStmt:
+		v := s.valueOf(st.X)
+		if _, isInt := typeOf(s.n.Info, st.X).(*types.Basic); isInt && isIntegerType(typeOf(s.n.Info, st.X)) {
+			// range-over-int: the key walks up to the tainted bound.
+			if st.Key != nil {
+				s.assign(st.Key, v)
+			}
+			return
+		}
+		if st.Key != nil {
+			s.assign(st.Key, TaintValue{})
+		}
+		if st.Value != nil {
+			s.assign(st.Value, TaintValue{Tainted: v.Tainted, Src: v.Src, Params: v.Params})
+		}
+	case *ast.SendStmt:
+		if key := s.chanKey(st.Chan); key != "" {
+			v := s.valueOf(st.Value)
+			s.joinGlobal(s.g.chanTaint, key, v)
+			if v.Tainted {
+				s.noteChanSender(key)
+			}
+		}
+	case *ast.CompositeLit:
+		s.recordCompositeFields(st)
+	case *ast.CallExpr:
+		s.recordPointerTargets(st)
+		s.applyCalleeFieldWrites(st)
+	}
+}
+
+// applyCalleeFieldWrites replays a summarized callee's param-to-field
+// writes with this call site's arguments: the global field state gets
+// the argument taint, and param-carrying arguments are inherited into
+// this function's own FieldWrites so the flow keeps climbing.
+func (s *taintState) applyCalleeFieldWrites(call *ast.CallExpr) {
+	fn := staticCallee(s.n.Info, call)
+	if fn == nil {
+		return
+	}
+	sum := s.g.taints[fn]
+	if sum == nil || len(sum.FieldWrites) == 0 {
+		return
+	}
+	for key, bits := range sum.FieldWrites {
+		v := TaintValue{}
+		for i := 0; i < 64; i++ {
+			if bits&(1<<uint(i)) == 0 {
+				continue
+			}
+			v = joinTaint(v, s.valueOf(argExpr(call, fn, i)))
+		}
+		s.joinGlobal(s.g.fieldTaint, key, v)
+		s.noteFieldWrite(key, v)
+	}
+}
+
+func isIntegerType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// noteChanSender records this function as a tainted sender on the
+// channel key (deduplicated; order restored by ChanSenders).
+func (s *taintState) noteChanSender(key string) {
+	for _, fn := range s.g.chanSenders[key] {
+		if fn == s.n.Fn {
+			return
+		}
+	}
+	s.g.chanSenders[key] = append(s.g.chanSenders[key], s.n.Fn)
+}
+
+// recordPointerTargets taints decode targets: json.Unmarshal(data, &x),
+// (*json.Decoder).Decode(&x), and the flag.XxxVar(&x, ...) family.
+func (s *taintState) recordPointerTargets(call *ast.CallExpr) {
+	fn := staticCallee(s.n.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	var target ast.Expr
+	var src string
+	switch fn.Pkg().Path() {
+	case "encoding/json":
+		switch {
+		case fn.Name() == "Unmarshal" && len(call.Args) == 2:
+			target, src = call.Args[1], "a wire decode"
+		case fn.Name() == "Decode" && len(call.Args) == 1:
+			target, src = call.Args[0], "a wire decode"
+		}
+	case "flag":
+		if strings.HasSuffix(fn.Name(), "Var") && len(call.Args) > 0 {
+			target, src = call.Args[0], "flag "+flagNameOf(s.n.Info, call)
+		}
+	}
+	if target == nil {
+		return
+	}
+	if u, ok := ast.Unparen(target).(*ast.UnaryExpr); ok && u.Op == token.AND {
+		target = u.X
+	}
+	s.assign(target, TaintValue{Tainted: true, Src: src})
+}
+
+// flagNameOf renders the flag name argument of a flag registration for
+// source descriptions ("flag -shards"), falling back to "value".
+func flagNameOf(info *types.Info, call *ast.CallExpr) string {
+	for _, a := range call.Args {
+		if tv, ok := info.Types[a]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			return "-" + constant.StringVal(tv.Value)
+		}
+	}
+	return "value"
+}
+
+func (s *taintState) assign(lhs ast.Expr, v TaintValue) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		s.assignIdent(lhs, v)
+	case *ast.SelectorExpr:
+		if sel, ok := s.n.Info.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+			key := fieldKeyFromSelection(sel)
+			s.joinGlobal(s.g.fieldTaint, key, v)
+			s.noteFieldWrite(key, v)
+		}
+	case *ast.IndexExpr:
+		// Coarse, like provenance: storing into a container taints the
+		// container local.
+		if id, ok := ast.Unparen(lhs.X).(*ast.Ident); ok {
+			s.assignIdent(id, v)
+		}
+	case *ast.StarExpr:
+		if id, ok := ast.Unparen(lhs.X).(*ast.Ident); ok {
+			s.assignIdent(id, v)
+		}
+	}
+}
+
+func (s *taintState) assignIdent(id *ast.Ident, v TaintValue) {
+	if id.Name == "_" {
+		return
+	}
+	obj := s.n.Info.Defs[id]
+	if obj == nil {
+		obj = s.n.Info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if _, isParam := s.params[obj]; isParam {
+		return // reassigned params keep their call-site taint
+	}
+	s.envJoin(obj, v)
+}
+
+func (s *taintState) recordCompositeFields(lit *ast.CompositeLit) {
+	tv, ok := s.n.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	t := deref(tv.Type)
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		var name string
+		var valExpr ast.Expr
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			name, valExpr = key.Name, kv.Value
+		} else if i < st.NumFields() {
+			name, valExpr = st.Field(i).Name(), elt
+		} else {
+			continue
+		}
+		v := s.valueOf(valExpr)
+		key := fieldKey(t, name)
+		s.joinGlobal(s.g.fieldTaint, key, v)
+		s.noteFieldWrite(key, v)
+	}
+}
+
+// guarded reports whether a use of the given object at pos sits inside
+// a sanitizing guard span.
+func (s *taintState) guarded(obj types.Object, pos token.Pos) bool {
+	return covers(s.objGuards[obj], pos)
+}
+
+// wireFieldSource reports whether a field selection reads a wire-struct
+// source: a json-tagged field of a struct declared in a package named
+// "controlplane" — the trust frontier.
+func wireFieldSource(sel *types.Selection) (string, bool) {
+	obj, ok := sel.Obj().(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Name() != "controlplane" {
+		return "", false
+	}
+	owner := deref(sel.Recv())
+	st, ok := owner.Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) != obj && st.Field(i).Name() != obj.Name() {
+			continue
+		}
+		tag := jsonTagName(st.Tag(i))
+		if tag == "" || tag == "-" {
+			return "", false
+		}
+		return "wire field " + shortTypeName(owner) + "." + obj.Name(), true
+	}
+	return "", false
+}
+
+// jsonTagName extracts the json name from a struct tag without
+// importing reflect: `json:"work_mi,omitempty"` -> "work_mi".
+func jsonTagName(tag string) string {
+	for tag != "" {
+		i := strings.IndexByte(tag, ':')
+		if i < 0 {
+			return ""
+		}
+		key := strings.TrimSpace(tag[:i])
+		rest := tag[i+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return ""
+		}
+		j := strings.IndexByte(rest[1:], '"')
+		if j < 0 {
+			return ""
+		}
+		val := rest[1 : 1+j]
+		tag = strings.TrimSpace(rest[j+2:])
+		if key == "json" {
+			return strings.SplitN(val, ",", 2)[0]
+		}
+	}
+	return ""
+}
+
+func shortTypeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return types.TypeString(t, nil)
+}
+
+func (s *taintState) valueOf(e ast.Expr) TaintValue {
+	if e == nil {
+		return TaintValue{}
+	}
+	if tv, ok := s.n.Info.Types[e]; ok && tv.Value != nil {
+		return TaintValue{}
+	}
+	switch e := e.(type) {
+	case *ast.BasicLit, *ast.FuncLit:
+		return TaintValue{}
+	case *ast.Ident:
+		obj := s.n.Info.Uses[e]
+		if obj == nil {
+			obj = s.n.Info.Defs[e]
+		}
+		if obj == nil {
+			return TaintValue{}
+		}
+		if s.guarded(obj, e.Pos()) || s.g.sanitizedAt(e.Pos()) {
+			return TaintValue{}
+		}
+		if i, ok := s.params[obj]; ok {
+			return TaintValue{Params: 1 << i}
+		}
+		return s.envGet(obj)
+	case *ast.SelectorExpr:
+		// os.Args, the package-level source.
+		if obj, ok := s.n.Info.Uses[e.Sel].(*types.Var); ok &&
+			obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "Args" {
+			if s.g.sanitizedAt(e.Pos()) {
+				return TaintValue{}
+			}
+			return TaintValue{Tainted: true, Src: "os.Args"}
+		}
+		if sel, ok := s.n.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			key := fieldKeyFromSelection(sel)
+			if covers(s.fieldGuards[key], e.Pos()) || s.g.validatedFields[key] || s.g.sanitizedAt(e.Pos()) {
+				return TaintValue{}
+			}
+			// A validator guard on the root object vouches for its fields.
+			if root, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+				if obj := objectOf(s.n.Info, root); obj != nil && s.guarded(obj, e.Pos()) {
+					return TaintValue{}
+				}
+			}
+			if src, ok := wireFieldSource(sel); ok {
+				return TaintValue{Tainted: true, Src: src}
+			}
+			return s.g.fieldTaint[key]
+		}
+		return TaintValue{}
+	case *ast.CallExpr:
+		return s.callValue(e)
+	case *ast.BinaryExpr:
+		return joinTaint(s.valueOf(e.X), s.valueOf(e.Y))
+	case *ast.ParenExpr:
+		return s.valueOf(e.X)
+	case *ast.StarExpr:
+		return s.valueOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			if key := s.chanKey(e.X); key != "" {
+				return s.g.chanTaint[key]
+			}
+			return TaintValue{}
+		}
+		return s.valueOf(e.X)
+	case *ast.IndexExpr:
+		return s.valueOf(e.X)
+	case *ast.SliceExpr:
+		return s.valueOf(e.X)
+	case *ast.TypeAssertExpr:
+		return s.valueOf(e.X)
+	case *ast.CompositeLit:
+		v := TaintValue{}
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = joinTaint(v, s.valueOf(kv.Value))
+			} else {
+				v = joinTaint(v, s.valueOf(elt))
+			}
+		}
+		return v
+	}
+	return TaintValue{}
+}
+
+// flagValueFns are the flag-package registration functions whose result
+// is attacker-adjacent operator input.
+var flagValueFns = map[string]bool{
+	"String": true, "Bool": true, "Int": true, "Int64": true,
+	"Uint": true, "Uint64": true, "Float64": true, "Duration": true,
+	"Arg": true, "Args": true, "Func": false,
+}
+
+// envFns are the os-package environment readers.
+var envFns = map[string]bool{"Getenv": true, "LookupEnv": true, "Environ": true}
+
+func (s *taintState) callValue(call *ast.CallExpr) TaintValue {
+	if tv, ok := s.n.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return s.valueOf(call.Args[0]) // conversion passes taint through
+		}
+		return TaintValue{}
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := s.n.Info.Uses[id].(*types.Builtin); ok {
+			return s.builtinValue(b.Name(), call)
+		}
+	}
+	fn := staticCallee(s.n.Info, call)
+	if fn == nil {
+		return TaintValue{}
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "flag":
+			if flagValueFns[fn.Name()] {
+				if s.g.sanitizedAt(call.Pos()) {
+					return TaintValue{}
+				}
+				return TaintValue{Tainted: true, Src: "flag " + flagNameOf(s.n.Info, call)}
+			}
+			return TaintValue{}
+		case "os":
+			if envFns[fn.Name()] {
+				if s.g.sanitizedAt(call.Pos()) {
+					return TaintValue{}
+				}
+				return TaintValue{Tainted: true, Src: "env read"}
+			}
+			return TaintValue{}
+		case "fmt":
+			if idx, ok := formatArgIndex(fn); ok {
+				return s.formatResultValue(call, idx)
+			}
+			if fn.Name() == "Sprint" || fn.Name() == "Sprintln" {
+				v := TaintValue{}
+				for _, a := range call.Args {
+					v = joinTaint(v, s.valueOf(a))
+				}
+				return v
+			}
+			return TaintValue{}
+		}
+	}
+	name := strings.ToLower(fn.Name())
+	if strings.Contains(name, "clamp") {
+		return TaintValue{}
+	}
+	if sum := s.g.taints[fn]; sum != nil && len(sum.Results) > 0 {
+		return s.applyFlow(sum.Results[0], call, fn)
+	}
+	return TaintValue{}
+}
+
+func (s *taintState) builtinValue(name string, call *ast.CallExpr) TaintValue {
+	switch name {
+	case "min":
+		// One bounded argument caps the result: min(n, k) is at most k.
+		joined := TaintValue{}
+		for _, a := range call.Args {
+			v := s.valueOf(a)
+			if v == (TaintValue{}) {
+				return TaintValue{}
+			}
+			joined = joinTaint(joined, v)
+		}
+		return joined
+	case "max", "append":
+		v := TaintValue{}
+		for _, a := range call.Args {
+			v = joinTaint(v, s.valueOf(a))
+		}
+		return v
+	}
+	// len/cap/make/new/copy and the rest: bounded or fresh.
+	return TaintValue{}
+}
+
+// formatArgIndex returns the format-parameter index of a printf-style
+// function: a string parameter named "format" directly before a
+// variadic tail. This matches fmt.Sprintf/Errorf/Fprintf, log.Printf,
+// and repo helpers like errWire without an allow list.
+func formatArgIndex(fn *types.Func) (int, bool) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !sig.Variadic() || sig.Params().Len() < 2 {
+		return 0, false
+	}
+	i := sig.Params().Len() - 2
+	p := sig.Params().At(i)
+	if p.Name() != "format" {
+		return 0, false
+	}
+	if b, ok := p.Type().Underlying().(*types.Basic); !ok || b.Kind() != types.String {
+		return 0, false
+	}
+	return i, true
+}
+
+// formatResultValue computes the taint of a printf-style call's result:
+// a constant format launders every argument under an escaping verb
+// (%q/%d/%x/...); only %s and %v pass taint through. A non-constant
+// format joins everything.
+func (s *taintState) formatResultValue(call *ast.CallExpr, fmtIdx int) TaintValue {
+	if fmtIdx >= len(call.Args) {
+		return TaintValue{}
+	}
+	fmtArg := call.Args[fmtIdx]
+	tv, ok := s.n.Info.Types[fmtArg]
+	if !ok || tv.Value == nil {
+		v := TaintValue{}
+		for _, a := range call.Args[fmtIdx:] {
+			v = joinTaint(v, s.valueOf(a))
+		}
+		return v
+	}
+	verbs := formatVerbs(constStringValue(tv))
+	v := TaintValue{}
+	for i, a := range call.Args[fmtIdx+1:] {
+		if i < len(verbs) && !escapingVerb(verbs[i]) {
+			v = joinTaint(v, s.valueOf(a))
+		}
+	}
+	return v
+}
+
+func constStringValue(tv types.TypeAndValue) string {
+	if tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value)
+	}
+	str := tv.Value.ExactString()
+	if u, err := strconv.Unquote(str); err == nil {
+		return u
+	}
+	return str
+}
+
+// formatVerbs extracts the verb letter consumed by each successive
+// argument of a printf format string. '*' width/precision arguments
+// consume an argument and are reported as '*'.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break // literal %%
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if (c >= '0' && c <= '9') || c == '.' || c == '+' || c == '-' || c == '#' || c == ' ' || c == '[' || c == ']' {
+				i++
+				continue
+			}
+			verbs = append(verbs, c)
+			break
+		}
+	}
+	return verbs
+}
+
+// escapingVerb reports whether a verb renders its argument in a form
+// that cannot smuggle raw attacker bytes: quoted, numeric, or typed.
+// Only %s and %v (and %w, which wraps) pass the raw string through.
+func escapingVerb(v byte) bool {
+	switch v {
+	case 's', 'v', 'w':
+		return false
+	}
+	return true
+}
+
+func (s *taintState) applyFlow(res TaintValue, call *ast.CallExpr, fn *types.Func) TaintValue {
+	out := stripParams(res)
+	for i := 0; i < 64; i++ {
+		if res.Params&(1<<uint(i)) == 0 {
+			continue
+		}
+		out = joinTaint(out, s.valueOf(argExpr(call, fn, i)))
+	}
+	return out
+}
+
+func (s *taintState) multiValues(rhs ast.Expr, n int) []TaintValue {
+	out := make([]TaintValue, n)
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		if fn := staticCallee(s.n.Info, e); fn != nil {
+			if fn.Pkg() != nil && fn.Pkg().Path() == "os" && envFns[fn.Name()] {
+				out[0] = TaintValue{Tainted: true, Src: "env read"}
+				return out
+			}
+			if sum := s.g.taints[fn]; sum != nil {
+				for i := 0; i < n && i < len(sum.Results); i++ {
+					out[i] = s.applyFlow(sum.Results[i], e, fn)
+				}
+			}
+		}
+	case *ast.TypeAssertExpr:
+		out[0] = s.valueOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			out[0] = s.valueOf(rhs)
+		}
+	case *ast.IndexExpr:
+		out[0] = s.valueOf(e.X)
+	}
+	return out
+}
+
+func (s *taintState) collectReturns() []TaintValue {
+	sig := s.n.Fn.Type().(*types.Signature)
+	nres := sig.Results().Len()
+	if nres == 0 {
+		return nil
+	}
+	out := make([]TaintValue, nres)
+	// Zero TaintValue is the lattice bottom, so a plain join over every
+	// return is correct (no first-return special case like provenance).
+	s.walkSameFunc(s.n.Decl.Body, func(x ast.Node) {
+		ret, ok := x.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return
+		}
+		if len(ret.Results) == 1 && nres > 1 {
+			vals := s.multiValues(ret.Results[0], nres)
+			for i := range out {
+				out[i] = joinTaint(out[i], vals[i])
+			}
+			return
+		}
+		for i := 0; i < len(ret.Results) && i < nres; i++ {
+			out[i] = joinTaint(out[i], s.valueOf(ret.Results[i]))
+		}
+	})
+	return out
+}
+
+func (s *taintState) walkSameFunc(body ast.Node, visit func(ast.Node)) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if x != nil {
+			visit(x)
+		}
+		return true
+	})
+}
+
+// timerFns are the time-package entry points whose Duration argument a
+// tenant must not control (an unbounded sleep is a stall, an unbounded
+// ticker a busy loop).
+var timerFns = map[string]bool{
+	"Sleep": true, "After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+// pathFns maps os-package filesystem functions to their path-argument
+// indices.
+var pathFns = map[string][]int{
+	"Open": {0}, "Create": {0}, "OpenFile": {0}, "ReadFile": {0},
+	"WriteFile": {0}, "Remove": {0}, "RemoveAll": {0},
+	"Mkdir": {0}, "MkdirAll": {0}, "Rename": {0, 1}, "Chdir": {0},
+}
+
+// collectSinks gathers every taint sink evaluated in the body,
+// including closures, plus sinks propagated from summarized callees.
+func (s *taintState) collectSinks() []TaintSink {
+	var sinks []TaintSink
+	seen := make(map[string]bool)
+	add := func(sink TaintSink) {
+		if s.g.sanitizedAt(sink.Pos) {
+			return
+		}
+		if len(sink.Chain) > maxChain {
+			sink.Chain = sink.Chain[:maxChain]
+		}
+		key := s.g.Fset.Position(sink.Pos).String() + "|" + strings.Join(sink.Chain, "<")
+		if !seen[key] {
+			seen[key] = true
+			sinks = append(sinks, sink)
+		}
+	}
+	ast.Inspect(s.n.Decl.Body, func(x ast.Node) bool {
+		switch n := x.(type) {
+		case *ast.CallExpr:
+			s.callSinks(n, add)
+		case *ast.ForStmt:
+			s.loopSinks(n.Cond, n.Body, add)
+		case *ast.RangeStmt:
+			if isIntegerType(typeOf(s.n.Info, n.X)) {
+				add(TaintSink{Pos: n.X.Pos(), Kind: TaintLoopBound, Chain: []string{"range"}, Val: s.valueOf(n.X)})
+				s.spawnSinks(n.Body, s.valueOf(n.X), add)
+			} else {
+				s.spawnSinks(n.Body, s.valueOf(n.X), add)
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// loopSinks records the tainted bound of a for-loop condition and any
+// goroutine spawned under it.
+func (s *taintState) loopSinks(cond ast.Expr, body *ast.BlockStmt, add func(TaintSink)) {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	switch b.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+	default:
+		return
+	}
+	bound := joinTaint(s.valueOf(b.X), s.valueOf(b.Y))
+	add(TaintSink{Pos: cond.Pos(), Kind: TaintLoopBound, Chain: []string{"for loop"}, Val: bound})
+	s.spawnSinks(body, bound, add)
+}
+
+// spawnSinks records goroutine launches inside a tainted-bound loop
+// body: the spawn count is the loop trip count.
+func (s *taintState) spawnSinks(body *ast.BlockStmt, bound TaintValue, add func(TaintSink)) {
+	if body == nil || (!bound.Tainted && bound.Params == 0) {
+		return
+	}
+	ast.Inspect(body, func(x ast.Node) bool {
+		if gs, ok := x.(*ast.GoStmt); ok {
+			add(TaintSink{Pos: gs.Pos(), Kind: TaintSpawnCount, Chain: []string{"go statement"}, Val: bound})
+		}
+		return true
+	})
+}
+
+func (s *taintState) callSinks(call *ast.CallExpr, add func(TaintSink)) {
+	// Builtins: make sizes, append spreads, panic arguments.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := s.n.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				for _, a := range call.Args[1:] {
+					add(TaintSink{Pos: a.Pos(), Kind: TaintAllocSize, Chain: []string{"make"}, Val: s.valueOf(a), SizeExpr: a})
+				}
+			case "append":
+				if call.Ellipsis.IsValid() && len(call.Args) == 2 {
+					add(TaintSink{Pos: call.Args[1].Pos(), Kind: TaintAllocSize, Chain: []string{"append"}, Val: s.valueOf(call.Args[1])})
+				}
+			case "panic":
+				if len(call.Args) == 1 {
+					add(TaintSink{Pos: call.Args[0].Pos(), Kind: TaintPanic, Chain: []string{"panic"}, Val: s.valueOf(call.Args[0])})
+				}
+			}
+			return
+		}
+	}
+	// time.Duration conversions.
+	if tv, ok := s.n.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if types.TypeString(tv.Type, nil) == "time.Duration" {
+			add(TaintSink{Pos: call.Args[0].Pos(), Kind: TaintDuration, Chain: []string{"time.Duration"}, Val: s.valueOf(call.Args[0])})
+		}
+		return
+	}
+	fn := staticCallee(s.n.Info, call)
+	if fn == nil {
+		return
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		hasRecv := fn.Type().(*types.Signature).Recv() != nil
+		switch pkg.Path() {
+		case "time":
+			if !hasRecv && timerFns[fn.Name()] && len(call.Args) > 0 {
+				add(TaintSink{Pos: call.Args[0].Pos(), Kind: TaintDuration, Chain: []string{"time." + fn.Name()}, Val: s.valueOf(call.Args[0])})
+			}
+			return
+		case "os":
+			for _, i := range pathFns[fn.Name()] {
+				if !hasRecv && i < len(call.Args) {
+					add(TaintSink{Pos: call.Args[i].Pos(), Kind: TaintFilePath, Chain: []string{"os." + fn.Name()}, Val: s.valueOf(call.Args[i])})
+				}
+			}
+			if pathFns[fn.Name()] != nil {
+				return
+			}
+		case "strings", "bytes":
+			if fn.Name() == "Repeat" && !hasRecv && len(call.Args) == 2 {
+				add(TaintSink{Pos: call.Args[1].Pos(), Kind: TaintAllocSize, Chain: []string{pkg.Name() + ".Repeat"}, Val: s.valueOf(call.Args[1]), SizeExpr: call.Args[1]})
+				return
+			}
+			if fn.Name() == "Grow" && hasRecv && len(call.Args) == 1 {
+				add(TaintSink{Pos: call.Args[0].Pos(), Kind: TaintAllocSize, Chain: []string{displayName(fn)}, Val: s.valueOf(call.Args[0]), SizeExpr: call.Args[0]})
+				return
+			}
+		case "bufio":
+			if fn.Name() == "Buffer" && hasRecv && len(call.Args) == 2 {
+				add(TaintSink{Pos: call.Args[1].Pos(), Kind: TaintAllocSize, Chain: []string{"Scanner.Buffer"}, Val: s.valueOf(call.Args[1]), SizeExpr: call.Args[1]})
+				return
+			}
+		}
+	}
+	// Printf-style callees: verbs are judged at this call site, where
+	// the format string is visible; the callee's own internal format
+	// sink is NOT propagated (it could not see the verbs).
+	if idx, ok := formatArgIndex(fn); ok {
+		s.formatSinks(call, fn, idx, add)
+		return
+	}
+	// Propagate the callee summary's parameter sinks.
+	if sum := s.g.taints[fn]; sum != nil && len(sum.ParamSinks) > 0 {
+		idxs := make([]int, 0, len(sum.ParamSinks))
+		for i := range sum.ParamSinks {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			arg := argExpr(call, fn, i)
+			if arg == nil {
+				continue
+			}
+			inner := sum.ParamSinks[i]
+			chain := append([]string{displayName(fn)}, inner.Chain...)
+			add(TaintSink{Pos: arg.Pos(), Kind: inner.Kind, Chain: chain, Val: s.valueOf(arg)})
+		}
+	}
+}
+
+// formatSinks records logtaint sinks at a printf-style call site: a
+// tainted format string, or tainted arguments under non-escaping verbs
+// of a constant format.
+func (s *taintState) formatSinks(call *ast.CallExpr, fn *types.Func, fmtIdx int, add func(TaintSink)) {
+	if fmtIdx >= len(call.Args) {
+		return
+	}
+	fmtArg := call.Args[fmtIdx]
+	name := displayName(fn)
+	tv, ok := s.n.Info.Types[fmtArg]
+	if !ok || tv.Value == nil {
+		if v := s.valueOf(fmtArg); v.Tainted || v.Params != 0 {
+			add(TaintSink{Pos: fmtArg.Pos(), Kind: TaintFormatString, Chain: []string{name}, Val: v})
+		}
+		return
+	}
+	verbs := formatVerbs(constStringValue(tv))
+	for i, a := range call.Args[fmtIdx+1:] {
+		if i >= len(verbs) || escapingVerb(verbs[i]) {
+			continue
+		}
+		v := s.valueOf(a)
+		if v.Tainted || v.Params != 0 {
+			add(TaintSink{Pos: a.Pos(), Kind: TaintFormatArg, Chain: []string{name + " %" + string(verbs[i])}, Val: v})
+		}
+	}
+}
+
+func (s *taintState) chanKey(e ast.Expr) string {
+	tv, ok := s.n.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return ""
+	}
+	return types.TypeString(ch.Elem(), nil)
+}

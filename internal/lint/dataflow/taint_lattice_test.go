@@ -1,0 +1,66 @@
+package dataflow
+
+import "testing"
+
+// TestJoinTaintLattice pins the algebra the taint fixpoint relies on:
+// join is commutative, associative, idempotent, monotone in Tainted and
+// Params, has the zero value as identity, and breaks Src ties
+// lexicographically so the fixpoint is deterministic regardless of the
+// order facts arrive in.
+func TestJoinTaintLattice(t *testing.T) {
+	vals := []TaintValue{
+		{},
+		{Params: 1},
+		{Params: 6},
+		{Tainted: true, Src: "wire field Request.Tenant"},
+		{Tainted: true, Src: "flag -shards"},
+		{Tainted: true, Src: "os.Getenv", Params: 2},
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			ab, ba := joinTaint(a, b), joinTaint(b, a)
+			if ab != ba {
+				t.Errorf("join not commutative: %+v vs %+v", ab, ba)
+			}
+			if got := joinTaint(a, a); got != a {
+				t.Errorf("join not idempotent on %+v: %+v", a, got)
+			}
+			if ab.Tainted != (a.Tainted || b.Tainted) {
+				t.Errorf("Tainted not monotone for %+v ⊔ %+v", a, b)
+			}
+			if ab.Params != a.Params|b.Params {
+				t.Errorf("Params not monotone for %+v ⊔ %+v", a, b)
+			}
+			for _, c := range vals {
+				l, r := joinTaint(joinTaint(a, b), c), joinTaint(a, joinTaint(b, c))
+				if l != r {
+					t.Errorf("join not associative: %+v vs %+v", l, r)
+				}
+			}
+		}
+		if got := joinTaint(a, TaintValue{}); got != a {
+			t.Errorf("zero not identity: %+v ⊔ ⊥ = %+v", a, got)
+		}
+	}
+
+	// Src tie-break: the lexicographically smaller tainted source wins,
+	// so diagnostics are stable across iteration orders.
+	got := joinTaint(
+		TaintValue{Tainted: true, Src: "wire field Request.Tenant"},
+		TaintValue{Tainted: true, Src: "flag -shards"},
+	)
+	if got.Src != "flag -shards" {
+		t.Errorf("Src tie-break = %q, want the lexicographic minimum", got.Src)
+	}
+}
+
+// TestStripParams pins that lowering a value into global state (field
+// or channel taint) keeps the taint fact but drops caller-relative
+// parameter bits, which are meaningless outside the summarized frame.
+func TestStripParams(t *testing.T) {
+	v := TaintValue{Tainted: true, Params: 5, Src: "wire field Request.Count"}
+	got := stripParams(v)
+	if !got.Tainted || got.Src != v.Src || got.Params != 0 {
+		t.Errorf("stripParams = %+v, want tainted, same source, no params", got)
+	}
+}

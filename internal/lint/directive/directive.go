@@ -1,11 +1,12 @@
-// Package directive parses //reconlint:allow suppression comments and
-// //reconlint:hotpath region markers, and filters analyzer diagnostics
-// through them.
+// Package directive parses //reconlint:allow suppression comments,
+// //reconlint:hotpath region markers, and //reconlint:sanitized trust
+// assertions, and filters analyzer diagnostics through them.
 //
 // Grammar, one directive per comment line:
 //
 //	//reconlint:allow <analyzer>[,<analyzer>...] <reason>
 //	//reconlint:hotpath
+//	//reconlint:sanitized <reason>
 //
 // The analyzer list may be "all". The reason is mandatory and must
 // contain at least one word character: a suppression without a recorded
@@ -20,6 +21,14 @@
 // as a hot path: the hotalloc analyzer polices it (and its same-package
 // callees) for per-event allocations. A hotpath marker that is not
 // attached to a function declaration is reported as a problem.
+//
+// //reconlint:sanitized is the taint layer's escape hatch: values read
+// and sinks evaluated on the covered lines are treated as trusted by
+// the wiretaint/sizecap/logtaint analyzers. Unlike allow (which hides
+// one analyzer's diagnostic), sanitized changes the dataflow itself —
+// downstream flows of the covered value stay clean too — so the
+// mandatory reason must say why the input is trusted (for example an
+// operator-supplied flag rather than tenant wire input).
 package directive
 
 import (
@@ -30,8 +39,9 @@ import (
 )
 
 const (
-	prefix        = "//reconlint:allow"
-	hotpathPrefix = "//reconlint:hotpath"
+	prefix          = "//reconlint:allow"
+	hotpathPrefix   = "//reconlint:hotpath"
+	sanitizedPrefix = "//reconlint:sanitized"
 )
 
 // Allow is one parsed directive.
@@ -138,6 +148,70 @@ func Hotpaths(files []*ast.File) (map[*ast.FuncDecl]bool, []Problem) {
 		}
 	}
 	return marked, probs
+}
+
+// Sanitized is one parsed //reconlint:sanitized directive.
+type Sanitized struct {
+	Pos    token.Pos
+	Reason string
+}
+
+// ParseSanitized extracts every //reconlint:sanitized directive,
+// returning well-formed directives and problems for reasonless ones. A
+// malformed directive sanitizes nothing: asserting trust without saying
+// why is exactly the blind spot the taint layer exists to close.
+func ParseSanitized(files []*ast.File) ([]Sanitized, []Problem) {
+	var out []Sanitized
+	var probs []Problem
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := ownDirective(c.Text, sanitizedPrefix)
+				if !ok {
+					continue
+				}
+				reason := strings.TrimSpace(rest)
+				if !hasWord(reason) {
+					probs = append(probs, Problem{Pos: c.Pos(),
+						Message: "reconlint:sanitized directive has an empty reason; say why the input is trusted"})
+					continue
+				}
+				out = append(out, Sanitized{Pos: c.Pos(), Reason: reason})
+			}
+		}
+	}
+	return out, probs
+}
+
+// SanitizedLines returns the covered lines of every well-formed
+// //reconlint:sanitized directive, keyed by filename, with the same
+// span rules as allow suppression: the directive's own line, the line
+// below, and the whole span of a statement starting on either.
+func SanitizedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]bool {
+	sans, _ := ParseSanitized(files)
+	covered := make(map[string]map[int]bool)
+	var spans map[string]map[int]int // built lazily, like Suppresses
+	for _, s := range sans {
+		if spans == nil {
+			spans = spanStarts(fset, files)
+		}
+		p := fset.Position(s.Pos)
+		lines := covered[p.Filename]
+		if lines == nil {
+			lines = make(map[int]bool)
+			covered[p.Filename] = lines
+		}
+		lines[p.Line] = true
+		lines[p.Line+1] = true
+		for _, start := range []int{p.Line, p.Line + 1} {
+			if end, ok := spans[p.Filename][start]; ok {
+				for l := start; l <= end; l++ {
+					lines[l] = true
+				}
+			}
+		}
+	}
+	return covered
 }
 
 // spanStarts maps "start line" -> largest "end line" over every

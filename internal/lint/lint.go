@@ -24,8 +24,11 @@ import (
 	"repro/internal/lint/loader"
 	"repro/internal/lint/lockcheck"
 	"repro/internal/lint/lockorder"
+	"repro/internal/lint/logtaint"
 	"repro/internal/lint/maporder"
 	"repro/internal/lint/seedflow"
+	"repro/internal/lint/sizecap"
+	"repro/internal/lint/wiretaint"
 )
 
 // Diagnostic is one resolved finding with its file position.
@@ -119,6 +122,21 @@ func goroleakScope(importPath string) bool {
 	return pathHasDir(importPath, "cmd") || concurrencyScope(importPath)
 }
 
+// taintScope covers the multi-tenant trust boundary: the wire control
+// plane and scheduler it feeds, plus the server and load-driver mains
+// whose flag/env input shapes resource limits.
+func taintScope(importPath string) bool {
+	for _, dir := range []string{
+		"internal/controlplane", "internal/jss",
+		"cmd/rmsd", "cmd/gridload",
+	} {
+		if pathHasDir(importPath, dir) {
+			return true
+		}
+	}
+	return false
+}
+
 // Suite returns the reconlint analyzer suite with its package scoping.
 func Suite() []ScopedAnalyzer {
 	return []ScopedAnalyzer{
@@ -137,6 +155,11 @@ func Suite() []ScopedAnalyzer {
 		{Analyzer: lockorder.Analyzer, Applies: concurrencyScope},
 		{Analyzer: goroleak.Analyzer, Applies: goroleakScope},
 		{Analyzer: chanmisuse.Analyzer, Applies: goroleakScope},
+		// Taint analyzers (interprocedural taint lattice over the trust
+		// boundary: wire structs, flags, env).
+		{Analyzer: wiretaint.Analyzer, Applies: taintScope},
+		{Analyzer: sizecap.Analyzer, Applies: taintScope},
+		{Analyzer: logtaint.Analyzer, Applies: taintScope},
 	}
 }
 
@@ -214,6 +237,10 @@ func RunPackage(pkg *loader.Package, suite []ScopedAnalyzer) ([]Diagnostic, erro
 
 	_, problems := directive.Parse(pkg.Syntax)
 	for _, p := range problems {
+		add("reconlint", p.Pos, p.Message, nil)
+	}
+	_, sanProblems := directive.ParseSanitized(pkg.Syntax)
+	for _, p := range sanProblems {
 		add("reconlint", p.Pos, p.Message, nil)
 	}
 

@@ -3,8 +3,9 @@
 // environment is offline). It shells out to `go list -json` for package
 // metadata and dependency order, parses the listed sources, and
 // type-checks them with go/types; standard-library imports resolve
-// through the stdlib source importer, so no compiled export data is
-// needed.
+// from the build cache's compiled export data when `go list -export`
+// can supply it, and fall back to the stdlib source importer when it
+// can't.
 package loader
 
 import (
@@ -17,6 +18,7 @@ import (
 	"go/token"
 	"go/types"
 	"io"
+	"os"
 	"os/exec"
 	"path/filepath"
 )
@@ -44,14 +46,21 @@ type listEntry struct {
 	Dir        string
 	GoFiles    []string
 	Standard   bool
+	Export     string
 }
 
 // goList runs `go list -json` over patterns in dir and decodes the
-// stream of package objects.
-func goList(dir string, deps bool, patterns []string) ([]listEntry, error) {
-	args := []string{"list", "-json=ImportPath,Name,Dir,GoFiles,Standard"}
+// stream of package objects. With export set it also asks the build
+// cache for each dependency's compiled export data (and passes -e so a
+// package that fails to compile is still listed, just without export
+// data — the caller falls back to type-checking from source).
+func goList(dir string, deps, export bool, patterns []string) ([]listEntry, error) {
+	args := []string{"list", "-json=ImportPath,Name,Dir,GoFiles,Standard,Export"}
 	if deps {
 		args = append(args, "-deps")
+	}
+	if export {
+		args = append(args, "-e", "-export")
 	}
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
@@ -123,19 +132,19 @@ func LoadAll(dir string, patterns ...string) (rootPkgs, allPkgs []*Package, err 
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	roots, err := goList(dir, false, patterns)
+	roots, err := goList(dir, false, false, patterns)
 	if err != nil {
 		return nil, nil, err
 	}
-	all, err := goList(dir, true, patterns)
+	all, err := goList(dir, true, true, patterns)
 	if err != nil {
 		return nil, nil, err
 	}
 
 	fset := token.NewFileSet()
-	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
-	if !ok {
-		return nil, nil, fmt.Errorf("loader: source importer unavailable")
+	std, err := stdImporter(fset, all)
+	if err != nil {
+		return nil, nil, err
 	}
 	local := make(map[string]*types.Package)
 	imp := &chainImporter{local: local, std: std, dir: dir}
@@ -160,6 +169,45 @@ func LoadAll(dir string, patterns ...string) (rootPkgs, allPkgs []*Package, err 
 		}
 	}
 	return rootPkgs, allPkgs, nil
+}
+
+// stdImporter picks the standard-library importer: compiled export
+// data from the build cache when `go list -export` produced it for
+// every stdlib dependency, else type-checking the stdlib from source.
+// The choice is all-or-nothing — mixing the two importers would
+// materialize a shared dependency twice and break type identity, so a
+// single gap sends the whole run down the (slower, self-contained)
+// source path.
+func stdImporter(fset *token.FileSet, all []listEntry) (types.ImporterFrom, error) {
+	exports := make(map[string]string)
+	complete := true
+	for _, e := range all {
+		if !e.Standard || e.ImportPath == "unsafe" {
+			continue
+		}
+		if e.Export == "" {
+			complete = false
+			break
+		}
+		exports[e.ImportPath] = e.Export
+	}
+	if complete && len(exports) > 0 {
+		lookup := func(path string) (io.ReadCloser, error) {
+			file, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("loader: no export data for %q", path)
+			}
+			return os.Open(file)
+		}
+		if gc, ok := importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom); ok {
+			return gc, nil
+		}
+	}
+	src, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("loader: source importer unavailable")
+	}
+	return src, nil
 }
 
 // checkOne parses and type-checks one package.

@@ -1,0 +1,69 @@
+// Package logtaint implements the reconlint analyzer that keeps
+// hostile strings out of format strings and unescaped log/error text.
+//
+// The control plane's errors round-trip onto the wire: a Response's
+// Error field is built with printf-style helpers and delivered to
+// every tenant's client. A tenant-supplied string formatted with %s or
+// %v therefore re-emits raw attacker bytes — newlines that forge log
+// lines, ANSI escapes that corrupt operator terminals, or quotes that
+// confuse line-oriented wire parsers. Worse, a tainted string used
+// *as* the format ("fmt.Errorf(msg)") hands the attacker the verb
+// table itself.
+//
+// Using the dataflow taint lattice, the analyzer reports two sink
+// kinds at printf-style call sites (fmt.Sprintf/Errorf, log.Printf,
+// and any function with a `format string` parameter before a variadic
+// tail — the repo's errWire matches structurally):
+//
+//   - a tainted format string (TaintFormatString);
+//   - a tainted argument bound to a non-escaping %s/%v/%w verb of a
+//     constant format (TaintFormatArg). Escaping verbs — %q, %d, %x
+//     and the other numeric/typed verbs — launder the argument: %q
+//     cannot smuggle raw bytes, and that is the canonical fix.
+//
+// Verbs are judged at the call site where the constant format is
+// visible, so a helper like errWire(code, format, args...) is policed
+// per call, not once against its opaque internal Sprintf.
+package logtaint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/dataflow"
+	"repro/internal/lint/wiretaint"
+)
+
+// Analyzer is the logtaint analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "logtaint",
+	Doc:  "tainted strings must not become format strings and must be escaped (%q, not %s/%v) in log and wire-error text",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	g := dataflow.Resolve(pass.Fset, pass.Files, pass.Pkg, pass.TypesInfo)
+	for _, node := range g.SortedFuncs() {
+		if node.Pkg != pass.Pkg {
+			continue
+		}
+		sum := g.Taint(node.Fn)
+		if sum == nil {
+			continue
+		}
+		for _, sink := range sum.Sinks {
+			if !sink.Val.Tainted {
+				continue
+			}
+			switch sink.Kind {
+			case dataflow.TaintFormatString:
+				pass.Reportf(sink.Pos,
+					"%s is used as a format string in %s: pass a constant format and render the value with %%q",
+					sink.Val.Src, wiretaint.DescribeChain(sink.Chain))
+			case dataflow.TaintFormatArg:
+				pass.Reportf(sink.Pos,
+					"%s flows into %s unescaped: use %%q so hostile bytes cannot round-trip onto the wire",
+					sink.Val.Src, wiretaint.DescribeChain(sink.Chain))
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package logtaint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/logtaint"
+)
+
+func TestLogtaint(t *testing.T) {
+	analysistest.Run(t, "testdata", logtaint.Analyzer, "controlplane")
+}

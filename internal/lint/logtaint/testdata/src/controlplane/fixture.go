@@ -1,0 +1,60 @@
+// Package controlplane exercises logtaint: hostile strings used as
+// format strings or bound to non-escaping verbs, judged at the call
+// site where the constant format is visible — including through the
+// repo's errWire-shaped helper and across a channel send.
+package controlplane
+
+import "fmt"
+
+type Request struct {
+	Tenant string `json:"tenant"`
+	TaskID string `json:"task_id"`
+}
+
+func formatString(req Request) error {
+	return fmt.Errorf(req.Tenant) // want `wire field Request\.Tenant is used as a format string in fmt\.Errorf`
+}
+
+func rawVerb(req Request) string {
+	return fmt.Sprintf("tenant %s rejected", req.Tenant) // want `wire field Request\.Tenant flows into fmt\.Sprintf %s unescaped`
+}
+
+func rawValueVerb(req Request) error {
+	return fmt.Errorf("task %v not found", req.TaskID) // want `wire field Request\.TaskID flows into fmt\.Errorf %v unescaped`
+}
+
+func quotedVerb(req Request) string {
+	return fmt.Sprintf("tenant %q rejected", req.Tenant) // %q escapes: clean
+}
+
+func numericVerb(req Request) string {
+	return fmt.Sprintf("tenant name is %d bytes", len(req.Tenant)) // len() is a count, not content: clean
+}
+
+// errWire matches the format-helper shape structurally (a `format
+// string` parameter directly before the variadic tail), so its call
+// sites are policed against their constant formats.
+func errWire(code, format string, args ...any) error {
+	return fmt.Errorf("["+code+"] "+format, args...)
+}
+
+func viaHelper(req Request) error {
+	return errWire("bad_request", "tenant %s is unknown", req.Tenant) // want `wire field Request\.Tenant flows into controlplane\.errWire %s unescaped`
+}
+
+func viaHelperQuoted(req Request) error {
+	return errWire("bad_request", "tenant %q is unknown", req.Tenant) // escaped at the helper call site: clean
+}
+
+// The channel hop: a string received from nameCh is as hostile as the
+// wire field sent on it.
+var nameCh = make(chan string)
+
+func sendName(req Request) {
+	nameCh <- req.Tenant
+}
+
+func recvName() string {
+	name := <-nameCh
+	return fmt.Sprintf("draining %s", name) // want `wire field Request\.Tenant flows into fmt\.Sprintf %s unescaped`
+}

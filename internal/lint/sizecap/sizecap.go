@@ -1,0 +1,125 @@
+// Package sizecap implements the reconlint analyzer that converts
+// unbounded tainted allocation sizes into clamped ones.
+//
+// sizecap is the machine-repair half of wiretaint's allocation-size
+// rule: where wiretaint reports every tainted sink kind with its
+// interprocedural chain, sizecap focuses on size expressions declared
+// in the function under inspection — a `make([]T, n)` length or
+// capacity, a `strings.Repeat`/`Builder.Grow` count, a
+// `Scanner.Buffer` cap — and attaches a SuggestedFix wrapping the
+// expression in `min(expr, maxTaintedLen)`, declaring the named
+// constant in the file when it does not already exist. The driver's
+// -fix mode applies it; the named constant (rather than an inline
+// magic number) keeps every clamp in a file auditable at one
+// declaration.
+//
+// The fix is a floor, not absolution: the right repair is usually a
+// semantic bound rejected at the trust boundary with a stable wire
+// error (see DESIGN.md "Trust boundary contract"), after which the
+// taint lattice recognizes the validated field and the finding
+// disappears without any clamp at the use site.
+package sizecap
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/dataflow"
+)
+
+// Analyzer is the sizecap analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "sizecap",
+	Doc:  "tainted allocation sizes must be clamped; suggested fix wraps the size in min(..., maxTaintedLen)",
+	Run:  run,
+}
+
+// capName and capValue define the clamp constant the fix inserts:
+// 1<<16 matches the wire layer's 64KB request cap, the repo's existing
+// notion of "as big as one hostile message can be".
+const (
+	capName  = "maxTaintedLen"
+	capValue = "1 << 16"
+)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	g := dataflow.Resolve(pass.Fset, pass.Files, pass.Pkg, pass.TypesInfo)
+	// Only the first fix per file declares the constant, so applying
+	// every fix in a file yields one declaration.
+	declPlanned := make(map[string]bool)
+	for _, node := range g.SortedFuncs() {
+		if node.Pkg != pass.Pkg {
+			continue
+		}
+		sum := g.Taint(node.Fn)
+		if sum == nil {
+			continue
+		}
+		for _, sink := range sum.Sinks {
+			if !sink.Val.Tainted || sink.Kind != dataflow.TaintAllocSize || sink.SizeExpr == nil {
+				continue
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos: sink.Pos,
+				Message: sink.Val.Src + " is used as an allocation size without an upper bound; clamp it to " + capName +
+					" or reject oversized values at the trust boundary",
+				SuggestedFixes: []analysis.SuggestedFix{
+					clampFix(pass, sink.SizeExpr, declPlanned),
+				},
+			})
+		}
+	}
+	return nil, nil
+}
+
+// clampFix builds the min(expr, maxTaintedLen) wrap plus, once per
+// file, the constant declaration after the imports.
+func clampFix(pass *analysis.Pass, size ast.Expr, declPlanned map[string]bool) analysis.SuggestedFix {
+	fix := analysis.SuggestedFix{
+		Message: "clamp the size with min(..., " + capName + ")",
+		TextEdits: []analysis.TextEdit{
+			{Pos: size.Pos(), End: size.Pos(), NewText: []byte("min(")},
+			{Pos: size.End(), End: size.End(), NewText: []byte(", " + capName + ")")},
+		},
+	}
+	file := fileOf(pass, size.Pos())
+	if file == nil {
+		return fix
+	}
+	fname := pass.Fset.Position(file.Pos()).Filename
+	if declPlanned[fname] || pass.Pkg.Scope().Lookup(capName) != nil {
+		return fix
+	}
+	declPlanned[fname] = true
+	fix.TextEdits = append(fix.TextEdits, analysis.TextEdit{
+		Pos:     declInsertPos(file),
+		NewText: []byte("\n// " + capName + " bounds every tainted length sizecap clamps in this file.\nconst " + capName + " = " + capValue + "\n"),
+	})
+	return fix
+}
+
+// fileOf returns the file containing pos.
+func fileOf(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// declInsertPos picks where the constant declaration goes: after the
+// last import declaration, or after the package clause when there are
+// no imports.
+func declInsertPos(file *ast.File) token.Pos {
+	pos := file.Name.End()
+	for _, d := range file.Decls {
+		if gd, ok := d.(*ast.GenDecl); ok && gd.Tok == token.IMPORT {
+			pos = gd.End()
+			continue
+		}
+		break
+	}
+	return pos
+}

@@ -1,0 +1,12 @@
+package sizecap_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/sizecap"
+)
+
+func TestSizecap(t *testing.T) {
+	analysistest.Run(t, "testdata", sizecap.Analyzer, "controlplane")
+}

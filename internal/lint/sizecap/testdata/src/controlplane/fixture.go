@@ -1,0 +1,50 @@
+// Package controlplane exercises sizecap: tainted allocation sizes
+// with a SuggestedFix, including taint that crosses a function boundary
+// through a return value and a channel send before allocating.
+package controlplane
+
+import "strings"
+
+type Request struct {
+	Tenant string `json:"tenant"`
+	Count  int    `json:"count"`
+}
+
+func alloc(req Request) []byte {
+	return make([]byte, req.Count) // want `wire field Request\.Count is used as an allocation size without an upper bound`
+}
+
+func repeat(req Request) string {
+	return strings.Repeat("x", req.Count) // want `wire field Request\.Count is used as an allocation size without an upper bound`
+}
+
+func grown(req Request) string {
+	var b strings.Builder
+	b.Grow(req.Count) // want `wire field Request\.Count is used as an allocation size without an upper bound`
+	b.WriteString(req.Tenant)
+	return b.String()
+}
+
+// count carries the taint across a function boundary via its return.
+func count(req Request) int { return req.Count }
+
+func viaReturn(req Request) []byte {
+	return make([]byte, count(req)) // want `wire field Request\.Count is used as an allocation size without an upper bound`
+}
+
+// The channel hop: a value received from sizeCh is as hostile as the
+// wire field that was sent on it.
+var sizeCh = make(chan int)
+
+func sendSize(req Request) {
+	sizeCh <- req.Count
+}
+
+func viaChannel() []byte {
+	n := <-sizeCh
+	return make([]byte, n) // want `wire field Request\.Count is used as an allocation size without an upper bound`
+}
+
+func clamped(req Request) []byte {
+	return make([]byte, min(req.Count, 1024)) // clamped: clean
+}

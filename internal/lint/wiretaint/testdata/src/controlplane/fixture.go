@@ -1,0 +1,124 @@
+// Package controlplane mirrors the repo's wire surface: json-tagged
+// struct fields in a package of this name are taint sources, so the
+// fixture exercises every sink kind, interprocedural chains, a
+// channel-crossing flow, and each recognized sanitizer.
+package controlplane
+
+import (
+	"os"
+	"time"
+)
+
+// Request is the fixture's wire struct. Each field feeds exactly one
+// demo: reject/clamp guards sanitize a field program-wide (the
+// validate-at-the-boundary idiom), so sink demos and sanitizer demos
+// must not share fields.
+type Request struct {
+	Tenant  string `json:"tenant"`
+	Count   int    `json:"count"`
+	Delay   int64  `json:"delay"`
+	Path    string `json:"path"`
+	Bounded int    `json:"bounded"`
+	Small   int    `json:"small"`
+	Trusted int    `json:"trusted"`
+	skipped int    // no json tag: not wire-decoded, not a source
+}
+
+// --- direct sinks ---
+
+func directSinks(req Request) {
+	_ = make([]byte, req.Count) // want `wire field Request\.Count reaches an allocation size: make`
+	panic(req.Tenant)           // want `wire field Request\.Tenant reaches a panic argument: panic`
+}
+
+func durations(req Request) {
+	d := time.Duration(req.Delay) // want `wire field Request\.Delay reaches a time\.Duration: time\.Duration`
+	time.Sleep(d)                 // want `wire field Request\.Delay reaches a time\.Duration: time\.Sleep`
+}
+
+func paths(req Request) {
+	f, err := os.Open(req.Path) // want `wire field Request\.Path reaches a file path: os\.Open`
+	if err == nil {
+		f.Close()
+	}
+}
+
+func loops(req Request) {
+	for i := 0; i < req.Count; i++ { // want `wire field Request\.Count reaches a loop bound: for loop`
+		go work() // want `wire field Request\.Count reaches a goroutine-spawn count: go statement`
+	}
+	for range req.Count { // want `wire field Request\.Count reaches a loop bound: range`
+	}
+}
+
+func work() {}
+
+func spread(req Request, out []byte) []byte {
+	hostile := []byte(req.Tenant)
+	return append(out, hostile...) // want `wire field Request\.Tenant reaches an allocation size: append`
+}
+
+func unsourced(req Request) {
+	_ = make([]byte, req.skipped) // untagged field: no source, no finding
+}
+
+// --- a chain crossing a function boundary ---
+
+func grow(n int) []byte {
+	// The sink here carries only a param bit, so it is not reported in
+	// grow itself; the caller passing a tainted argument is.
+	return make([]byte, n)
+}
+
+func callsGrow(req Request) {
+	_ = grow(req.Count) // want `wire field Request\.Count reaches an allocation size: make \(via controlplane\.grow\)`
+}
+
+// --- a chain crossing a channel send ---
+
+var countCh = make(chan int)
+
+func sendCount(req Request) {
+	countCh <- req.Count
+}
+
+func recvCount() {
+	n := <-countCh
+	_ = make([]byte, n) // want `wire field Request\.Count reaches an allocation size: make`
+}
+
+// --- sanitizers: no findings below this line ---
+
+func rejectGuard(req Request) {
+	if req.Bounded > 1024 {
+		return
+	}
+	_ = make([]byte, req.Bounded) // rejected above the sink: clean
+}
+
+func clampBuiltin(req Request) {
+	n := min(req.Count, 1024)
+	_ = make([]byte, n) // clamped to a constant: clean
+}
+
+func acceptGuard(req Request) {
+	if req.Small <= 512 {
+		_ = make([]byte, req.Small) // inside the accepting branch: clean
+	}
+}
+
+func directiveSanitized(req Request) {
+	//reconlint:sanitized the fixture vouches for this count to prove the directive is honored
+	_ = make([]byte, req.Trusted)
+}
+
+// Validate is recognized by name; a guarded call sanitizes the
+// receiver's fields for the rest of the function.
+func (r Request) Validate() error { return nil }
+
+func validatorGuard(req Request) {
+	if err := req.Validate(); err != nil {
+		return
+	}
+	_ = make([]byte, req.Trusted) // validated root: clean
+}

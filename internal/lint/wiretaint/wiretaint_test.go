@@ -1,0 +1,12 @@
+package wiretaint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/wiretaint"
+)
+
+func TestWiretaint(t *testing.T) {
+	analysistest.Run(t, "testdata", wiretaint.Analyzer, "controlplane")
+}
