@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint lint-fix lint-sarif lint-taint test race verify bench-lint bench-obs bench-queue bench-taint cover smoke
+.PHONY: build vet lint lint-fix lint-sarif lint-taint test race verify bench-lint bench-obs bench-queue bench-taint bench-baseline benchdiff coverage-md report cover smoke
 
 # Minimum statement coverage enforced by `make cover`, per package.
 COVER_FLOOR_OBS  ?= 85.0
@@ -37,8 +37,11 @@ race:
 # verify is tier-1 plus the migration gate: reconlint's deprecatedshim
 # analyzer fails the lint step if any deprecated alias (sim.EventQueue,
 # reconvirt.SimConfig, DefaultSimConfig, ...) gains a new call site —
-# the committed tree carries zero, so any use is new.
-verify: build vet lint test race
+# the committed tree carries zero, so any use is new. benchdiff is the
+# perf-regression contract: the gated benchmark families are re-run and
+# compared against the committed BENCH_PR10.json baseline; an alloc or
+# model-metric regression beyond the noise budget fails verify.
+verify: build vet lint test race benchdiff
 
 # Regenerate the committed linter benchmark snapshot.
 bench-lint:
@@ -67,6 +70,60 @@ bench-obs:
 BENCHTIME_QUEUE ?= 200x
 bench-queue:
 	$(GO) test -run xxx -bench 'BenchmarkQueue|BenchmarkDReAMSim_ArrivalSweep' -benchtime $(BENCHTIME_QUEUE) . | $(GO) run ./cmd/benchjson > BENCH_PR6.json
+
+# --- Performance contract ---
+#
+# bench-baseline and benchdiff run the IDENTICAL benchmark commands
+# (same families, same benchtime, -benchmem on), so allocs/op and the
+# model metrics compare apples to apples. At 3x iterations wall time
+# never gates (benchdiff's min-iters guard treats it as informational);
+# the deterministic metrics — allocs/op, B/op, and the simulator's own
+# counters — gate for real, which is what makes this flake-free on a
+# shared machine. On a different machine (CI) time gating switches off
+# automatically via the env fingerprint in the JSON.
+BENCHTIME_VERIFY ?= 3x
+BENCH_BASELINE   ?= BENCH_PR10.json
+BENCH_OUT        ?= /tmp/bench_head.json
+
+# The raw capture goes to a file first (not a pipe) so a failing
+# benchmark run fails the target instead of silently truncating the
+# snapshot — benchdiff would flag the missing benchmarks as regressions,
+# but bench-baseline must never record a partial baseline.
+BENCH_RAW ?= /tmp/bench_raw.txt
+
+define BENCH_SNAPSHOT
+{ $(GO) test -run xxx -bench 'BenchmarkQueue|BenchmarkDReAMSim_ArrivalSweep|BenchmarkDReAMSim_FaultSweep|BenchmarkSinkOverhead' -benchtime $(BENCHTIME_VERIFY) -benchmem . \
+  && $(GO) test -run xxx -bench 'BenchmarkReconlint$$|BenchmarkReconlintTaint' -benchtime 1x -benchmem ./cmd/reconlint \
+  && $(GO) test -run xxx -bench 'BenchmarkControlPlane' -benchtime $(BENCHTIME_VERIFY) -benchmem ./internal/controlplane ; } > $(BENCH_RAW)
+endef
+
+# Re-record the committed baseline. Do this only when a benchmark
+# legitimately changed (new benchmark, reviewed perf change) and commit
+# the JSON diff with the change that explains it.
+bench-baseline:
+	$(BENCH_SNAPSHOT)
+	$(GO) run ./cmd/benchjson < $(BENCH_RAW) > $(BENCH_BASELINE)
+
+# The perf gate: exit 1 if any gated benchmark regressed beyond its
+# noise budget against the committed baseline.
+benchdiff:
+	$(BENCH_SNAPSHOT)
+	$(GO) run ./cmd/benchjson < $(BENCH_RAW) > $(BENCH_OUT)
+	$(GO) run ./cmd/benchdiff -old $(BENCH_BASELINE) -new $(BENCH_OUT)
+
+# Regenerate the committed scenario coverage matrix (guarded by
+# internal/covmatrix's tier-1 test).
+coverage-md:
+	$(GO) run ./cmd/covgen -out COVERAGE.md
+
+# Assemble the release report (markdown + HTML) from the last benchdiff
+# snapshot — or a fresh one if none exists — plus the coverage matrix.
+# Pass SOAK=path/to/gridload.json to include a soak section.
+SOAK ?=
+report:
+	@test -f $(BENCH_OUT) || { echo "report: recording bench snapshot"; $(BENCH_SNAPSHOT) > $(BENCH_OUT); }
+	$(GO) run ./cmd/relreport -old $(BENCH_BASELINE) -new $(BENCH_OUT) \
+		$(if $(SOAK),-soak $(SOAK)) -md release-report.md -html release-report.html
 
 # Control-plane smoke: boot rmsd, drive 5k tasks from 50 tenants over
 # the wire with gridload (which fails on any lost task or conservation

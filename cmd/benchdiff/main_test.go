@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseDoc = `{
+  "env": {"cpu": "test-cpu", "goarch": "amd64"},
+  "results": [
+    {"name": "BenchmarkA", "iterations": 100, "metrics": {"ns/op": 1000000, "allocs/op": 1000}},
+    {"name": "BenchmarkB", "iterations": 100, "metrics": {"ns/op": 2000000, "reconfigs": 11}}
+  ]
+}`
+
+// exit runs the command and returns (status, stdout, stderr).
+func exit(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitOKWhenIdentical(t *testing.T) {
+	dir := t.TempDir()
+	old := write(t, dir, "old.json", baseDoc)
+	code, out, errb := exit(t, "-old", old, "-new", old)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "| benchmark | unit |") || !strings.Contains(out, "0 regressed") {
+		t.Errorf("markdown table missing from stdout:\n%s", out)
+	}
+}
+
+func TestExitOneOnAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := write(t, dir, "old.json", baseDoc)
+	new := write(t, dir, "new.json", strings.ReplaceAll(baseDoc, `"allocs/op": 1000`, `"allocs/op": 1400`))
+	code, out, errb := exit(t, "-old", old, "-new", new)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(errb, "regression(s) beyond the noise budget") {
+		t.Errorf("regression not reported:\nstdout:\n%s\nstderr:\n%s", out, errb)
+	}
+}
+
+func TestExitOneOnModelDriftAndMissingBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	old := write(t, dir, "old.json", baseDoc)
+	// BenchmarkB's model metric drifts AND BenchmarkA disappears.
+	new := write(t, dir, "new.json", `{
+  "env": {"cpu": "test-cpu", "goarch": "amd64"},
+  "results": [{"name": "BenchmarkB", "iterations": 100, "metrics": {"ns/op": 2000000, "reconfigs": 14}}]
+}`)
+	code, _, errb := exit(t, "-old", old, "-new", new)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb)
+	}
+	if !strings.Contains(errb, "BenchmarkA") || !strings.Contains(errb, "BenchmarkB") {
+		t.Errorf("stderr does not name both regressions:\n%s", errb)
+	}
+}
+
+func TestAllowFlagSuppressesGate(t *testing.T) {
+	dir := t.TempDir()
+	old := write(t, dir, "old.json", baseDoc)
+	new := write(t, dir, "new.json", strings.ReplaceAll(baseDoc, `"allocs/op": 1000`, `"allocs/op": 9999`))
+	code, _, errb := exit(t, "-old", old, "-new", new, "-allow", "^BenchmarkA$")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, errb)
+	}
+}
+
+func TestBudgetFlagOverrides(t *testing.T) {
+	dir := t.TempDir()
+	old := write(t, dir, "old.json", baseDoc)
+	// +5% allocs: inside the default 10% budget, outside 1%,16.
+	new := write(t, dir, "new.json", strings.ReplaceAll(baseDoc, `"allocs/op": 1000`, `"allocs/op": 1050`))
+	if code, _, errb := exit(t, "-old", old, "-new", new); code != 0 {
+		t.Fatalf("default budget: exit %d; stderr: %s", code, errb)
+	}
+	if code, _, _ := exit(t, "-old", old, "-new", new, "-budget", "allocs/op=0.01,16"); code != 1 {
+		t.Fatalf("tightened budget did not gate")
+	}
+}
+
+func TestCrossMachineTimeNotGatedUnlessForced(t *testing.T) {
+	dir := t.TempDir()
+	old := write(t, dir, "old.json", baseDoc)
+	slower := strings.ReplaceAll(baseDoc, `"ns/op": 1000000`, `"ns/op": 9000000`)
+	new := write(t, dir, "new.json", strings.ReplaceAll(slower, `"cpu": "test-cpu"`, `"cpu": "other-cpu"`))
+	if code, _, errb := exit(t, "-old", old, "-new", new); code != 0 {
+		t.Fatalf("cross-machine time delta gated: exit %d; stderr: %s", code, errb)
+	}
+	if code, _, _ := exit(t, "-old", old, "-new", new, "-force-time"); code != 1 {
+		t.Fatal("-force-time did not gate the time regression")
+	}
+}
+
+func TestExitTwoOnUsageAndParseErrors(t *testing.T) {
+	dir := t.TempDir()
+	old := write(t, dir, "old.json", baseDoc)
+	bad := write(t, dir, "bad.json", "go test output, not json")
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"no flags", nil},
+		{"missing -new", []string{"-old", old}},
+		{"unknown flag", []string{"-old", old, "-new", old, "-frobnicate"}},
+		{"positional junk", []string{"-old", old, "-new", old, "extra"}},
+		{"nonexistent file", []string{"-old", old, "-new", filepath.Join(dir, "missing.json")}},
+		{"unparseable file", []string{"-old", old, "-new", bad}},
+		{"bad allow regexp", []string{"-old", old, "-new", old, "-allow", "("}},
+		{"bad budget spec", []string{"-old", old, "-new", old, "-budget", "allocs/op"}},
+		{"negative budget", []string{"-old", old, "-new", old, "-budget", "ns/op=-1"}},
+	} {
+		if code, _, _ := exit(t, tc.args...); code != 2 {
+			t.Errorf("%s: exit %d, want 2", tc.name, code)
+		}
+	}
+}

@@ -6,8 +6,14 @@
 //
 // Each benchmark line becomes one record holding the benchmark name, the
 // iteration count, and every reported metric keyed by its unit (ns/op,
-// B/op, allocs/op, and any b.ReportMetric custom units). Header lines
-// (goos, goarch, pkg, cpu) become the environment block.
+// B/op, allocs/op — run `go test` with -benchmem so the allocation
+// columns exist to be captured — and any b.ReportMetric custom units).
+// Header lines (goos, goarch, pkg, cpu) become the environment block,
+// plus the Go toolchain version under "go" so snapshots record what
+// compiled them. GOMAXPROCS name suffixes ("Benchmark/case-8") are
+// stripped so snapshots from differently sized machines diff by
+// benchmark identity; snapshots recorded before these additions remain
+// parseable by internal/benchstat.
 package main
 
 import (
@@ -15,6 +21,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -47,7 +55,7 @@ func main() {
 }
 
 func parse(sc *bufio.Scanner) (*Doc, error) {
-	doc := &Doc{Env: map[string]string{}}
+	doc := &Doc{Env: map[string]string{"go": runtime.Version()}}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		switch {
@@ -74,6 +82,13 @@ func parse(sc *bufio.Scanner) (*Doc, error) {
 	return doc, nil
 }
 
+// procsSuffix is the "-8" GOMAXPROCS suffix go test appends to
+// benchmark names when GOMAXPROCS != 1. It is machine shape, not
+// benchmark identity, so it is stripped at capture time. A subbenchmark
+// whose final path segment legitimately ends in "-<digits>" would be
+// mangled; none of this repo's do.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
 // parseBench parses "BenchmarkX/sub-8  10  123 ns/op  4.5 custom-unit ...".
 func parseBench(line string) (Result, error) {
 	fields := strings.Fields(line)
@@ -84,7 +99,8 @@ func parseBench(line string) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("iteration count in %q: %w", line, err)
 	}
-	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	name := procsSuffix.ReplaceAllString(fields[0], "")
+	r := Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
 	// The remainder is (value, unit) pairs.
 	rest := fields[2:]
 	if len(rest)%2 != 0 {

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bufio"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func parseString(t *testing.T, s string) (*Doc, error) {
+	t.Helper()
+	return parse(bufio.NewScanner(strings.NewReader(s)))
+}
+
+func TestParseCapturesAllocColumns(t *testing.T) {
+	doc, err := parseString(t, strings.Join([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: repro",
+		"cpu: Intel(R) Xeon(R) Processor @ 2.10GHz",
+		"BenchmarkX/sub=1.5\t 10\t 123 ns/op\t 4.5 widgets\t 456 B/op\t 7 allocs/op",
+		"PASS",
+		"ok  \trepro\t1.2s",
+	}, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(doc.Results))
+	}
+	r := doc.Results[0]
+	if r.Name != "BenchmarkX/sub=1.5" || r.Iterations != 10 {
+		t.Errorf("header parsed as %q/%d", r.Name, r.Iterations)
+	}
+	want := map[string]float64{"ns/op": 123, "widgets": 4.5, "B/op": 456, "allocs/op": 7}
+	for unit, v := range want {
+		if r.Metrics[unit] != v {
+			t.Errorf("metric %s = %v, want %v", unit, r.Metrics[unit], v)
+		}
+	}
+	if doc.Env["cpu"] == "" || doc.Env["goos"] != "linux" {
+		t.Errorf("env block not captured: %v", doc.Env)
+	}
+}
+
+func TestParseStampsGoVersion(t *testing.T) {
+	doc, err := parseString(t, "BenchmarkY\t1\t5 ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Env["go"]; got != runtime.Version() {
+		t.Errorf("env go = %q, want %q", got, runtime.Version())
+	}
+}
+
+func TestParseStripsGOMAXPROCSSuffix(t *testing.T) {
+	doc, err := parseString(t, strings.Join([]string{
+		"BenchmarkA/case-8\t3\t10 ns/op",
+		"BenchmarkB/pending=1000\t3\t20 ns/op",
+	}, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Results[0].Name; got != "BenchmarkA/case" {
+		t.Errorf("suffixed name kept: %q", got)
+	}
+	if got := doc.Results[1].Name; got != "BenchmarkB/pending=1000" {
+		t.Errorf("unsuffixed name mangled: %q", got)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, tc := range []struct{ name, in string }{
+		{"empty input", ""},
+		{"headers only", "goos: linux\nPASS"},
+		{"odd metric fields", "BenchmarkX\t1\t123 ns/op\t4.5"},
+		{"bad iteration count", "BenchmarkX\tlots\t123 ns/op"},
+		{"bad metric value", "BenchmarkX\t1\tfast ns/op"},
+	} {
+		if _, err := parseString(t, tc.in); err == nil {
+			t.Errorf("%s: parse accepted %q", tc.name, tc.in)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command covgen generates (or checks) COVERAGE.md, the scenario
+// coverage matrix: which strategy × fault-regime × workload-family
+// cells are pinned by golden files or differential suites, computed by
+// internal/covmatrix from //scenario: markers in the repo's test files.
+//
+//	covgen -out COVERAGE.md        # regenerate the committed matrix
+//	covgen -check                  # exit 1 if COVERAGE.md is stale or a cell went dark
+//
+// Exit status: 0 ok, 1 drift in -check mode, 2 usage or computation
+// errors (including invalid markers).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/covmatrix"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("covgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("root", ".", "repo root to scan")
+	out := fs.String("out", "", "write the matrix to this file instead of stdout")
+	check := fs.Bool("check", false, "compare against -out (default COVERAGE.md) instead of writing")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintln(stderr, "covgen: unexpected arguments")
+		return 2
+	}
+
+	m, err := covmatrix.Compute(*root)
+	if err != nil {
+		fmt.Fprintln(stderr, "covgen:", err)
+		return 2
+	}
+	var buf bytes.Buffer
+	if err := m.WriteMarkdown(&buf); err != nil {
+		fmt.Fprintln(stderr, "covgen:", err)
+		return 2
+	}
+
+	if *check {
+		path := *out
+		if path == "" {
+			path = "COVERAGE.md"
+		}
+		committed, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "covgen:", err)
+			return 2
+		}
+		if !bytes.Equal(committed, buf.Bytes()) {
+			fmt.Fprintf(stderr, "covgen: %s is stale — a covered cell went dark or new coverage landed; regenerate with `go run ./cmd/covgen -out %s` and review the diff\n", path, path)
+			return 1
+		}
+		return 0
+	}
+
+	if *out != "" {
+		if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(stderr, "covgen:", err)
+			return 2
+		}
+		return 0
+	}
+	if _, err := stdout.Write(buf.Bytes()); err != nil {
+		fmt.Fprintln(stderr, "covgen:", err)
+		return 2
+	}
+	return 0
+}

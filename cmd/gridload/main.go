@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/controlplane"
+	"repro/internal/report"
 	"repro/internal/sim"
 )
 
@@ -152,41 +153,19 @@ func (c *client) read() (controlplane.Response, error) {
 	return resp, nil
 }
 
-// report is the JSON result gridload prints.
-type report struct {
-	Mode           string  `json:"mode"`
-	Tenants        int     `json:"tenants"`
-	TasksPerTenant int     `json:"tasks_per_tenant"`
-	Submitted      int     `json:"submitted"`
-	Accepted       int     `json:"accepted"`
-	Rejected       int     `json:"rejected"`
-	Completed      int     `json:"completed"`
-	Evicted        int     `json:"evicted"`
-	Canceled       int     `json:"canceled"`
-	InFlight       int     `json:"in_flight"`
-	Lost           int     `json:"lost"`
-	ElapsedSeconds float64 `json:"elapsed_seconds"`
-	ThroughputRPS  float64 `json:"throughput_rps"`
-	Latency        latency `json:"latency_ms"`
-}
+// The JSON result gridload prints is report.SoakSummary: the release
+// report loads the same type back, so the two cannot drift apart.
 
-type latency struct {
-	P50 float64 `json:"p50"`
-	P90 float64 `json:"p90"`
-	P99 float64 `json:"p99"`
-	Max float64 `json:"max"`
-}
-
-func percentiles(rtts []float64) latency {
+func percentiles(rtts []float64) report.LatencyMS {
 	if len(rtts) == 0 {
-		return latency{}
+		return report.LatencyMS{}
 	}
 	sort.Float64s(rtts)
 	at := func(p float64) float64 {
 		i := int(p * float64(len(rtts)-1))
 		return rtts[i]
 	}
-	return latency{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: rtts[len(rtts)-1]}
+	return report.LatencyMS{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: rtts[len(rtts)-1]}
 }
 
 var tierNames = []string{"full", "virtualized", "background"}
@@ -308,7 +287,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
 
-	rep := report{Mode: opt.mode, Tenants: opt.tenants, TasksPerTenant: opt.tasks, ElapsedSeconds: elapsed}
+	rep := report.SoakSummary{Mode: opt.mode, Tenants: opt.tenants, TasksPerTenant: opt.tasks, ElapsedSeconds: elapsed}
 	var rtts []float64
 	for w, res := range results {
 		if res.err != nil {
@@ -348,11 +327,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "gridload: stats failed: %v %q\n", err, statsResp.Error)
 		return 1
 	}
+	var repairedTasks int
+	var repairSeconds, virtualSeconds float64
 	for _, st := range statsResp.Tenants {
 		rep.Completed += st.Completed
 		rep.Evicted += st.Evicted
 		rep.Canceled += st.Canceled
 		rep.InFlight += st.InFlight
+		rep.Retries += st.Retries
+		rep.FaultAborts += st.FaultAborts
+		repairedTasks += st.RepairedTasks
+		repairSeconds += st.RepairSeconds
+		virtualSeconds += st.VirtualSeconds
 		if st.Submitted != st.Completed+st.Rejected+st.Evicted+st.Canceled+st.InFlight {
 			fmt.Fprintf(stderr, "gridload: tenant %q violates conservation: submitted=%d completed=%d rejected=%d evicted=%d canceled=%d in_flight=%d\n",
 				st.Tenant, st.Submitted, st.Completed, st.Rejected, st.Evicted, st.Canceled, st.InFlight)
@@ -360,6 +346,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	rep.Lost += rep.Accepted - rep.Completed - rep.Evicted - rep.Canceled - rep.InFlight
+	if repairedTasks > 0 {
+		rep.MeanMTTRSeconds = repairSeconds / float64(repairedTasks)
+	}
+	if virtualSeconds > 0 {
+		// Availability is the fraction of aggregate virtual time the
+		// tenants' slices were not repairing from a fault, clamped: a
+		// pathological trace cannot report a negative availability.
+		rep.Availability = 1 - repairSeconds/virtualSeconds
+		if rep.Availability < 0 {
+			rep.Availability = 0
+		}
+	}
 
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")

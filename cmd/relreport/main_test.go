@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchDoc = `{
+  "env": {"cpu": "test-cpu", "goarch": "amd64"},
+  "results": [
+    {"name": "BenchmarkA", "iterations": 100, "metrics": {"ns/op": 1000000, "allocs/op": 1000}}
+  ]
+}`
+
+const soakDoc = `{
+  "mode": "closed", "tenants": 4, "tasks_per_tenant": 10,
+  "submitted": 40, "accepted": 40, "completed": 40,
+  "fault_aborts": 3, "retries": 3,
+  "mean_mttr_seconds": 2.5, "availability": 0.99,
+  "elapsed_seconds": 0.5, "throughput_rps": 80,
+  "latency_ms": {"p50": 1, "p90": 2, "p99": 3, "max": 4}
+}`
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRenderMarkdownAndHTML(t *testing.T) {
+	dir := t.TempDir()
+	bench := write(t, dir, "bench.json", benchDoc)
+	soak := write(t, dir, "soak.json", soakDoc)
+	md := filepath.Join(dir, "out.md")
+	htmlPath := filepath.Join(dir, "out.html")
+
+	var out, errb bytes.Buffer
+	// -root "" skips the coverage matrix: this test pins the command
+	// plumbing, the live-tree matrix is covered by internal/covmatrix.
+	code := run([]string{"-old", bench, "-new", bench, "-soak", soak,
+		"-root", "", "-title", "test release", "-md", md, "-html", htmlPath}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	mdBytes, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# test release", "## Benchmark deltas", "BenchmarkA", "## Soak summary", "mean MTTR"} {
+		if !strings.Contains(string(mdBytes), want) {
+			t.Errorf("markdown missing %q:\n%s", want, mdBytes)
+		}
+	}
+	htmlBytes, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<h1>test release</h1>", "<h2>Benchmark deltas</h2>", "<h2>Soak summary</h2>"} {
+		if !strings.Contains(string(htmlBytes), want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+}
+
+func TestStdoutAndUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	bench := write(t, dir, "bench.json", benchDoc)
+	bad := write(t, dir, "bad.json", "not json")
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-old", bench, "-new", bench, "-root", "", "-md", "-"}, &out, &errb); code != 0 {
+		t.Fatalf("stdout render: exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Benchmark deltas") {
+		t.Errorf("stdout markdown missing bench section:\n%s", out.String())
+	}
+
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"no outputs", []string{"-old", bench, "-new", bench}},
+		{"old without new", []string{"-old", bench, "-md", "-"}},
+		{"positional junk", []string{"-md", "-", "-root", "", "extra"}},
+		{"bad bench json", []string{"-old", bad, "-new", bench, "-root", "", "-md", "-"}},
+		{"bad soak json", []string{"-soak", bad, "-root", "", "-md", "-"}},
+	} {
+		if code := run(tc.args, &out, &errb); code != 2 {
+			t.Errorf("%s: exit %d, want 2", tc.name, code)
+		}
+	}
+}

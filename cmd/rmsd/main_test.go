@@ -15,6 +15,8 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files from the cur
 // no wall clock), so any drift in admission, matchmaking, fault
 // schedules, retry policy, cost accounting, or the dump format lands
 // here as a reviewable diff.
+//
+//scenario:golden strategy=first-fit regime=moderate workload=control-plane file=testdata/dump_state.golden
 func TestDumpStateGolden(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-dump-state", "-seed", "7", "-shards", "2", "-faults"}, &out, &errOut); code != 0 {

@@ -1,0 +1,82 @@
+package benchstat
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadCommittedSnapshots pins backward compatibility: every
+// BENCH_PR*.json ever committed (including pre-PR10 ones without the
+// "go" env key or allocation metrics) must keep parsing.
+func TestLoadCommittedSnapshots(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "BENCH_PR*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed BENCH_PR*.json snapshots found")
+	}
+	for _, path := range paths {
+		doc, err := LoadDoc(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if len(doc.Results) == 0 {
+			t.Errorf("%s: no results", path)
+		}
+		for _, r := range doc.Results {
+			if _, ok := r.Metrics["ns/op"]; !ok {
+				t.Errorf("%s: %s has no ns/op metric", path, r.Name)
+			}
+		}
+	}
+}
+
+func TestParseDocRejectsHostileShapes(t *testing.T) {
+	for _, tc := range []struct{ name, in string }{
+		{"not json", "go test output, not json"},
+		{"truncated", `{"env":{},"results":[{"name":"B`},
+		{"unnamed result", `{"results":[{"iterations":1,"metrics":{"ns/op":1}}]}`},
+		{"negative iterations", `{"results":[{"name":"B","iterations":-1,"metrics":{"ns/op":1}}]}`},
+		{"empty metric unit", `{"results":[{"name":"B","iterations":1,"metrics":{"":1}}]}`},
+		{"huge number overflows", `{"results":[{"name":"B","iterations":1,"metrics":{"ns/op":1e999}}]}`},
+	} {
+		if _, err := ParseDoc([]byte(tc.in)); err == nil {
+			t.Errorf("%s: ParseDoc accepted %q", tc.name, tc.in)
+		}
+	}
+}
+
+func TestParseDocAcceptsMinimal(t *testing.T) {
+	doc, err := ParseDoc([]byte(`{"env":null,"results":[{"name":"B","iterations":0,"metrics":null}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 1 || doc.Results[0].Name != "B" {
+		t.Fatalf("parsed %+v", doc)
+	}
+}
+
+func TestSameMachine(t *testing.T) {
+	mk := func(cpu, arch string) *Doc {
+		return &Doc{Env: map[string]string{"cpu": cpu, "goarch": arch}}
+	}
+	ref := mk("xeon", "amd64")
+	for _, tc := range []struct {
+		name     string
+		old, new *Doc
+		want     bool
+	}{
+		{"identical", ref, mk("xeon", "amd64"), true},
+		{"different cpu", ref, mk("epyc", "amd64"), false},
+		{"different arch", ref, mk("xeon", "arm64"), false},
+		{"missing env", ref, &Doc{}, false},
+		{"both empty", &Doc{}, &Doc{}, false},
+		{"nil doc", ref, nil, false},
+	} {
+		if got := SameMachine(tc.old, tc.new); got != tc.want {
+			t.Errorf("%s: SameMachine = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

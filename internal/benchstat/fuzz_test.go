@@ -1,0 +1,46 @@
+package benchstat
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseDoc is the two-sided parser contract: ParseDoc must never
+// panic on arbitrary bytes, and any document it accepts must survive a
+// marshal/re-parse round trip unchanged and diff empty against itself.
+// The committed corpus includes truncated, type-confused, and
+// numerically hostile inputs alongside a real snapshot shape.
+func FuzzParseDoc(f *testing.F) {
+	f.Add([]byte(`{"env":{"cpu":"xeon","go":"go1.24.0"},"results":[{"name":"BenchmarkX/sub=1","iterations":3,"metrics":{"ns/op":123.5,"allocs/op":7}}]}`))
+	f.Add([]byte(`{"env":{},"results":[{"name":"B`))
+	f.Add([]byte(`{"results":[{"name":"B","iterations":-9,"metrics":{"ns/op":1}}]}`))
+	f.Add([]byte(`{"results":[{"name":"B","iterations":1,"metrics":{"ns/op":1e999}}]}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"results":[{"name":"","iterations":1,"metrics":{}}]}`))
+	f.Add([]byte(`{"results":[{"name":"B","iterations":1,"metrics":{"":3}}]}`))
+	f.Add([]byte(`{"env":{"cpu":"[31mansi[0m"},"results":[{"name":"B\npipe|","iterations":1,"metrics":{"ns/op":0}}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := ParseDoc(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatalf("accepted doc does not re-marshal: %v", err)
+		}
+		again, err := ParseDoc(out)
+		if err != nil {
+			t.Fatalf("accepted doc does not re-parse: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(doc, again) {
+			t.Fatalf("round trip changed the document:\nfirst:  %+v\nsecond: %+v", doc, again)
+		}
+		rep := Diff(doc, doc, DefaultOptions())
+		for _, d := range rep.Deltas {
+			if d.Class != ClassSame {
+				t.Fatalf("diff(A,A) produced %v for %s [%s]", d.Class, d.Name, d.Unit)
+			}
+		}
+	})
+}

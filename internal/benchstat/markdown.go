@@ -1,0 +1,69 @@
+package benchstat
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteMarkdown renders the report as a GitHub-flavoured markdown delta
+// table followed by a one-line verdict, in the deterministic order Diff
+// produced. Unchanged rows are included — the table doubles as the
+// per-release performance inventory in the release report.
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "| benchmark | unit | old | new | delta | status |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---|---:|---:|---:|---|"); err != nil {
+		return err
+	}
+	for _, d := range r.Deltas {
+		status := d.Class.String()
+		if d.Note != "" {
+			status += " (" + d.Note + ")"
+		}
+		_, err := fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s |\n",
+			escapeCell(d.Name), escapeCell(d.Unit), num(d.Old), num(d.New), pctCell(d.Pct), status)
+		if err != nil {
+			return err
+		}
+	}
+	same, improved, info, regressed := r.Counts()
+	gate := "off (cross-machine)"
+	if r.TimeGated {
+		gate = "on"
+	}
+	_, err := fmt.Fprintf(w, "\n%d regressed, %d improved, %d unchanged, %d informational; wall-time gating %s.\n",
+		regressed, improved, same, info, gate)
+	return err
+}
+
+// FormatValue renders a metric value the way the markdown table does:
+// "-" for the NaN placeholder of a missing side, %g otherwise. Exported
+// for renderers (the HTML release report) that must match the table.
+func FormatValue(v float64) string { return num(v) }
+
+// FormatPct renders a signed percentage delta, "-" for NaN.
+func FormatPct(v float64) string { return pctCell(v) }
+
+func num(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+func pctCell(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", v)
+}
+
+// escapeCell keeps benchmark names (which include '/') from breaking
+// the table if one ever contains a pipe.
+func escapeCell(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}

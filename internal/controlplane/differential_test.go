@@ -73,6 +73,8 @@ func runTrace(t *testing.T, shards int, withFaults bool) (map[string][]string, [
 // determinism claim: the same seeded request trace produces identical
 // per-tenant completion logs and counters whether the dispatcher runs
 // one shard or many. Sharding buys throughput, never different answers.
+//
+//scenario:differential strategy=first-fit regime=none,moderate workload=control-plane
 func TestDifferentialShardCount(t *testing.T) {
 	for _, withFaults := range []bool{false, true} {
 		name := "clean"

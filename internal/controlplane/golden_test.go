@@ -72,6 +72,8 @@ func goldenServer(t *testing.T) *Server {
 
 // TestDumpStateGolden pins the deterministic `rmsd -dump-state` /
 // OpDump snapshot format byte for byte.
+//
+//scenario:golden strategy=first-fit regime=hostile workload=control-plane file=testdata/dump_state.golden
 func TestDumpStateGolden(t *testing.T) {
 	s := goldenServer(t)
 	dump := mustOK(t, s.Do(Request{Op: OpDump})).Dump

@@ -42,6 +42,17 @@ type TenantStats struct {
 	InFlight  int `json:"in_flight"`
 	// Retries counts fault-aborted attempts that were re-queued.
 	Retries int `json:"retries"`
+	// FaultAborts counts execution attempts killed by an injected fault
+	// (whether or not the task was later re-queued). RepairedTasks and
+	// RepairSeconds accumulate the repair record: a task that completes
+	// after at least one fault abort contributes the virtual time from
+	// its last fault strike to its completion, so
+	// RepairSeconds/RepairedTasks is the tenant's mean time to repair.
+	// All three are omitempty: fault-free runs serialize exactly as
+	// before these fields existed.
+	FaultAborts   int     `json:"fault_aborts,omitempty"`
+	RepairedTasks int     `json:"repaired_tasks,omitempty"`
+	RepairSeconds float64 `json:"repair_seconds,omitempty"`
 	// VirtualSeconds is the tenant engine's virtual clock; CostUnits the
 	// accumulated execution cost at the jss cost rates.
 	VirtualSeconds float64 `json:"virtual_seconds"`
@@ -86,8 +97,11 @@ type cpTask struct {
 	t     *task.Task
 	sub   *jss.Submission
 	state taskState
-	// attempts counts fault-aborted executions so far.
-	attempts int
+	// attempts counts fault-aborted executions so far; lastFaultAt is
+	// the virtual time of the most recent abort, the start of the repair
+	// window MTTR accounting measures.
+	attempts    int
+	lastFaultAt sim.Time
 	// queuedAt/doneAt are tenant-virtual times.
 	queuedAt sim.Time
 	doneAt   sim.Time
@@ -458,6 +472,8 @@ func (te *tenantEngine) attempt(ct *cpTask, now sim.Time) {
 			te.release(lease, true)
 			te.emit(obs.KindFail, ct, cand.Elem)
 			ct.attempts++
+			ct.lastFaultAt = at
+			te.stats.FaultAborts++
 			if ct.attempts > te.policy.Retry.MaxRetries {
 				te.evict(ct, at, "retries exhausted")
 				return
@@ -479,6 +495,10 @@ func (te *tenantEngine) attempt(ct *cpTask, now sim.Time) {
 		te.stats.CostUnits += ct.sub.FinalCost
 		te.stats.Completed++
 		te.stats.InFlight--
+		if ct.attempts > 0 {
+			te.stats.RepairedTasks++
+			te.stats.RepairSeconds += float64(at - ct.lastFaultAt)
+		}
 		te.doneLog = append(te.doneLog, ct.id)
 		if len(te.doneLog) > maxDoneLog {
 			te.doneLog = te.doneLog[len(te.doneLog)-maxDoneLog:]

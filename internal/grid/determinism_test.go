@@ -56,6 +56,8 @@ func faultScenario(rec *Recorder) ScenarioSpec {
 // TestFaultScenarioReplaysByteIdentically is the determinism contract
 // extended to faults: identical seed + FaultSpec must reproduce the
 // exact trace event stream and every metric, bit for bit.
+//
+//scenario:differential strategy=reconfig-aware regime=hostile workload=default
 func TestFaultScenarioReplaysByteIdentically(t *testing.T) {
 	run := func() (*Metrics, []byte) {
 		rec := &Recorder{}

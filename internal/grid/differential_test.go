@@ -78,6 +78,8 @@ func differentialRegimes() map[string]*faults.Spec {
 // TestTraceMetricsDifferential recomputes the run's headline counters
 // from the raw event stream for every strategy under every fault regime
 // and cross-checks them against the engine's own Metrics.
+//
+//scenario:differential strategy=all regime=none,moderate,hostile workload=default
 func TestTraceMetricsDifferential(t *testing.T) {
 	tc, err := DefaultToolchain()
 	if err != nil {
@@ -277,6 +279,8 @@ func TestSweepProgressCallback(t *testing.T) {
 // recorded event, every gauge sample, and the full metrics fingerprint
 // must match exactly — the queue is a performance seam, never a
 // semantics seam.
+//
+//scenario:differential strategy=reconfig-aware regime=moderate workload=default
 func TestSchedulerDifferentialGolden(t *testing.T) {
 	run := func(mk func() sim.Scheduler) (*Metrics, []obs.Event, []obs.Sample) {
 		rec := &obs.Recorder{}

@@ -20,6 +20,13 @@ var updateGolden = flag.Bool("update", false, "rewrite golden trace files from t
 // sampling on. Every model change that shifts any event time, placement,
 // fault strike, retry, or gauge shows up as a diff against a checked-in
 // golden file. The given sinks observe the run.
+//
+// The scenario uses DefaultConfig (reconfig-aware) on DefaultWorkload;
+// the markers below feed the coverage matrix (COVERAGE.md, cmd/covgen).
+//
+//scenario:golden strategy=reconfig-aware regime=moderate workload=default file=testdata/fault_trace.csv
+//scenario:golden strategy=reconfig-aware regime=moderate workload=default file=testdata/chrome_trace.json
+//scenario:golden strategy=reconfig-aware regime=moderate workload=default file=testdata/timeline.csv
 func goldenFaultScenario(sinks ...obs.TraceSink) ScenarioSpec {
 	f := faults.Default()
 	f.CrashRate = 0.05

@@ -77,6 +77,8 @@ func invariantScenarios() map[string]*faults.Spec {
 // TestTaskConservationAcrossStrategies runs every registered strategy
 // under every scenario and asserts conservation from the public
 // RunScenario surface.
+//
+//scenario:differential strategy=all regime=none,hostile workload=default
 func TestTaskConservationAcrossStrategies(t *testing.T) {
 	tc, err := DefaultToolchain()
 	if err != nil {

@@ -1,0 +1,235 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/benchstat"
+	"repro/internal/covmatrix"
+)
+
+// LatencyMS is the request-latency percentile block of a soak summary,
+// in milliseconds. The json tags mirror cmd/gridload's output exactly.
+type LatencyMS struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// SoakSummary is the JSON document cmd/gridload emits after a soak: the
+// aggregate workload counters, throughput, latency percentiles, and the
+// fault/repair aggregates the release report turns into MTTR and
+// availability. cmd/gridload produces this type directly, so the wire
+// format and the report input cannot drift apart.
+type SoakSummary struct {
+	Mode           string `json:"mode"`
+	Tenants        int    `json:"tenants"`
+	TasksPerTenant int    `json:"tasks_per_tenant"`
+	Submitted      int    `json:"submitted"`
+	Accepted       int    `json:"accepted"`
+	Rejected       int    `json:"rejected"`
+	Completed      int    `json:"completed"`
+	Evicted        int    `json:"evicted"`
+	Canceled       int    `json:"canceled"`
+	InFlight       int    `json:"in_flight"`
+	Lost           int    `json:"lost"`
+	// Retries/FaultAborts aggregate the per-tenant repair counters; all
+	// fault fields are omitempty so fault-free soaks serialize exactly
+	// as they did before fault accounting existed.
+	Retries     int `json:"retries,omitempty"`
+	FaultAborts int `json:"fault_aborts,omitempty"`
+	// MeanMTTRSeconds is total repair time over repaired tasks (virtual
+	// seconds); Availability is 1 - repair/virtual time across tenants,
+	// clamped to [0, 1]. Zero when the soak injected no faults.
+	MeanMTTRSeconds float64   `json:"mean_mttr_seconds,omitempty"`
+	Availability    float64   `json:"availability,omitempty"`
+	ElapsedSeconds  float64   `json:"elapsed_seconds"`
+	ThroughputRPS   float64   `json:"throughput_rps"`
+	Latency         LatencyMS `json:"latency_ms"`
+}
+
+// LoadSoakSummary reads a gridload JSON report from disk.
+func LoadSoakSummary(path string) (*SoakSummary, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s SoakSummary
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("parsing soak summary %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Release is one release's consolidated quality report: benchmark
+// deltas against the committed baseline, the scenario coverage matrix,
+// and (when a soak ran) the gridload throughput/latency/availability
+// summary. Sections with nil inputs are omitted, so the report degrades
+// gracefully when a stage did not run.
+type Release struct {
+	Title    string
+	Bench    *benchstat.Report
+	Coverage *covmatrix.Matrix
+	Soak     *SoakSummary
+}
+
+// WriteMarkdown renders the full release report as markdown.
+func (r *Release) WriteMarkdown(w io.Writer) error {
+	title := r.Title
+	if title == "" {
+		title = "Release report"
+	}
+	if _, err := fmt.Fprintf(w, "# %s\n", title); err != nil {
+		return err
+	}
+	if r.Bench != nil {
+		fmt.Fprintf(w, "\n## Benchmark deltas\n\n")
+		if err := r.Bench.WriteMarkdown(w); err != nil {
+			return err
+		}
+	}
+	if r.Soak != nil {
+		fmt.Fprintf(w, "\n## Soak summary\n\n")
+		if err := r.writeSoakMarkdown(w); err != nil {
+			return err
+		}
+	}
+	if r.Coverage != nil {
+		// The matrix document carries its own top-level heading; demote it
+		// one level so the release report has a single h1.
+		var sb strings.Builder
+		if err := r.Coverage.WriteMarkdown(&sb); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "\n%s", demoteHeadings(sb.String())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// soakRows flattens the summary into ordered label/value pairs — the
+// single source for both renderers.
+func (r *Release) soakRows() [][2]string {
+	s := r.Soak
+	num := func(v float64) string { return fmt.Sprintf("%.4g", v) }
+	rows := [][2]string{
+		{"mode", s.Mode},
+		{"tenants × tasks", fmt.Sprintf("%d × %d", s.Tenants, s.TasksPerTenant)},
+		{"submitted / accepted / rejected", fmt.Sprintf("%d / %d / %d", s.Submitted, s.Accepted, s.Rejected)},
+		{"completed / evicted / canceled / lost", fmt.Sprintf("%d / %d / %d / %d", s.Completed, s.Evicted, s.Canceled, s.Lost)},
+		{"throughput", num(s.ThroughputRPS) + " req/s over " + num(s.ElapsedSeconds) + " s"},
+		{"latency p50 / p90 / p99 / max (ms)", fmt.Sprintf("%s / %s / %s / %s",
+			num(s.Latency.P50), num(s.Latency.P90), num(s.Latency.P99), num(s.Latency.Max))},
+	}
+	if s.FaultAborts > 0 || s.Retries > 0 {
+		rows = append(rows,
+			[2]string{"fault aborts / retries", fmt.Sprintf("%d / %d", s.FaultAborts, s.Retries)},
+			[2]string{"mean MTTR", num(s.MeanMTTRSeconds) + " virtual s"},
+			[2]string{"availability", num(s.Availability)},
+		)
+	}
+	return rows
+}
+
+func (r *Release) writeSoakMarkdown(w io.Writer) error {
+	fmt.Fprintln(w, "| metric | value |")
+	fmt.Fprintln(w, "|---|---|")
+	for _, row := range r.soakRows() {
+		if _, err := fmt.Fprintf(w, "| %s | %s |\n", row[0], row[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// demoteHeadings pushes every markdown ATX heading down one level.
+func demoteHeadings(md string) string {
+	lines := strings.Split(md, "\n")
+	for i, line := range lines {
+		if strings.HasPrefix(line, "#") {
+			lines[i] = "#" + line
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// WriteHTML renders the report as a standalone HTML document: bench
+// deltas and the soak summary as native tables, the coverage matrix as
+// preformatted markdown (its tables are already aligned for reading).
+func (r *Release) WriteHTML(w io.Writer) error {
+	title := r.Title
+	if title == "" {
+		title = "Release report"
+	}
+	fmt.Fprintf(w, `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>%s</title>
+<style>
+body { font-family: sans-serif; margin: 2em; max-width: 72em; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #999; padding: 0.3em 0.7em; text-align: left; }
+th { background: #eee; }
+td.regressed { color: #b00020; font-weight: bold; }
+td.improved { color: #00600f; }
+pre { background: #f6f6f6; padding: 1em; overflow-x: auto; }
+</style></head><body>
+<h1>%s</h1>
+`, html.EscapeString(title), html.EscapeString(title))
+	if r.Bench != nil {
+		fmt.Fprintln(w, "<h2>Benchmark deltas</h2>")
+		if err := r.writeBenchHTML(w); err != nil {
+			return err
+		}
+	}
+	if r.Soak != nil {
+		fmt.Fprintln(w, "<h2>Soak summary</h2>")
+		fmt.Fprintln(w, "<table><tr><th>metric</th><th>value</th></tr>")
+		for _, row := range r.soakRows() {
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td></tr>\n",
+				html.EscapeString(row[0]), html.EscapeString(row[1]))
+		}
+		fmt.Fprintln(w, "</table>")
+	}
+	if r.Coverage != nil {
+		fmt.Fprintln(w, "<h2>Scenario coverage</h2>")
+		var sb strings.Builder
+		if err := r.Coverage.WriteMarkdown(&sb); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "<pre>%s</pre>\n", html.EscapeString(sb.String()))
+	}
+	_, err := fmt.Fprintln(w, "</body></html>")
+	return err
+}
+
+func (r *Release) writeBenchHTML(w io.Writer) error {
+	fmt.Fprintln(w, "<table><tr><th>benchmark</th><th>unit</th><th>old</th><th>new</th><th>delta</th><th>status</th></tr>")
+	for _, d := range r.Bench.Deltas {
+		cls := ""
+		switch d.Class {
+		case benchstat.ClassRegressed:
+			cls = ` class="regressed"`
+		case benchstat.ClassImproved:
+			cls = ` class="improved"`
+		}
+		status := d.Class.String()
+		if d.Note != "" {
+			status += " (" + d.Note + ")"
+		}
+		fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td%s>%s</td></tr>\n",
+			html.EscapeString(d.Name), html.EscapeString(d.Unit),
+			html.EscapeString(benchstat.FormatValue(d.Old)),
+			html.EscapeString(benchstat.FormatValue(d.New)),
+			html.EscapeString(benchstat.FormatPct(d.Pct)),
+			cls, html.EscapeString(status))
+	}
+	same, improved, info, regressed := r.Bench.Counts()
+	_, err := fmt.Fprintf(w, "</table>\n<p>%d regressed, %d improved, %d unchanged, %d informational.</p>\n",
+		regressed, improved, same, info)
+	return err
+}

@@ -1,0 +1,144 @@
+package report
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchstat"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from the current renderer")
+
+func sampleSoak() *SoakSummary {
+	return &SoakSummary{
+		Mode: "closed", Tenants: 8, TasksPerTenant: 25,
+		Submitted: 200, Accepted: 190, Rejected: 10,
+		Completed: 180, Evicted: 6, Canceled: 4,
+		Retries: 12, FaultAborts: 15,
+		MeanMTTRSeconds: 3.25, Availability: 0.9875,
+		ElapsedSeconds: 1.5, ThroughputRPS: 133.3,
+		Latency: LatencyMS{P50: 0.8, P90: 1.4, P99: 3.1, Max: 9.7},
+	}
+}
+
+func sampleBench() *benchstat.Report {
+	env := map[string]string{"cpu": "test-cpu", "goarch": "amd64"}
+	old := &benchstat.Doc{Env: env, Results: []benchstat.Result{
+		{Name: "BenchmarkQueue", Iterations: 100, Metrics: map[string]float64{"ns/op": 1_000_000, "allocs/op": 100}},
+	}}
+	cur := &benchstat.Doc{Env: env, Results: []benchstat.Result{
+		{Name: "BenchmarkQueue", Iterations: 100, Metrics: map[string]float64{"ns/op": 1_000_000, "allocs/op": 150}},
+	}}
+	return benchstat.Diff(old, cur, benchstat.DefaultOptions())
+}
+
+func TestSoakSummaryRoundTripsGridloadJSON(t *testing.T) {
+	// The exact shape cmd/gridload emits (fault-free): every key must
+	// land in the struct, and re-marshaling must not invent fault keys.
+	const wire = `{
+  "mode": "open",
+  "tenants": 4,
+  "tasks_per_tenant": 10,
+  "submitted": 40,
+  "accepted": 40,
+  "rejected": 0,
+  "completed": 40,
+  "evicted": 0,
+  "canceled": 0,
+  "in_flight": 0,
+  "lost": 0,
+  "elapsed_seconds": 0.5,
+  "throughput_rps": 80,
+  "latency_ms": {"p50": 1, "p90": 2, "p99": 3, "max": 4}
+}`
+	var s SoakSummary
+	if err := json.Unmarshal([]byte(wire), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Mode != "open" || s.Completed != 40 || s.Latency.P99 != 3 {
+		t.Fatalf("fields lost in decode: %+v", s)
+	}
+	out, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"retries", "fault_aborts", "mean_mttr_seconds", "availability"} {
+		if strings.Contains(string(out), field) {
+			t.Errorf("fault-free summary serializes %q: %s", field, out)
+		}
+	}
+}
+
+func TestLoadSoakSummaryErrors(t *testing.T) {
+	if _, err := LoadSoakSummary(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file: no error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSoakSummary(bad); err == nil {
+		t.Error("unparseable file: no error")
+	}
+}
+
+// TestReleaseMarkdownGolden pins the full markdown document (bench +
+// soak sections; coverage is exercised against the live repo elsewhere).
+func TestReleaseMarkdownGolden(t *testing.T) {
+	rel := &Release{Title: "PR test release", Bench: sampleBench(), Soak: sampleSoak()}
+	var sb strings.Builder
+	if err := rel.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	compareGoldenFile(t, "release.md.golden", sb.String())
+}
+
+func TestReleaseHTMLGolden(t *testing.T) {
+	rel := &Release{Title: "PR <test> release", Bench: sampleBench(), Soak: sampleSoak()}
+	var sb strings.Builder
+	if err := rel.WriteHTML(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "PR &lt;test&gt; release") {
+		t.Error("title not HTML-escaped")
+	}
+	compareGoldenFile(t, "release.html.golden", sb.String())
+}
+
+func TestReleaseOmitsAbsentSections(t *testing.T) {
+	var sb strings.Builder
+	if err := (&Release{}).WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if strings.Contains(got, "Benchmark deltas") || strings.Contains(got, "Soak summary") {
+		t.Errorf("empty release renders sections:\n%s", got)
+	}
+	if !strings.Contains(got, "# Release report") {
+		t.Errorf("default title missing:\n%s", got)
+	}
+}
+
+func compareGoldenFile(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s (regenerate with -update if intended)\ngot:\n%s", path, got)
+	}
+}
